@@ -1,0 +1,119 @@
+// Ablation study of DEX's two design choices (DESIGN.md):
+//
+//  (a) continuous re-evaluation — §4 claims that letting the views keep
+//      growing past n−t and re-checking P1/P2 on every arrival is "the real
+//      secret of its ability to provide fast termination for more number of
+//      inputs". We ablate it (single evaluation at the n−t threshold,
+//      BOSCO-style) and measure the lost fast-path coverage.
+//  (b) double expedition — the concurrent two-step scheme. We ablate it
+//      (one-step only + fallback) and measure how many runs lose their
+//      fast decision entirely.
+#include <cstdio>
+
+#include "consensus/condition/input_gen.hpp"
+#include "harness/experiment.hpp"
+#include "sim/delay_model.hpp"
+
+namespace {
+
+using namespace dex;
+
+constexpr std::size_t kN = 13, kT = 2;
+constexpr int kTrials = 40;
+
+struct Variant {
+  const char* name;
+  bool reeval;
+  bool two_step;
+};
+
+struct Cell {
+  int one = 0, two = 0, uc = 0;
+};
+
+Cell run_cell(const Variant& var, std::size_t margin, std::size_t faults,
+              bool jittery) {
+  Cell c;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(0xab1a + static_cast<std::uint64_t>(trial) * 131 + margin);
+    harness::ExperimentConfig cfg;
+    cfg.algorithm = Algorithm::kDexFreq;
+    cfg.n = kN;
+    cfg.t = kT;
+    cfg.input = margin_input(kN, margin, 5, rng);
+    cfg.faults.count = faults;
+    cfg.faults.kind = harness::FaultKind::kSilent;
+    cfg.seed = 0x1ab + static_cast<std::uint64_t>(trial);
+    cfg.dex_continuous_reevaluation = var.reeval;
+    cfg.dex_enable_two_step = var.two_step;
+    if (jittery) {
+      cfg.delay = std::make_shared<sim::UniformDelay>(1'000'000, 10'000'000);
+      cfg.start_jitter = 2'000'000;
+    } else {
+      cfg.delay = std::make_shared<sim::ConstantDelay>(1'000'000);
+    }
+    const auto r = harness::run_experiment(cfg);
+    if (r.all_one_step()) {
+      ++c.one;
+    } else if (r.all_within_two_steps()) {
+      ++c.two;
+    } else {
+      ++c.uc;
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  const Variant variants[] = {
+      {"full DEX", true, true},
+      {"no re-evaluation", false, true},
+      {"no two-step", true, false},
+      {"neither", false, false},
+  };
+
+  std::printf("=== ablation: DEX design choices (n=%zu t=%zu, %d runs/cell) ===\n",
+              kN, kT, kTrials);
+  std::printf("cell: %%runs decided all-one-step | all-within-two | fallback\n");
+
+  for (const bool jittery : {false, true}) {
+    std::printf("\n--- %s network ---\n",
+                jittery ? "jittery (uniform 1-10ms + proposal skew)"
+                        : "synchronous (constant delay)");
+    std::printf("%-18s", "variant");
+    struct Shape {
+      const char* label;
+      std::size_t margin;
+      std::size_t faults;
+    };
+    const Shape shapes[] = {
+        {"margin 4t+1 f=0", 4 * kT + 1, 0},
+        {"margin 4t+1 f=t", 4 * kT + 1, kT},
+        {"margin 2t+1 f=0", 2 * kT + 1, 0},
+        {"margin 2t+3 f=1", 2 * kT + 3, 1},
+    };
+    for (const auto& s : shapes) std::printf(" | %-16s", s.label);
+    std::printf("\n");
+    for (const auto& var : variants) {
+      std::printf("%-18s", var.name);
+      for (const auto& s : shapes) {
+        const Cell c = run_cell(var, s.margin, s.faults, jittery);
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%3d|%3d|%3d", 100 * c.one / kTrials,
+                      100 * c.two / kTrials, 100 * c.uc / kTrials);
+        std::printf(" | %-16s", buf);
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf(
+      "\nexpected shape: ablating re-evaluation guts one-step coverage as\n"
+      "soon as faults or low margins make the first n-t view insufficient;\n"
+      "ablating the two-step scheme pushes every margin-(2t+1..4t) input from\n"
+      "a 2-step decision to the full fallback. Together they reduce DEX to a\n"
+      "BOSCO-shaped algorithm.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Coin ablation for the underlying randomized consensus: seeded COMMON coin
+// (all processes adopt the same suggestion — our stand-in for a threshold
+// coin) versus purely LOCAL coins (independent randomness per process).
+//
+// On contested inputs the common coin converges in O(1) expected rounds while
+// local coins random-walk; this bench measures the realized round counts and
+// justifies the documented substitution (DESIGN.md).
+#include <cstdio>
+
+#include "common/histogram.hpp"
+#include "consensus/condition/input_gen.hpp"
+#include "consensus/factory.hpp"
+#include "harness/experiment.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace dex;
+
+/// Runs underlying-only consensus with a chosen coin type by building the
+/// stacks directly (the harness always uses the common coin).
+Histogram run_series(bool common_coin, std::size_t n, std::size_t t,
+                     const InputVector& input, int trials) {
+  Histogram rounds;
+  for (int trial = 0; trial < trials; ++trial) {
+    const std::uint64_t seed = 0xc0 + static_cast<std::uint64_t>(trial) * 29;
+    sim::SimOptions opts;
+    opts.seed = seed;
+    opts.start_jitter = 3'000'000;
+    sim::Simulation simulation(n, opts);
+    for (std::size_t i = 0; i < n; ++i) {
+      StackConfig sc;
+      sc.n = n;
+      sc.t = t;
+      sc.self = static_cast<ProcessId>(i);
+      sc.max_uc_rounds = 200;
+      UcFactory factory = [&, common_coin](const StackConfig& cfg, IdbEngine* idb,
+                                           Outbox* outbox) {
+        RandomizedConsensusConfig ucc;
+        ucc.n = cfg.n;
+        ucc.t = cfg.t;
+        ucc.self = cfg.self;
+        ucc.instance = cfg.instance;
+        ucc.max_rounds = cfg.max_uc_rounds;
+        auto coin = common_coin
+                        ? make_common_coin(seed ^ 0x5eedc011, cfg.n)
+                        : make_local_coin(mix64(seed + 7 * cfg.self), cfg.n);
+        return std::make_unique<RandomizedConsensus>(ucc, std::move(coin), idb,
+                                                     outbox);
+      };
+      auto stack = std::make_unique<UnderlyingOnlyStack>(sc, std::move(factory));
+      simulation.attach(static_cast<ProcessId>(i),
+                        std::make_unique<sim::ProcessActor>(
+                            std::move(stack), input[i]));
+    }
+    const auto stats = simulation.run();
+    for (const auto& rec : stats.decisions) {
+      if (rec.has_value()) rounds.add(rec->decision.uc_rounds);
+    }
+  }
+  return rounds;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t n = 11, t = 2;
+  constexpr int kTrials = 25;
+  std::printf("=== coin ablation: randomized fallback rounds to decide "
+              "(n=%zu t=%zu, %d runs/cell) ===\n\n", n, t, kTrials);
+  std::printf("%-22s | %-26s | %-26s\n", "input", "common coin rounds",
+              "local coin rounds");
+  std::printf("%-22s | %-26s | %-26s\n", "", "mean/p50/p99/max",
+              "mean/p50/p99/max");
+
+  struct Case {
+    const char* label;
+    InputVector input;
+  };
+  Rng rng(3);
+  const Case cases[] = {
+      {"unanimous", unanimous_input(n, 4)},
+      {"near-unanimous 9/2", split_input(n, 4, 9, 5)},
+      {"contested 6/5", split_input(n, 4, 6, 5)},
+      {"three-way", margin_input(n, 1, 4, rng)},
+  };
+
+  for (const auto& c : cases) {
+    char common_buf[64] = "(none)", local_buf[64] = "(none)";
+    const auto common = run_series(true, n, t, c.input, kTrials);
+    if (common.count() > 0) {
+      std::snprintf(common_buf, sizeof(common_buf), "%4.1f / %2.0f / %2.0f / %2.0f",
+                    common.mean(), common.quantile(0.5), common.quantile(0.99),
+                    common.max());
+    }
+    const auto local = run_series(false, n, t, c.input, kTrials);
+    if (local.count() > 0) {
+      std::snprintf(local_buf, sizeof(local_buf), "%4.1f / %2.0f / %2.0f / %2.0f",
+                    local.mean(), local.quantile(0.5), local.quantile(0.99),
+                    local.max());
+    }
+    std::printf("%-22s | %-26s | %-26s\n", c.label, common_buf, local_buf);
+  }
+
+  std::printf("\nexpected shape: identical on unanimous inputs (the coin is\n"
+              "never consulted); on contested inputs the common coin stays\n"
+              "near its O(1) expectation while local coins show a heavy tail.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Exact input-space comparison of the fast-path conditions — the Table 1
+// "feasibility" columns computed by full enumeration, no sampling error.
+//
+// The paper (§1.2): "the algorithm instantiated by the frequency-based pair
+// has more chances to decide in one or two steps compared to the existing
+// one-step Byzantine consensus algorithms." Prior one-step algorithms
+// guarantee fast decision only for (near-)unanimous inputs; DEX guarantees it
+// for whole condition classes. Here we enumerate every input in {0..d-1}^n
+// and count exactly which fraction each mechanism covers, per actual fault
+// count f.
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "consensus/condition/analytics.hpp"
+#include "consensus/condition/pair.hpp"
+
+namespace {
+
+using namespace dex;
+
+void compare(std::size_t n, std::size_t t, std::size_t domain) {
+  std::printf("\n--- n=%zu t=%zu, domain |V|=%zu (enumerating %.0f inputs) ---\n",
+              n, t, domain, std::pow(static_cast<double>(domain), n));
+
+  // Guaranteed-fast-decision sets, as fractions of the whole input space:
+  //  * BOSCO-weak guarantee: one-step only for unanimous inputs with f = 0.
+  //  * BOSCO-strong guarantee: one-step when all CORRECT processes agree —
+  //    as an input-vector class with f Byzantine entries "anywhere", the
+  //    guaranteed set is {I : some value fills at least n−f entries}.
+  //  * DEX(freq): C1_f (one-step), C2_f (two-step).
+  //  * crash baseline: all n−t received equal — guaranteed only for
+  //    unanimous inputs (crash model).
+  const FrequencyPair freq(n, t);
+
+  std::printf("%-34s", "guaranteed-fast set");
+  for (std::size_t f = 0; f <= t; ++f) std::printf(" | f=%zu      ", f);
+  std::printf("\n");
+
+  auto print_row = [&](const char* label,
+                       const std::function<double(std::size_t)>& fraction) {
+    std::printf("%-34s", label);
+    for (std::size_t f = 0; f <= t; ++f) std::printf(" | %8.4f%%", 100 * fraction(f));
+    std::printf("\n");
+  };
+
+  print_row("unanimous only (BOSCO-weak, f=0)", [&](std::size_t f) {
+    if (f > 0) return 0.0;
+    return exact_fraction(n, domain, [&](const InputVector& input) {
+      const auto s = input.as_view().freq();
+      return s.first_count() == n;
+    });
+  });
+  print_row("correct-unanimous (BOSCO-strong)", [&](std::size_t f) {
+    return exact_fraction(n, domain, [&](const InputVector& input) {
+      const auto s = input.as_view().freq();
+      return s.first_count() + f >= n;
+    });
+  });
+  print_row("DEX(freq) one-step: C1_f", [&](std::size_t f) {
+    return exact_fraction(n, domain, [&](const InputVector& input) {
+      return freq.s1().contains(input, f);
+    });
+  });
+  print_row("DEX(freq) within two steps: C2_f", [&](std::size_t f) {
+    return exact_fraction(n, domain, [&](const InputVector& input) {
+      return freq.s2().contains(input, f);
+    });
+  });
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== exact fast-path coverage by full input enumeration ===\n");
+  compare(7, 1, 3);
+  compare(7, 1, 4);
+  compare(13, 2, 2);
+  compare(13, 2, 3);
+
+  std::printf(
+      "\nexpected shape: DEX's condition classes strictly contain the\n"
+      "(near-)unanimous sets the one-step baselines are guaranteed on, and\n"
+      "the two-step class C2_f is larger still — the paper's 'more chances\n"
+      "to decide in one or two steps' (§1.2), with exact numbers.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// E2 — end-to-end decision latency and logical step counts on a jittery
+// asynchronous network, for every algorithm across input shapes.
+//
+// Regenerates the paper's step-count claims as measured distributions: DEX
+// decides in 1 / 2 / 2+4R logical steps depending on where the input falls
+// relative to (C1, C2); BOSCO has only the 1 / 1+4R split; the no-fast-path
+// baseline always pays the underlying consensus.
+#include <cstdio>
+#include <functional>
+
+#include "common/histogram.hpp"
+#include "consensus/condition/input_gen.hpp"
+#include "harness/experiment.hpp"
+#include "sim/delay_model.hpp"
+
+namespace {
+
+using namespace dex;
+
+constexpr std::size_t kT = 2;
+constexpr int kTrials = 30;
+
+struct Shape {
+  const char* name;
+  std::function<InputVector(std::size_t, Rng&)> make;
+};
+
+void run_matrix(harness::FaultKind fault_kind, std::size_t fault_count,
+                const char* fault_label, bool oracle_uc = false) {
+  const Algorithm algos[] = {Algorithm::kDexFreq, Algorithm::kDexPrv,
+                             Algorithm::kBoscoWeak, Algorithm::kBoscoStrong,
+                             Algorithm::kUnderlyingOnly};
+  const Shape shapes[] = {
+      {"unanimous", [](std::size_t n, Rng&) { return unanimous_input(n, 0); }},
+      {"margin 4t+1",
+       [](std::size_t n, Rng& rng) { return margin_input(n, 4 * kT + 1, 0, rng); }},
+      {"margin 2t+1",
+       [](std::size_t n, Rng& rng) { return margin_input(n, 2 * kT + 1, 0, rng); }},
+      {"split 50/50",
+       [](std::size_t n, Rng&) { return split_input(n, 0, n / 2, 1); }},
+  };
+
+  std::printf("\nfaults: %s\n", fault_label);
+  std::printf("%-16s %-4s", "algorithm", "n");
+  for (const auto& s : shapes) std::printf(" | %-26s", s.name);
+  std::printf("\n%-16s %-4s", "", "");
+  for (std::size_t i = 0; i < std::size(shapes); ++i) {
+    std::printf(" | %-26s", "steps p50/max   ms p50/p99");
+  }
+  std::printf("\n");
+
+  for (const Algorithm algo : algos) {
+    const std::size_t n = algorithm_min_n(algo, kT);
+    std::printf("%-16s %-4zu", algorithm_name(algo), n);
+    for (const auto& shape : shapes) {
+      Histogram steps, latency;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        Rng rng(0x1a7e + static_cast<std::uint64_t>(trial));
+        harness::ExperimentConfig cfg;
+        cfg.algorithm = algo;
+        cfg.n = n;
+        cfg.t = kT;
+        cfg.input = shape.make(n, rng);
+        cfg.faults.kind = fault_kind;
+        cfg.faults.count = fault_count;
+        cfg.seed = 0xbe9c + static_cast<std::uint64_t>(trial) * 13;
+        cfg.delay = std::make_shared<sim::UniformDelay>(1'000'000, 10'000'000);
+        cfg.start_jitter = 2'000'000;
+        cfg.use_oracle_uc = oracle_uc;
+        const auto r = harness::run_experiment(cfg);
+        for (std::size_t i = 0; i < cfg.n; ++i) {
+          const auto& rec = r.stats.decisions[i];
+          if (!rec.has_value()) continue;
+          steps.add(rec->steps);
+          latency.add(static_cast<double>(rec->at) / 1e6);
+        }
+      }
+      if (steps.count() == 0) {
+        std::printf(" | %-26s", "(no decisions)");
+        continue;
+      }
+      char cell[64];
+      std::snprintf(cell, sizeof(cell), "%2.0f/%-3.0f  %5.1f/%5.1f",
+                    steps.quantile(0.5), steps.max(), latency.quantile(0.5),
+                    latency.quantile(0.99));
+      std::printf(" | %-26s", cell);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E2: decision latency & logical steps (uniform 1-10ms links, "
+              "2ms proposal jitter, t=%zu, %d runs/cell) ===\n", kT, kTrials);
+  run_matrix(harness::FaultKind::kSilent, 0, "none (f=0)");
+  run_matrix(harness::FaultKind::kSilent, kT, "f=t silent");
+  run_matrix(harness::FaultKind::kEquivocate, kT, "f=t equivocating");
+
+  std::printf("\n=== well-behaved runs with an idealized zero-degrading UC "
+              "(2 steps) — §1.2/§5's step accounting ===\n");
+  run_matrix(harness::FaultKind::kSilent, 0, "none (f=0), oracle UC",
+             /*oracle_uc=*/true);
+  std::printf(
+      "\npaper claim check: on the fast-path-free 50/50 split, DEX's max is\n"
+      "2+2 = 4 steps while BOSCO's is 1+2 = 3 — \"DEX takes four steps at\n"
+      "worst in well-behaved runs while existing one-step algorithms take\n"
+      "only three\" (abstract).\n");
+  std::printf(
+      "\nexpected shape: DEX rows dominate on the margin shapes (1-2 step\n"
+      "medians where BOSCO already pays its fallback); on the 50/50 split all\n"
+      "fast paths die and every algorithm pays the randomized fallback, where\n"
+      "DEX's prefix costs 2 steps vs BOSCO's 1 — the paper's stated trade.\n");
+  return 0;
+}

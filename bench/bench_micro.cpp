@@ -1,0 +1,111 @@
+// Microbenchmarks for the library's hot paths (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "consensus/condition/input_gen.hpp"
+#include "consensus/condition/pair.hpp"
+#include "consensus/idb/idb_engine.hpp"
+#include "consensus/message.hpp"
+#include "consensus/view.hpp"
+
+namespace {
+
+using namespace dex;
+
+void BM_ViewFreqStats(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const auto input = random_input(n, rng, {.domain = 8});
+  const View j = input.as_view();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(j.freq());
+  }
+}
+BENCHMARK(BM_ViewFreqStats)->Arg(13)->Arg(61)->Arg(241);
+
+void BM_FreqPairP1(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t t = (n - 1) / 6;
+  const FrequencyPair pair(n, t);
+  Rng rng(2);
+  const View j = masked_view(margin_input(n, 4 * t + 1, 0, rng), t, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pair.p1(j));
+  }
+}
+BENCHMARK(BM_FreqPairP1)->Arg(13)->Arg(61)->Arg(241);
+
+void BM_PrivilegedPairF(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t t = (n - 1) / 5;
+  const PrivilegedPair pair(n, t, 0);
+  Rng rng(3);
+  const View j = masked_view(privileged_input(n, 0, 2 * t + 1, rng), t, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pair.f(j));
+  }
+}
+BENCHMARK(BM_PrivilegedPairF)->Arg(11)->Arg(51)->Arg(251);
+
+void BM_MessageEncodeDecode(benchmark::State& state) {
+  Message m;
+  m.kind = MsgKind::kIdbEcho;
+  m.instance = 9;
+  m.tag = chan::uc_phase_tag(3, 2);
+  m.origin = 4;
+  m.payload = UcPhasePayload{3, 2, true, 12345}.to_bytes();
+  for (auto _ : state) {
+    const auto bytes = m.to_bytes();
+    benchmark::DoNotOptimize(Message::from_bytes(bytes));
+  }
+}
+BENCHMARK(BM_MessageEncodeDecode);
+
+void BM_IdbEngineEchoProcessing(benchmark::State& state) {
+  // Throughput of the echo-counting hot path: one full acceptance per
+  // iteration batch, fresh tag each time so slots do not saturate.
+  const std::size_t n = 13, t = 2;
+  Outbox outbox;
+  IdbEngine engine(n, t, 0, 0, &outbox);
+  const auto payload = ValuePayload{7}.to_bytes();
+  std::uint64_t tag = 0;
+  for (auto _ : state) {
+    ++tag;
+    Message echo;
+    echo.kind = MsgKind::kIdbEcho;
+    echo.tag = tag;
+    echo.origin = 1;
+    echo.payload = payload;
+    for (ProcessId src = 0; src < static_cast<ProcessId>(n); ++src) {
+      engine.on_message(src, echo);
+    }
+    benchmark::DoNotOptimize(engine.take_deliveries());
+    (void)outbox.drain();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_IdbEngineEchoProcessing);
+
+void BM_MarginInputGeneration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(margin_input(n, n / 3, 0, rng));
+  }
+}
+BENCHMARK(BM_MarginInputGeneration)->Arg(13)->Arg(121);
+
+void BM_ViewDistance(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  const auto input = random_input(n, rng, {.domain = 4});
+  const View a = masked_view(input, n / 8, rng);
+  const View b = masked_view(input, n / 8, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(View::dist(a, b));
+  }
+}
+BENCHMARK(BM_ViewDistance)->Arg(13)->Arg(241);
+
+}  // namespace

@@ -1,0 +1,83 @@
+// E4 — message complexity per decision.
+//
+// The double-expedition machinery is not free: the identical-broadcast
+// channel doubles the proposal traffic (init + n echoes each), and the
+// randomized fallback adds two IDB broadcasts per process per round. This
+// bench quantifies packets per run, split by kind, for every algorithm and
+// input shape — making the paper's implicit cost trade explicit.
+#include <cstdio>
+#include <functional>
+
+#include "consensus/condition/input_gen.hpp"
+#include "harness/experiment.hpp"
+#include "sim/delay_model.hpp"
+
+namespace {
+
+using namespace dex;
+
+constexpr std::size_t kT = 2;
+constexpr int kTrials = 15;
+
+struct Shape {
+  const char* name;
+  std::function<InputVector(std::size_t, Rng&)> make;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== E4: message complexity (packets per consensus instance, "
+              "mean of %d runs, t=%zu) ===\n\n", kTrials, kT);
+
+  const Algorithm algos[] = {Algorithm::kDexFreq, Algorithm::kDexPrv,
+                             Algorithm::kBoscoWeak, Algorithm::kBoscoStrong,
+                             Algorithm::kUnderlyingOnly};
+  const Shape shapes[] = {
+      {"unanimous", [](std::size_t n, Rng&) { return unanimous_input(n, 0); }},
+      {"margin 2t+1",
+       [](std::size_t n, Rng& rng) { return margin_input(n, 2 * kT + 1, 0, rng); }},
+      {"split 50/50",
+       [](std::size_t n, Rng&) { return split_input(n, 0, n / 2, 1); }},
+  };
+
+  std::printf("%-16s %-4s %-14s", "algorithm", "n", "input");
+  std::printf(" | %-9s %-9s %-9s %-9s\n", "plain", "idb-init", "idb-echo",
+              "total");
+
+  for (const Algorithm algo : algos) {
+    const std::size_t n = algorithm_min_n(algo, kT);
+    for (const auto& shape : shapes) {
+      double plain = 0, init = 0, echo = 0;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        Rng rng(0x3355 + static_cast<std::uint64_t>(trial));
+        harness::ExperimentConfig cfg;
+        cfg.algorithm = algo;
+        cfg.n = n;
+        cfg.t = kT;
+        cfg.input = shape.make(n, rng);
+        cfg.seed = 0xabc + static_cast<std::uint64_t>(trial) * 7;
+        cfg.delay = std::make_shared<sim::UniformDelay>(1'000'000, 5'000'000);
+        const auto r = harness::run_experiment(cfg);
+        plain += static_cast<double>(r.stats.packets_by_kind.get("plain"));
+        init += static_cast<double>(r.stats.packets_by_kind.get("idb-init"));
+        echo += static_cast<double>(r.stats.packets_by_kind.get("idb-echo"));
+      }
+      plain /= kTrials;
+      init /= kTrials;
+      echo /= kTrials;
+      std::printf("%-16s %-4zu %-14s | %-9.0f %-9.0f %-9.0f %-9.0f\n",
+                  algorithm_name(algo), n, shape.name, plain, init, echo,
+                  plain + init + echo);
+    }
+  }
+
+  std::printf(
+      "\nexpected shape: on unanimous inputs BOSCO is the cheapest (one plain\n"
+      "broadcast, fast-path decision kills the fallback early only in DEX's\n"
+      "favor once margins shrink); DEX pays the n^2 echo tax for its identical\n"
+      "broadcast but avoids the much larger fallback traffic whenever the\n"
+      "two-step condition holds. On the 50/50 split everyone pays the fallback\n"
+      "and the totals converge.\n");
+  return 0;
+}

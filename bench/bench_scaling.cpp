@@ -1,0 +1,83 @@
+// Scaling study: how DEX behaves as the system grows, at fixed resilience
+// ratio n = 6t + 1.
+//
+// Step counts should stay flat (the fast paths are size-independent) while
+// message totals grow as n² through the identical-broadcast echoes — the
+// scalability profile implied by the paper's cost model.
+#include <cstdio>
+
+#include "common/histogram.hpp"
+#include "consensus/condition/input_gen.hpp"
+#include "harness/experiment.hpp"
+#include "sim/delay_model.hpp"
+
+namespace {
+
+using namespace dex;
+
+struct Cell {
+  double steps_p50 = 0;
+  double latency_p50_ms = 0;
+  double packets = 0;
+  bool safe = true;
+};
+
+Cell run_cell(std::size_t n, std::size_t t, std::size_t margin, int trials) {
+  Histogram steps, latency;
+  double packets = 0;
+  bool safe = true;
+  for (int trial = 0; trial < trials; ++trial) {
+    Rng rng(0x5ca1e + static_cast<std::uint64_t>(trial) * 11 + n);
+    harness::ExperimentConfig cfg;
+    cfg.algorithm = Algorithm::kDexFreq;
+    cfg.n = n;
+    cfg.t = t;
+    cfg.input = margin_input(n, margin, 5, rng);
+    cfg.seed = 0x51 + static_cast<std::uint64_t>(trial);
+    cfg.delay = std::make_shared<sim::UniformDelay>(1'000'000, 10'000'000);
+    cfg.start_jitter = 2'000'000;
+    const auto r = harness::run_experiment(cfg);
+    safe = safe && r.agreement() && r.all_decided();
+    packets += static_cast<double>(r.stats.packets_delivered);
+    for (const auto& rec : r.stats.decisions) {
+      if (!rec.has_value()) continue;
+      steps.add(rec->steps);
+      latency.add(static_cast<double>(rec->at) / 1e6);
+    }
+  }
+  Cell c;
+  c.steps_p50 = steps.count() ? steps.quantile(0.5) : 0;
+  c.latency_p50_ms = latency.count() ? latency.quantile(0.5) : 0;
+  c.packets = packets / trials;
+  c.safe = safe;
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kTrials = 10;
+  std::printf("=== scaling: DEX(freq) at n = 6t+1, uniform 1-10ms links "
+              "(%d runs/cell) ===\n\n", kTrials);
+  std::printf("%-6s %-4s | %-26s | %-26s\n", "n", "t", "one-step regime (4t+1)",
+              "two-step regime (2t+1)");
+  std::printf("%-6s %-4s | %-26s | %-26s\n", "", "",
+              "steps  ms(p50)  pkts/run", "steps  ms(p50)  pkts/run");
+
+  for (std::size_t t = 1; t <= 5; ++t) {
+    const std::size_t n = 6 * t + 1;
+    const Cell one = run_cell(n, t, 4 * t + 1, kTrials);
+    const Cell two = run_cell(n, t, 2 * t + 1, kTrials);
+    std::printf("%-6zu %-4zu | %4.0f  %7.1f  %9.0f | %4.0f  %7.1f  %9.0f%s\n", n,
+                t, one.steps_p50, one.latency_p50_ms, one.packets, two.steps_p50,
+                two.latency_p50_ms, two.packets,
+                one.safe && two.safe ? "" : "  !SAFETY");
+  }
+
+  std::printf("\nexpected shape: step medians stay at 1 (one-step regime) and\n"
+              "2 (two-step regime) independent of n. Packets grow ~n^3: the\n"
+              "underlying consensus always runs beneath DEX (Figure 1 line 13)\n"
+              "and each of its n participants performs identical broadcasts\n"
+              "costing n^2 echoes each.\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// E3 — the §1.1 motivating application: replicated state machine throughput
+// under client contention.
+//
+// Replicas agree on the processing order of client commands, one DEX instance
+// per log slot. With no contention every replica proposes the same request —
+// the slot commits in one communication step; as contention rises, slots are
+// pushed onto the two-step and fallback paths. We sweep the racing-client
+// probability and report per-slot commit paths, latency and message cost.
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "sim/simulation.hpp"
+#include "smr/replica.hpp"
+
+namespace {
+
+using namespace dex;
+
+constexpr std::size_t kN = 13, kT = 2;
+constexpr std::size_t kCommands = 12;
+
+struct SmrOutcome {
+  bool logs_identical = true;
+  std::size_t committed = 0;
+  Counter paths;
+  double packets_per_command = 0;
+  double sim_ms = 0;
+};
+
+SmrOutcome run_once(std::size_t contention_pct, std::uint64_t seed) {
+  sim::SimOptions opts;
+  opts.seed = seed;
+  sim::Simulation simulation(kN, opts);
+  auto pair = make_frequency_pair(kN, kT);
+  std::vector<smr::Replica*> replicas;
+  for (std::size_t i = 0; i < kN; ++i) {
+    smr::ReplicaConfig rc;
+    rc.n = kN;
+    rc.t = kT;
+    rc.self = static_cast<ProcessId>(i);
+    rc.max_slots = kCommands * 2 + 4;
+    auto rep = std::make_unique<smr::Replica>(rc, pair);
+    replicas.push_back(rep.get());
+    simulation.attach(static_cast<ProcessId>(i), std::move(rep));
+  }
+
+  Rng rng(seed * 31 + 7);
+  std::uint64_t seq = 1;
+  auto broadcast = [&](const smr::Command& cmd, SimTime base, bool reverse) {
+    for (std::size_t r = 0; r < replicas.size(); ++r) {
+      smr::Replica* rep = replicas[r];
+      const auto skew = static_cast<SimTime>(
+          (reverse ? replicas.size() - r : r) * 1'000'000);
+      simulation.schedule_at(base + skew, [rep, cmd] { rep->submit(cmd); });
+    }
+  };
+  for (std::size_t c = 0; c < kCommands; ++c) {
+    const SimTime base = static_cast<SimTime>(c) * 50'000'000;
+    broadcast(smr::Command{1, seq++, "W" + std::to_string(c)}, base, false);
+    if (rng.next_below(100) < contention_pct) {
+      broadcast(smr::Command{2, seq++, "X" + std::to_string(c)}, base, true);
+    }
+  }
+
+  const auto stats = simulation.run();
+  SmrOutcome out;
+  const auto& ref = replicas[0]->log();
+  std::size_t commands_committed = 0;
+  for (const auto& e : ref) {
+    out.paths.add(decision_path_name(e.path));
+    if (e.command.has_value()) ++commands_committed;
+  }
+  for (const auto* r : replicas) {
+    if (r->log().size() != ref.size()) {
+      out.logs_identical = false;
+      continue;
+    }
+    for (std::size_t s = 0; s < ref.size(); ++s) {
+      if (r->log()[s].digest != ref[s].digest) out.logs_identical = false;
+    }
+  }
+  out.committed = commands_committed;
+  out.packets_per_command =
+      commands_committed == 0
+          ? 0
+          : static_cast<double>(stats.packets_delivered) /
+                static_cast<double>(commands_committed);
+  out.sim_ms = static_cast<double>(stats.end_time) / 1e6;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E3: SMR over per-slot DEX (n=%zu t=%zu, %zu commands) ===\n\n",
+              kN, kT, kCommands);
+  std::printf("%-12s | %-9s | %-28s | %-10s | %-8s\n", "contention",
+              "commands", "slot paths (1step/2step/uc)", "pkts/cmd", "logs ok");
+
+  constexpr int kSeeds = 5;
+  bool all_ok = true;
+  for (const std::size_t pct : {0u, 20u, 40u, 60u, 80u}) {
+    std::size_t committed = 0;
+    std::uint64_t one = 0, two = 0, uc = 0;
+    double pkts = 0, runs = 0;
+    bool ok = true;
+    for (int s = 0; s < kSeeds; ++s) {
+      const auto o = run_once(pct, 100 + static_cast<std::uint64_t>(s));
+      committed += o.committed;
+      one += o.paths.get("one-step");
+      two += o.paths.get("two-step");
+      uc += o.paths.get("underlying");
+      pkts += o.packets_per_command;
+      runs += 1;
+      ok = ok && o.logs_identical;
+    }
+    all_ok = all_ok && ok;
+    char pathbuf[64];
+    std::snprintf(pathbuf, sizeof(pathbuf), "%llu / %llu / %llu",
+                  static_cast<unsigned long long>(one),
+                  static_cast<unsigned long long>(two),
+                  static_cast<unsigned long long>(uc));
+    std::printf("%-12zu | %-9zu | %-28s | %-10.0f | %-8s\n", pct,
+                committed / kSeeds, pathbuf, pkts / runs, ok ? "yes" : "NO");
+  }
+  std::printf("\nexpected shape: at 0%% contention every slot is one-step (the\n"
+              "replicated-server story from §1.1); rising contention moves\n"
+              "slots to the two-step and fallback tiers and raises pkts/cmd.\n");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,203 @@
+// T1 — regenerates the paper's Table 1 ("Performance comparison of DEX with
+// the existing works") as an *empirical* decision-step matrix.
+//
+// The paper states each algorithm's resilience bound and the situations in
+// which one-/two-step decision is feasible. We run every executable algorithm
+// at its own resilience bound (t = 2) across the input classes the analysis
+// distinguishes and report, per class, the fraction of runs in which ALL
+// correct processes decided within one / two communication steps.
+//
+// The Mostefaoui et al. row assumes a SYNCHRONOUS system; it cannot run on an
+// asynchronous testbed, so its row is reproduced analytically and marked so.
+#include <cstdio>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "consensus/condition/input_gen.hpp"
+#include "harness/experiment.hpp"
+#include "sim/delay_model.hpp"
+
+namespace {
+
+using dex::Algorithm;
+using dex::InputVector;
+using dex::Rng;
+using dex::Value;
+using dex::harness::ExperimentConfig;
+using dex::harness::FaultKind;
+
+constexpr std::size_t kT = 2;
+constexpr int kTrials = 40;
+
+struct InputClass {
+  std::string name;
+  // Builds the input for a given n; generator receives a seeded Rng.
+  std::function<InputVector(std::size_t, Rng&)> make;
+  FaultKind fault_kind = FaultKind::kSilent;
+  std::size_t fault_count = 0;
+  bool crash_model_compatible = true;
+};
+
+struct Row {
+  Algorithm algorithm;
+  const char* citation;
+  const char* model;
+  const char* failure;
+  bool byzantine_ok;  // can face Byzantine fault kinds
+};
+
+struct Cell {
+  int one_step = 0;
+  int two_step = 0;  // at most two steps (includes one-step runs)
+  int total = 0;
+  bool safety_ok = true;
+};
+
+Cell run_cell(const Row& row, const InputClass& cls) {
+  Cell cell;
+  const std::size_t n = dex::algorithm_min_n(row.algorithm, kT);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng gen(0x7ab1e1ULL + static_cast<std::uint64_t>(trial) * 977);
+    ExperimentConfig cfg;
+    cfg.algorithm = row.algorithm;
+    cfg.n = n;
+    cfg.t = kT;
+    cfg.privileged = 0;
+    cfg.input = cls.make(n, gen);
+    cfg.faults.kind = cls.fault_kind;
+    cfg.faults.count = cls.fault_count;
+    cfg.faults.equivocate_a = 0;
+    cfg.faults.equivocate_b = 1;
+    cfg.seed = 0x5eedULL + static_cast<std::uint64_t>(trial);
+    // Constant delay keeps physical arrival order aligned with logical steps,
+    // matching the paper's step-counting model.
+    cfg.delay = std::make_shared<dex::sim::ConstantDelay>(1'000'000);
+    const auto r = dex::harness::run_experiment(cfg);
+    ++cell.total;
+    if (r.all_one_step()) ++cell.one_step;
+    if (r.all_within_two_steps()) ++cell.two_step;
+    cell.safety_ok = cell.safety_ok && r.agreement() && r.all_decided();
+  }
+  return cell;
+}
+
+std::string pct(int hits, int total) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%3d%%", total ? (100 * hits) / total : 0);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<Row> rows = {
+      {Algorithm::kCrashOneStep, "Brasileiro et al. [2]", "Asyn.", "Crash", false},
+      {Algorithm::kBoscoWeak, "Bosco weak [12]", "Asyn.", "Byzan.", true},
+      {Algorithm::kBoscoStrong, "Bosco strong [12]", "Asyn.", "Byzan.", true},
+      {Algorithm::kDexPrv, "DEX (privileged)", "Asyn.", "Byzan.", true},
+      {Algorithm::kDexFreq, "DEX (frequency)", "Asyn.", "Byzan.", true},
+  };
+
+  const std::vector<InputClass> classes = {
+      {"unanimous f=0",
+       [](std::size_t n, Rng&) { return dex::unanimous_input(n, 0); }},
+      {"unanimous f=t silent",
+       [](std::size_t n, Rng&) { return dex::unanimous_input(n, 0); },
+       FaultKind::kSilent, kT},
+      {"unanimous f=t equiv",
+       [](std::size_t n, Rng&) { return dex::unanimous_input(n, 0); },
+       FaultKind::kEquivocate, kT, /*crash_model_compatible=*/false},
+      {"margin 4t+1 f=0",
+       [](std::size_t n, Rng& rng) {
+         return dex::margin_input(n, 4 * kT + 1, 0, rng);
+       }},
+      {"margin 4t+1 f=t silent",
+       [](std::size_t n, Rng& rng) {
+         return dex::margin_input(n, 4 * kT + 1, 0, rng);
+       },
+       FaultKind::kSilent, kT},
+      {"margin 2t+1 f=0",
+       [](std::size_t n, Rng& rng) {
+         return dex::margin_input(n, 2 * kT + 1, 0, rng);
+       }},
+      {"privileged 3t+1 f=0",
+       [](std::size_t n, Rng& rng) {
+         return dex::privileged_input(n, 0, 3 * kT + 1, rng);
+       }},
+      {"random f=0",
+       [](std::size_t n, Rng& rng) {
+         return dex::random_input(n, rng, {.domain = 4});
+       }},
+  };
+
+  std::printf("=== Table 1 (empirical reproduction) ===\n");
+  std::printf(
+      "t = %zu; each algorithm runs at its own resilience bound; %d trials per "
+      "cell.\nCell format: one-step%% / within-two-steps%% (fraction of runs "
+      "where ALL correct processes decided that fast)\n\n",
+      kT, kTrials);
+
+  std::printf("%-22s %-6s %-7s %-5s", "algorithm", "model", "failure", "n");
+  for (const auto& cls : classes) std::printf(" | %-22s", cls.name.c_str());
+  std::printf("\n");
+
+  // Two comparison rows from the paper's Table 1 are analytic-only here:
+  // Mostefaoui et al. assume a SYNCHRONOUS system (not executable on an
+  // asynchronous testbed), and Izumi et al.'s adaptive crash algorithm has no
+  // pseudocode in the DEX paper (guessing it would risk misrepresenting it).
+  std::printf("%-22s %-6s %-7s %-5s", "Mostefaoui et al.[11]", "Syn.", "Crash",
+              "t+1");
+  for (const auto& cls : classes) {
+    (void)cls;
+    std::printf(" | %-22s", "(synchronous: n/a)");
+  }
+  std::printf("\n");
+  std::printf("%-22s %-6s %-7s %-5s", "Izumi et al.[8]", "Asyn.", "Crash",
+              "3t+1");
+  for (const auto& cls : classes) {
+    (void)cls;
+    std::printf(" | %-22s", "(analytic row: [8])");
+  }
+  std::printf("\n");
+
+  bool all_safe = true;
+  for (const auto& row : rows) {
+    const std::size_t n = dex::algorithm_min_n(row.algorithm, kT);
+    std::printf("%-22s %-6s %-7s %-5zu", row.citation, row.model, row.failure, n);
+    for (const auto& cls : classes) {
+      const bool skip =
+          (!row.byzantine_ok && !cls.crash_model_compatible);
+      if (skip) {
+        std::printf(" | %-22s", "(out of model)");
+        continue;
+      }
+      const Cell cell = run_cell(row, cls);
+      all_safe = all_safe && cell.safety_ok;
+      std::string s = pct(cell.one_step, cell.total) + " / " +
+                      pct(cell.two_step, cell.total);
+      if (!cell.safety_ok) s += " !SAFETY";
+      std::printf(" | %-22s", s.c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nShape checks vs the paper:\n"
+      " * DEX(freq) keeps a GUARANTEED one-step tier on margin-(4t+1) inputs\n"
+      "   at f=0 and a two-step tier down to margin 2t+1 — condition classes\n"
+      "   no BOSCO variant covers (their cells collapse on those columns).\n"
+      " * DEX adapts: with f=t silent faults the margin-(4t+1) column falls\n"
+      "   out of the one-step tier (C1_t needs margin > 4t+2t) but stays\n"
+      "   fully inside the two-step tier C2_t.\n"
+      " * BOSCO one-steps only where votes are (near-)unanimous; the weak\n"
+      "   variant's fault columns reflect this benign schedule — only the\n"
+      "   n>7t configuration GUARANTEES them in every schedule (see\n"
+      "   EXPERIMENTS.md on guarantee-vs-behavior).\n"
+      " * The crash-model baseline needs agreeing proposals (margin inputs\n"
+      "   have contending values, so it falls back).\n");
+  std::printf("safety (agreement+termination) held in every cell: %s\n",
+              all_safe ? "yes" : "NO — investigate!");
+  return all_safe ? 0 : 1;
+}

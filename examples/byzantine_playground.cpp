@@ -1,0 +1,86 @@
+// Byzantine playground: pick an adversary and watch DEX absorb it.
+//
+//   $ ./byzantine_playground [strategy] [count] [seed]
+//     strategy: silent | crash | equivocate | noise | fixed
+//
+// Prints per-process decisions plus the identical-broadcast masking effect:
+// with `equivocate`, the adversary claims different values to different
+// processes on the plain channel (J1 diverges across processes) while the
+// identical broadcast forces a single claim into every J2.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "consensus/condition/input_gen.hpp"
+#include "harness/experiment.hpp"
+
+int main(int argc, char** argv) {
+  const char* strategy = argc > 1 ? argv[1] : "equivocate";
+  const std::size_t count = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 99;
+
+  dex::harness::ExperimentConfig cfg;
+  cfg.algorithm = dex::Algorithm::kDexFreq;
+  cfg.n = 13;
+  cfg.t = 2;
+  cfg.seed = seed;
+  cfg.input = dex::split_input(13, 5, 11, 3);  // margin 9: P1 boundary
+  cfg.faults.count = count;
+
+  using dex::harness::FaultKind;
+  if (std::strcmp(strategy, "silent") == 0) {
+    cfg.faults.kind = FaultKind::kSilent;
+  } else if (std::strcmp(strategy, "crash") == 0) {
+    cfg.faults.kind = FaultKind::kCrashMid;
+    cfg.faults.crash_reach = 5;
+  } else if (std::strcmp(strategy, "equivocate") == 0) {
+    cfg.faults.kind = FaultKind::kEquivocate;
+    cfg.faults.equivocate_a = 5;
+    cfg.faults.equivocate_b = 3;
+  } else if (std::strcmp(strategy, "noise") == 0) {
+    cfg.faults.kind = FaultKind::kNoise;
+  } else if (std::strcmp(strategy, "fixed") == 0) {
+    cfg.faults.kind = FaultKind::kFixedValue;
+  } else {
+    std::fprintf(stderr,
+                 "unknown strategy %s (silent|crash|equivocate|noise|fixed)\n",
+                 strategy);
+    return 2;
+  }
+
+  std::printf("byzantine playground: %zu × %s adversary, n=%zu t=%zu seed=%llu\n",
+              count, strategy, cfg.n, cfg.t,
+              static_cast<unsigned long long>(seed));
+  std::printf("input: %s\n", cfg.input.to_string().c_str());
+
+  const auto result = dex::harness::run_experiment(cfg);
+
+  for (std::size_t i = 0; i < cfg.n; ++i) {
+    if (result.faulty.count(static_cast<dex::ProcessId>(i)) > 0) {
+      std::printf("  p%-2zu BYZANTINE (%s)\n", i, strategy);
+      continue;
+    }
+    const auto& rec = result.stats.decisions[i];
+    if (!rec.has_value()) {
+      std::printf("  p%-2zu undecided\n", i);
+      continue;
+    }
+    std::printf("  p%-2zu decided %lld via %-10s at %.2fms\n", i,
+                static_cast<long long>(rec->decision.value),
+                dex::decision_path_name(rec->decision.path),
+                static_cast<double>(rec->at) / 1e6);
+  }
+
+  std::printf("summary: %zu one-step, %zu two-step, %zu fallback / %zu correct\n",
+              result.one_step, result.two_step, result.via_underlying,
+              result.correct);
+  std::printf("agreement: %s  unanimity-preserved: %s\n",
+              result.agreement() ? "yes" : "NO",
+              [&] {
+                const auto u = dex::harness::unanimous_correct_value(
+                    cfg.input, result.faulty);
+                if (!u.has_value()) return "n/a";
+                return result.decided_value() == u ? "yes" : "NO";
+              }());
+  return result.agreement() && result.all_decided() ? 0 : 1;
+}

@@ -1,0 +1,136 @@
+// Defining your own condition-sequence pair.
+//
+// DEX is generic over any LEGAL pair (§3.2): supply P1, P2, F and the two
+// condition sequences, and the engine does the rest. This example defines two
+// custom pairs:
+//   * an (intentionally) ILLEGAL "greedy" pair whose one-step predicate is too
+//     permissive — the randomized legality checker finds a counterexample;
+//   * a legal "conservative" pair with extra safety margin — the checker
+//     passes it, and we run it through a full simulated consensus.
+//
+//   $ ./custom_condition [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "consensus/condition/input_gen.hpp"
+#include "consensus/condition/legality.hpp"
+#include "consensus/dex/dex_stack.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace dex;
+
+/// ILLEGAL: decides one-step on margin > 2t. Looks plausible — but one-step
+/// deciders and fallback proposers can then disagree (LA3 breaks).
+class GreedyPair final : public ConditionPair {
+ public:
+  GreedyPair(std::size_t n, std::size_t t) : ConditionPair(n, t) {
+    std::vector<std::shared_ptr<const Condition>> c1, c2;
+    for (std::size_t k = 0; k <= t; ++k) {
+      c1.push_back(std::make_shared<const FreqCondition>(2 * t + 2 * k));
+      c2.push_back(std::make_shared<const FreqCondition>(t + 2 * k));
+    }
+    set_sequences(ConditionSequence(std::move(c1)), ConditionSequence(std::move(c2)));
+  }
+  bool p1(const View& j) const override {
+    const auto s = j.freq();
+    return !s.empty() && s.margin() > 2 * t_;
+  }
+  bool p2(const View& j) const override {
+    const auto s = j.freq();
+    return !s.empty() && s.margin() > t_;
+  }
+  Value f(const View& j) const override {
+    const auto s = j.freq();
+    return s.empty() ? 0 : *s.first();
+  }
+  std::size_t min_processes(std::size_t t) const override { return 4 * t + 1; }
+  std::string name() const override { return "greedy"; }
+};
+
+/// LEGAL: strictly more conservative than the paper's frequency pair —
+/// stronger premises, identical conclusions, so Theorem 1's proofs carry
+/// over verbatim. Costs coverage, buys slack.
+class ConservativePair final : public ConditionPair {
+ public:
+  ConservativePair(std::size_t n, std::size_t t) : ConditionPair(n, t) {
+    std::vector<std::shared_ptr<const Condition>> c1, c2;
+    for (std::size_t k = 0; k <= t; ++k) {
+      c1.push_back(std::make_shared<const FreqCondition>(5 * t + 2 * k));
+      c2.push_back(std::make_shared<const FreqCondition>(3 * t + 2 * k));
+    }
+    set_sequences(ConditionSequence(std::move(c1)), ConditionSequence(std::move(c2)));
+  }
+  bool p1(const View& j) const override {
+    const auto s = j.freq();
+    return !s.empty() && s.margin() > 5 * t_;
+  }
+  bool p2(const View& j) const override {
+    const auto s = j.freq();
+    return !s.empty() && s.margin() > 3 * t_;
+  }
+  Value f(const View& j) const override {
+    const auto s = j.freq();
+    return s.empty() ? 0 : *s.first();
+  }
+  std::size_t min_processes(std::size_t t) const override { return 7 * t + 1; }
+  std::string name() const override { return "conservative"; }
+};
+
+void check(const char* label, const ConditionPair& pair, std::uint64_t seed) {
+  LegalityCheckOptions opts;
+  opts.samples_per_criterion = 20000;
+  LegalityChecker checker(pair, Rng(seed), opts);
+  const auto violation = checker.check_all();
+  if (violation.has_value()) {
+    std::printf("%s: ILLEGAL — %s counterexample:\n  %s\n", label,
+                violation->criterion.c_str(), violation->detail.c_str());
+  } else {
+    std::printf("%s: no violation found (%zu samples per criterion)\n", label,
+                opts.samples_per_criterion);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 23;
+  constexpr std::size_t kN = 15, kT = 2;
+
+  std::printf("=== custom condition-sequence pairs (n=%zu, t=%zu) ===\n\n", kN, kT);
+  const GreedyPair greedy(kN, kT);
+  check("greedy pair   (P1: margin > 2t)", greedy, seed);
+  auto conservative = std::make_shared<const ConservativePair>(kN, kT);
+  check("conservative  (P1: margin > 5t)", *conservative, seed);
+
+  // Run the legal pair through a full simulated consensus.
+  std::printf("\nrunning DEX with the conservative pair on a margin-11 input...\n");
+  sim::SimOptions opts;
+  opts.seed = seed;
+  sim::Simulation simulation(kN, opts);
+  Rng rng(seed);
+  const auto input = margin_input(kN, 11, 5, rng);  // > 5t ⇒ one-step at f=0
+  std::vector<DexStack*> stacks;
+  for (std::size_t i = 0; i < kN; ++i) {
+    StackConfig sc;
+    sc.n = kN;
+    sc.t = kT;
+    sc.self = static_cast<ProcessId>(i);
+    auto stack = std::make_unique<DexStack>(sc, conservative);
+    stacks.push_back(stack.get());
+    simulation.attach(static_cast<ProcessId>(i),
+                      std::make_unique<sim::ProcessActor>(std::move(stack), input[i]));
+  }
+  const auto stats = simulation.run();
+  std::printf("input: %s\n", input.to_string().c_str());
+  std::size_t fast = 0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    const auto& rec = stats.decisions[i];
+    if (rec.has_value() && rec->decision.path != DecisionPath::kUnderlying) ++fast;
+  }
+  std::printf("decided: %s, agreement: %s, fast-path deciders: %zu/%zu\n",
+              stats.all_decided() ? "all" : "NOT ALL",
+              stats.agreement() ? "yes" : "NO", fast, kN);
+  return stats.agreement() && stats.all_decided() ? 0 : 1;
+}

@@ -1,0 +1,197 @@
+#include "byz/strategies.hpp"
+
+namespace dex::byz {
+
+namespace {
+Message plain_msg(InstanceId instance, std::uint64_t tag, Value v) {
+  Message m;
+  m.kind = MsgKind::kPlain;
+  m.instance = instance;
+  m.tag = tag;
+  m.payload = ValuePayload{v}.to_bytes();
+  return m;
+}
+
+Message idb_init_msg(InstanceId instance, std::uint64_t tag, ProcessId self, Value v) {
+  Message m;
+  m.kind = MsgKind::kIdbInit;
+  m.instance = instance;
+  m.tag = tag;
+  m.origin = self;
+  m.payload = ValuePayload{v}.to_bytes();
+  return m;
+}
+}  // namespace
+
+void CrashMidBroadcastStrategy::on_start(Value dealt, Env& env) {
+  const std::size_t reach = std::min(reach_, env.n());
+  for (std::size_t d = 0; d < reach; ++d) {
+    const auto dst = static_cast<ProcessId>(d);
+    env.send(dst, plain_msg(env.instance(), chan::kDexProposalPlain, dealt));
+    env.send(dst, plain_msg(env.instance(), chan::kBoscoVote, dealt));
+    env.send(dst, plain_msg(env.instance(), chan::kCrashProp, dealt));
+    env.send(dst, idb_init_msg(env.instance(), chan::kDexProposalIdb, env.self(), dealt));
+  }
+}
+
+void ScriptedProposalStrategy::on_start(Value, Env& env) {
+  relay_ = std::make_unique<IdbEngine>(env.n(), env.t(), env.self(), env.instance(),
+                                       env.outbox());
+  for (std::size_t d = 0; d < env.n(); ++d) {
+    const auto dst = static_cast<ProcessId>(d);
+    const Value v = plain_script_(dst);
+    env.send(dst, plain_msg(env.instance(), chan::kDexProposalPlain, v));
+    env.send(dst, plain_msg(env.instance(), chan::kBoscoVote, v));
+    env.send(dst, plain_msg(env.instance(), chan::kCrashProp, v));
+    env.send(dst, idb_init_msg(env.instance(), chan::kDexProposalIdb, env.self(),
+                               idb_script_(dst)));
+  }
+}
+
+void ScriptedProposalStrategy::on_packet(ProcessId src, const Message& msg, Env&) {
+  if (relay_ == nullptr) return;
+  if (msg.kind == MsgKind::kIdbInit || msg.kind == MsgKind::kIdbEcho) {
+    relay_->on_message(src, msg);
+    (void)relay_->take_deliveries();  // the relay never consumes
+  }
+}
+
+std::unique_ptr<Strategy> make_equivocator(Value a, Value b) {
+  return std::make_unique<ScriptedProposalStrategy>(
+      [a, b](ProcessId dst) { return (dst % 2 == 0) ? a : b; });
+}
+
+std::unique_ptr<Strategy> make_fixed_proposer(Value v) {
+  return std::make_unique<ScriptedProposalStrategy>([v](ProcessId) { return v; });
+}
+
+void UcSaboteurStrategy::on_start(Value, Env& env) {
+  relay_ = std::make_unique<IdbEngine>(env.n(), env.t(), env.self(), env.instance(),
+                                       env.outbox());
+  // Equivocate on the proposal channels so the contest reaches the fallback.
+  for (std::size_t d = 0; d < env.n(); ++d) {
+    const auto dst = static_cast<ProcessId>(d);
+    const Value v = (d % 2 == 0) ? a_ : b_;
+    env.send(dst, plain_msg(env.instance(), chan::kDexProposalPlain, v));
+    env.send(dst, plain_msg(env.instance(), chan::kBoscoVote, v));
+    env.send(dst, idb_init_msg(env.instance(), chan::kDexProposalIdb, env.self(), v));
+  }
+}
+
+void UcSaboteurStrategy::sabotage_phase(std::uint32_t round, std::uint8_t phase,
+                                        Env& env) {
+  if (sent_ >= budget_) return;
+  Rng& rng = env.rng();
+  const auto tag = chan::uc_phase_tag(round, phase);
+  for (std::size_t d = 0; d < env.n() && sent_ < budget_; ++d, ++sent_) {
+    const auto dst = static_cast<ProcessId>(d);
+    // Conflicting init contents per destination: the IDB layer must mask
+    // this into at most one accepted value.
+    const Value v = (d % 2 == 0) ? a_ : b_;
+    Message init;
+    init.kind = MsgKind::kIdbInit;
+    init.instance = env.instance();
+    init.tag = tag;
+    init.origin = env.self();
+    init.payload =
+        UcPhasePayload{round, phase, phase == 1 || rng.next_bool(), v}.to_bytes();
+    env.send(dst, init);
+    // Junk echo impersonating support for a random origin's broadcast.
+    if (rng.next_bool(0.5)) {
+      Message echo;
+      echo.kind = MsgKind::kIdbEcho;
+      echo.instance = env.instance();
+      echo.tag = tag;
+      echo.origin = static_cast<ProcessId>(rng.next_below(env.n()));
+      echo.payload = UcPhasePayload{round, phase, true,
+                                    static_cast<Value>(rng.next_below(4))}
+                         .to_bytes();
+      env.send(dst, echo);
+    }
+  }
+}
+
+void UcSaboteurStrategy::on_packet(ProcessId src, const Message& msg, Env& env) {
+  if (msg.kind != MsgKind::kIdbInit && msg.kind != MsgKind::kIdbEcho) return;
+  // Honest relay keeps quorums alive (a silent relay would only help the
+  // correct processes by reducing interference).
+  if (relay_ != nullptr) {
+    relay_->on_message(src, msg);
+    (void)relay_->take_deliveries();
+  }
+  if (chan::channel(msg.tag) == chan::kUcPhase &&
+      attacked_tags_.insert(msg.tag).second) {
+    const auto seq = chan::seq(msg.tag);
+    sabotage_phase(static_cast<std::uint32_t>(seq >> 8),
+                   static_cast<std::uint8_t>(seq & 0xff), env);
+  }
+}
+
+void RandomNoiseStrategy::on_start(Value, Env& env) { spray(env); }
+
+void RandomNoiseStrategy::on_packet(ProcessId, const Message&, Env& env) {
+  if (env.rng().next_bool(rate_)) spray(env);
+}
+
+void RandomNoiseStrategy::spray(Env& env) {
+  if (sent_ >= budget_) return;
+  Rng& rng = env.rng();
+  const std::size_t burst = 1 + rng.next_below(3);
+  for (std::size_t i = 0; i < burst && sent_ < budget_; ++i, ++sent_) {
+    Message m;
+    m.instance = env.instance();
+    const auto roll = rng.next_below(6);
+    const Value v = static_cast<Value>(rng.next_below(8));
+    switch (roll) {
+      case 0:
+        m.kind = MsgKind::kPlain;
+        m.tag = chan::kDexProposalPlain;
+        m.payload = ValuePayload{v}.to_bytes();
+        break;
+      case 1:
+        m.kind = MsgKind::kIdbInit;
+        m.tag = chan::kDexProposalIdb;
+        m.origin = env.self();
+        m.payload = ValuePayload{v}.to_bytes();
+        break;
+      case 2: {
+        m.kind = MsgKind::kIdbEcho;
+        m.tag = chan::kDexProposalIdb;
+        m.origin = static_cast<ProcessId>(rng.next_below(env.n()));
+        m.payload = ValuePayload{v}.to_bytes();
+        break;
+      }
+      case 3: {
+        const auto round = static_cast<std::uint32_t>(1 + rng.next_below(3));
+        const auto phase = static_cast<std::uint8_t>(1 + rng.next_below(2));
+        m.kind = rng.next_bool() ? MsgKind::kIdbInit : MsgKind::kIdbEcho;
+        m.tag = chan::uc_phase_tag(round, phase);
+        m.origin = m.kind == MsgKind::kIdbInit
+                       ? env.self()
+                       : static_cast<ProcessId>(rng.next_below(env.n()));
+        m.payload = UcPhasePayload{round, phase, rng.next_bool(), v}.to_bytes();
+        break;
+      }
+      case 4:
+        m.kind = MsgKind::kPlain;
+        m.tag = chan::kUcDecide;
+        m.payload = ValuePayload{v}.to_bytes();
+        break;
+      default: {
+        // Garbage bytes on a random channel — exercises the decode guards.
+        m.kind = MsgKind::kPlain;
+        m.tag = chan::kBoscoVote;
+        m.payload.assign(static_cast<std::size_t>(rng.next_below(16)),
+                         static_cast<std::byte>(rng.next_below(256)));
+        break;
+      }
+    }
+    if (rng.next_bool(0.3)) {
+      env.broadcast(std::move(m));
+    } else {
+      env.send(static_cast<ProcessId>(rng.next_below(env.n())), std::move(m));
+    }
+  }
+}
+
+}  // namespace dex::byz

@@ -1,0 +1,117 @@
+// Concrete Byzantine strategies for failure injection.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "byz/strategy.hpp"
+#include "consensus/idb/idb_engine.hpp"
+
+namespace dex::byz {
+
+/// Says nothing, ever — a process that crashed before proposing. The
+/// workhorse for the adaptiveness experiments (f silent faults, f <= t).
+class SilentStrategy final : public Strategy {
+ public:
+  void on_start(Value, Env&) override {}
+  void on_packet(ProcessId, const Message&, Env&) override {}
+  [[nodiscard]] std::string name() const override { return "silent"; }
+};
+
+/// Behaves like a correct proposer but its initial broadcast reaches only the
+/// first `reach` destinations — a crash in the middle of the send loop. All
+/// later traffic is silence.
+class CrashMidBroadcastStrategy final : public Strategy {
+ public:
+  explicit CrashMidBroadcastStrategy(std::size_t reach) : reach_(reach) {}
+  void on_start(Value dealt, Env& env) override;
+  void on_packet(ProcessId, const Message&, Env&) override {}
+  [[nodiscard]] std::string name() const override { return "crash-mid-broadcast"; }
+
+ private:
+  std::size_t reach_;
+};
+
+/// Sends per-destination proposal values on every proposal channel (DEX
+/// plain, DEX identical-broadcast, BOSCO vote, crash-baseline prop), and
+/// honestly relays identical-broadcast traffic so it cannot be told apart
+/// from a correct process at the transport level. The classic equivocator is
+/// the special case of a two-valued script split across the destination set.
+class ScriptedProposalStrategy final : public Strategy {
+ public:
+  /// `script(dst)` yields the value to claim toward dst.
+  using Script = std::function<Value(ProcessId dst)>;
+  explicit ScriptedProposalStrategy(Script script)
+      : plain_script_(script), idb_script_(std::move(script)) {}
+  /// Separate scripts per channel — the cross-channel equivocator that lies
+  /// on the plain channel while keeping its identical-broadcast story
+  /// deliverable (the shape the evidence collector exists to catch).
+  ScriptedProposalStrategy(Script plain_script, Script idb_script)
+      : plain_script_(std::move(plain_script)), idb_script_(std::move(idb_script)) {}
+
+  void on_start(Value dealt, Env& env) override;
+  void on_packet(ProcessId src, const Message& msg, Env& env) override;
+  [[nodiscard]] std::string name() const override { return "scripted-proposal"; }
+
+ private:
+  Script plain_script_;
+  Script idb_script_;
+  std::unique_ptr<IdbEngine> relay_;  // honest relay for others' broadcasts
+};
+
+/// Equivocator: value `a` to the first half of the destinations, `b` to the
+/// rest (Figure 2's adversary).
+std::unique_ptr<Strategy> make_equivocator(Value a, Value b);
+
+/// Proposes `v` to everyone (a "well-behaved Byzantine" that merely ignores
+/// its dealt value — used to attack frequency margins).
+std::unique_ptr<Strategy> make_fixed_proposer(Value v);
+
+/// Targets the underlying consensus: equivocates on the proposal channels at
+/// start, then, for every round/phase it observes on the wire, injects
+/// conflicting EST/AUX identical-broadcast inits and junk echoes while
+/// relaying other traffic honestly (so it cannot be starved out of quorums).
+/// The hardest adversary in the suite for the randomized fallback.
+class UcSaboteurStrategy final : public Strategy {
+ public:
+  UcSaboteurStrategy(Value a, Value b, std::size_t budget = 2000)
+      : a_(a), b_(b), budget_(budget) {}
+
+  void on_start(Value dealt, Env& env) override;
+  void on_packet(ProcessId src, const Message& msg, Env& env) override;
+  [[nodiscard]] std::string name() const override { return "uc-saboteur"; }
+
+ private:
+  void sabotage_phase(std::uint32_t round, std::uint8_t phase, Env& env);
+
+  Value a_;
+  Value b_;
+  std::size_t budget_;
+  std::size_t sent_ = 0;
+  std::set<std::uint64_t> attacked_tags_;
+  std::unique_ptr<IdbEngine> relay_;
+};
+
+/// Sprays random well-formed messages on random channels. `budget` bounds the
+/// total number of packets so a noise-vs-noise loop cannot run away.
+class RandomNoiseStrategy final : public Strategy {
+ public:
+  RandomNoiseStrategy(double rate, std::size_t budget)
+      : rate_(rate), budget_(budget) {}
+
+  void on_start(Value dealt, Env& env) override;
+  void on_packet(ProcessId src, const Message& msg, Env& env) override;
+  [[nodiscard]] std::string name() const override { return "random-noise"; }
+
+ private:
+  void spray(Env& env);
+
+  double rate_;
+  std::size_t budget_;
+  std::size_t sent_ = 0;
+};
+
+}  // namespace dex::byz

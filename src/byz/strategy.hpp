@@ -1,0 +1,81 @@
+// Byzantine behavior strategies.
+//
+// A strategy owns a network endpoint and may send *anything* to anyone at any
+// time — the only powers it lacks are forging the transport-level sender id
+// and blocking other processes' links (per the §2.1 model). Strategies drive
+// the failure-injection test suite and the adversarial benches.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "consensus/message.hpp"
+#include "sim/actor.hpp"
+
+namespace dex::byz {
+
+/// Environment handed to a strategy on every callback.
+class Env {
+ public:
+  Env(std::size_t n, std::size_t t, ProcessId self, InstanceId instance, Rng* rng,
+      Outbox* outbox)
+      : n_(n), t_(t), self_(self), instance_(instance), rng_(rng), outbox_(outbox) {}
+
+  [[nodiscard]] std::size_t n() const { return n_; }
+  [[nodiscard]] std::size_t t() const { return t_; }
+  [[nodiscard]] ProcessId self() const { return self_; }
+  [[nodiscard]] InstanceId instance() const { return instance_; }
+  [[nodiscard]] Rng& rng() { return *rng_; }
+
+  void send(ProcessId dst, Message msg) { outbox_->send(dst, std::move(msg)); }
+  void broadcast(Message msg) { outbox_->broadcast(std::move(msg)); }
+
+  /// For strategies that embed honest protocol machinery (e.g. an identical-
+  /// broadcast relay) and need to wire it to this endpoint's outbox.
+  [[nodiscard]] Outbox* outbox() { return outbox_; }
+
+ private:
+  std::size_t n_;
+  std::size_t t_;
+  ProcessId self_;
+  InstanceId instance_;
+  Rng* rng_;
+  Outbox* outbox_;
+};
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+  /// The value the adversary was "dealt" by the input vector (it may ignore it).
+  virtual void on_start(Value dealt, Env& env) = 0;
+  virtual void on_packet(ProcessId src, const Message& msg, Env& env) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Adapts a Strategy to the simulator's Actor interface.
+class ByzantineActor final : public sim::Actor {
+ public:
+  ByzantineActor(std::size_t n, std::size_t t, ProcessId self, InstanceId instance,
+                 std::uint64_t seed, Value dealt, std::unique_ptr<Strategy> strategy)
+      : rng_(seed),
+        env_(n, t, self, instance, &rng_, &outbox_),
+        dealt_(dealt),
+        strategy_(std::move(strategy)) {}
+
+  void start() override { strategy_->on_start(dealt_, env_); }
+  void on_packet(ProcessId src, const Message& msg) override {
+    strategy_->on_packet(src, msg, env_);
+  }
+  [[nodiscard]] std::vector<Outgoing> drain() override { return outbox_.drain(); }
+
+ private:
+  Rng rng_;
+  Outbox outbox_;
+  Env env_;
+  Value dealt_;
+  std::unique_ptr<Strategy> strategy_;
+};
+
+}  // namespace dex::byz

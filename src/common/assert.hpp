@@ -1,0 +1,40 @@
+// Lightweight runtime contract checks.
+//
+// DEX_ENSURE is used for programmer-error invariants that must hold in all
+// build types (the cost is negligible next to message handling). Violations
+// throw dex::ContractViolation so tests can assert on them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dex {
+
+/// Thrown when an internal invariant or precondition is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* expr, const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << "contract violation: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace dex
+
+#define DEX_ENSURE(expr)                                                   \
+  do {                                                                     \
+    if (!(expr)) ::dex::detail::contract_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define DEX_ENSURE_MSG(expr, msg)                                            \
+  do {                                                                       \
+    if (!(expr)) ::dex::detail::contract_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

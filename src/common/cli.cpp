@@ -1,0 +1,97 @@
+#include "common/cli.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <string_view>
+
+namespace dex {
+
+Cli& Cli::option(std::string name, std::string help, std::string default_desc) {
+  decls_.push_back({std::move(name), std::move(help), std::move(default_desc)});
+  return *this;
+}
+
+void Cli::parse(int argc, const char* const* argv, bool strict) {
+  auto declared = [&](const std::string& name) {
+    return std::any_of(decls_.begin(), decls_.end(),
+                       [&](const Decl& d) { return d.name == name; });
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    } else if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+      has_value = true;
+    }
+    if (name.empty()) throw CliError("empty option name");
+    if (strict && !decls_.empty() && !declared(name)) {
+      throw CliError("unknown option --" + name);
+    }
+    values_[name] = has_value ? value : "";
+  }
+}
+
+bool Cli::has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::string Cli::str(const std::string& name, const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() || it->second.empty() ? fallback : it->second;
+}
+
+std::int64_t Cli::num(const std::string& name, std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const auto v = std::stoll(it->second, &pos);
+    if (pos != it->second.size()) throw CliError("trailing junk in --" + name);
+    return v;
+  } catch (const std::invalid_argument&) {
+    throw CliError("--" + name + " expects an integer, got '" + it->second + "'");
+  } catch (const std::out_of_range&) {
+    throw CliError("--" + name + " out of range");
+  }
+}
+
+std::uint64_t Cli::unsigned_num(const std::string& name,
+                                std::uint64_t fallback) const {
+  const auto v = num(name, static_cast<std::int64_t>(fallback));
+  if (v < 0) throw CliError("--" + name + " must be non-negative");
+  return static_cast<std::uint64_t>(v);
+}
+
+double Cli::real(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw CliError("trailing junk in --" + name);
+    return v;
+  } catch (const std::invalid_argument&) {
+    throw CliError("--" + name + " expects a number, got '" + it->second + "'");
+  }
+}
+
+std::string Cli::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [options]\n";
+  for (const auto& d : decls_) {
+    os << "  --" << d.name;
+    if (!d.default_desc.empty()) os << " <" << d.default_desc << ">";
+    os << "\n      " << d.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dex

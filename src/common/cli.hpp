@@ -1,0 +1,61 @@
+// A small command-line argument parser for the tools and examples.
+//
+// Supports --flag, --key value and --key=value forms, typed accessors with
+// defaults, required arguments, and an auto-generated usage string. No
+// external dependencies, no global state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dex {
+
+class CliError : public std::runtime_error {
+ public:
+  explicit CliError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Cli {
+ public:
+  /// Declares an option (for the usage string). Declaring is optional —
+  /// undeclared options still parse — but declared ones show in usage() and
+  /// unknown options are rejected when strict mode is on.
+  Cli& option(std::string name, std::string help, std::string default_desc = "");
+
+  /// Parses argv. Throws CliError on malformed input or (in strict mode)
+  /// unknown options.
+  void parse(int argc, const char* const* argv, bool strict = true);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string str(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t num(const std::string& name,
+                                 std::int64_t fallback) const;
+  [[nodiscard]] std::uint64_t unsigned_num(const std::string& name,
+                                           std::uint64_t fallback) const;
+  [[nodiscard]] double real(const std::string& name, double fallback) const;
+  [[nodiscard]] bool flag(const std::string& name) const { return has(name); }
+
+  /// Positional (non --option) arguments, in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] std::string usage(const std::string& program) const;
+
+ private:
+  struct Decl {
+    std::string name;
+    std::string help;
+    std::string default_desc;
+  };
+  std::vector<Decl> decls_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dex

@@ -1,0 +1,43 @@
+#include "common/hash.hpp"
+
+#include <array>
+
+namespace dex {
+
+std::uint64_t fnv1a64(std::span<const std::byte> data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::byte b : data) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a64(std::string_view s) {
+  return fnv1a64(std::as_bytes(std::span(s.data(), s.size())));
+}
+
+namespace {
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1U) ? (0xedb88320U ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+constexpr auto kCrcTable = make_crc_table();
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::byte> data) {
+  std::uint32_t c = 0xffffffffU;
+  for (const std::byte b : data) {
+    c = kCrcTable[(c ^ static_cast<std::uint32_t>(b)) & 0xffU] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffU;
+}
+
+}  // namespace dex

@@ -1,0 +1,18 @@
+// Non-cryptographic hashing used for framing checksums and digests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace dex {
+
+/// FNV-1a 64-bit — stable digest for application payloads (SMR commands).
+std::uint64_t fnv1a64(std::span<const std::byte> data);
+std::uint64_t fnv1a64(std::string_view s);
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) — frame integrity on the wire.
+std::uint32_t crc32(std::span<const std::byte> data);
+
+}  // namespace dex

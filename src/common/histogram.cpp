@@ -1,0 +1,94 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace dex {
+
+void Histogram::add(double sample) {
+  samples_.push_back(sample);
+  sum_ += sample;
+  sum_sq_ += sample * sample;
+  sorted_valid_ = false;
+}
+
+void Histogram::merge(const Histogram& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+  sorted_valid_ = false;
+}
+
+void Histogram::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Histogram::min() const {
+  DEX_ENSURE(!samples_.empty());
+  ensure_sorted();
+  return sorted_.front();
+}
+
+double Histogram::max() const {
+  DEX_ENSURE(!samples_.empty());
+  ensure_sorted();
+  return sorted_.back();
+}
+
+double Histogram::mean() const {
+  DEX_ENSURE(!samples_.empty());
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Histogram::stddev() const {
+  DEX_ENSURE(!samples_.empty());
+  const double n = static_cast<double>(samples_.size());
+  const double m = sum_ / n;
+  const double var = std::max(0.0, sum_sq_ / n - m * m);
+  return std::sqrt(var);
+}
+
+double Histogram::quantile(double q) const {
+  DEX_ENSURE(!samples_.empty());
+  DEX_ENSURE(q >= 0.0 && q <= 1.0);
+  ensure_sorted();
+  const auto idx = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(sorted_.size()) - 1,
+                       std::floor(q * static_cast<double>(sorted_.size()))));
+  return sorted_[idx];
+}
+
+std::string Histogram::summary() const {
+  if (samples_.empty()) return "n=0";
+  std::ostringstream os;
+  os << "n=" << count() << " mean=" << mean() << " p50=" << quantile(0.5)
+     << " p90=" << quantile(0.9) << " p99=" << quantile(0.99)
+     << " max=" << max();
+  return os.str();
+}
+
+void Counter::add(const std::string& key, std::uint64_t delta) {
+  counts_[key] += delta;
+  total_ += delta;
+}
+
+std::uint64_t Counter::get(const std::string& key) const {
+  const auto it = counts_.find(key);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::uint64_t Counter::total() const { return total_; }
+
+double Counter::fraction(const std::string& key) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(get(key)) / static_cast<double>(total_);
+}
+
+}  // namespace dex

@@ -1,0 +1,55 @@
+// Streaming statistics for bench/metric reporting.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dex {
+
+/// Exact-quantile accumulator. Stores all samples; fine for bench scale
+/// (simulations produce at most a few million samples per run).
+class Histogram {
+ public:
+  void add(double sample);
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  /// q in [0, 1]; nearest-rank quantile.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// "n=..., mean=..., p50=..., p99=..., max=..." one-liner.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0;
+  double sum_sq_ = 0;
+};
+
+/// Counts occurrences of discrete outcomes (e.g. decision paths).
+class Counter {
+ public:
+  void add(const std::string& key, std::uint64_t delta = 1);
+  [[nodiscard]] std::uint64_t get(const std::string& key) const;
+  [[nodiscard]] std::uint64_t total() const;
+  [[nodiscard]] double fraction(const std::string& key) const;
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& entries() const {
+    return counts_;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace dex

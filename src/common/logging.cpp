@@ -1,0 +1,45 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace dex {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_emit_mutex;
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO";
+    case LogLevel::kWarn:  return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF";
+  }
+  return "?";
+}
+
+namespace detail {
+void log_emit(LogLevel level, std::string_view component, std::string_view msg) {
+  std::string line;
+  line.reserve(msg.size() + component.size() + 16);
+  line.append("[");
+  line.append(log_level_name(level));
+  line.append("] ");
+  line.append(component);
+  line.append(": ");
+  line.append(msg);
+  line.push_back('\n');
+  const std::scoped_lock lock(g_emit_mutex);
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+}  // namespace detail
+
+}  // namespace dex

@@ -1,0 +1,52 @@
+// Minimal leveled, thread-safe logger.
+//
+// The library is quiet by default (kWarn); examples and benches raise the
+// level explicitly. Log lines go to stderr so program output stays clean.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string_view>
+
+namespace dex {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold. Messages below it are formatted lazily (not at all).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+const char* log_level_name(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, std::string_view component, std::string_view msg);
+
+/// Accumulates one log line via operator<< and emits on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_emit(level_, component_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace dex
+
+// Usage: DEX_LOG(kInfo, "sim") << "delivered " << n << " packets";
+#define DEX_LOG(level, component)                       \
+  if (::dex::LogLevel::level < ::dex::log_level()) {    \
+  } else                                                \
+    ::dex::detail::LogLine(::dex::LogLevel::level, (component))

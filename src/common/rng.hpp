@@ -1,0 +1,91 @@
+// Deterministic, seedable random number generation.
+//
+// The simulator and all randomized protocols use these generators instead of
+// <random> engines so that runs are bit-for-bit reproducible across
+// platforms and standard-library implementations (libstdc++ and libc++
+// disagree on distribution algorithms, not on engines — so we also provide
+// our own distributions).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace dex {
+
+/// SplitMix64 — used to seed Xoshiro and for cheap stateless mixing.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless mix of a 64-bit value (one SplitMix64 step). Handy for deriving
+/// per-entity seeds from a master seed without sharing generator state.
+std::uint64_t mix64(std::uint64_t x);
+
+/// Xoshiro256** — the library's workhorse PRNG. Fast, high quality, tiny.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eedULL);
+
+  /// Uniform over all 64-bit values.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  /// unbiased multiply-shift rejection method.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial.
+  bool next_bool(double p_true = 0.5);
+
+  /// Exponentially distributed double with the given mean (> 0).
+  double next_exponential(double mean);
+
+  /// Log-normal: exp(N(mu, sigma)).
+  double next_lognormal(double mu, double sigma);
+
+  /// Standard normal via Box-Muller (polar form, deterministic).
+  double next_normal();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Pick a uniformly random element (container must be non-empty).
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    DEX_ENSURE(!v.empty());
+    return v[static_cast<std::size_t>(next_below(v.size()))];
+  }
+
+  /// Derive an independent child generator (e.g. one per simulated process).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace dex

@@ -1,0 +1,141 @@
+#include "common/serde.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstring>
+
+namespace dex {
+
+namespace {
+template <typename T>
+void put_le(std::vector<std::byte>& buf, T v) {
+  static_assert(std::is_integral_v<T> || std::is_floating_point_v<T>);
+  std::array<std::byte, sizeof(T)> raw;
+  std::memcpy(raw.data(), &v, sizeof(T));
+  if constexpr (std::endian::native == std::endian::big) {
+    std::reverse(raw.begin(), raw.end());
+  }
+  buf.insert(buf.end(), raw.begin(), raw.end());
+}
+}  // namespace
+
+void Writer::u8(std::uint8_t v) { put_le(buf_, v); }
+void Writer::u16(std::uint16_t v) { put_le(buf_, v); }
+void Writer::u32(std::uint32_t v) { put_le(buf_, v); }
+void Writer::u64(std::uint64_t v) { put_le(buf_, v); }
+void Writer::i32(std::int32_t v) { put_le(buf_, static_cast<std::uint32_t>(v)); }
+void Writer::i64(std::int64_t v) { put_le(buf_, static_cast<std::uint64_t>(v)); }
+void Writer::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void Writer::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::byte>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::byte>(v));
+}
+
+void Writer::boolean(bool v) { u8(v ? 1 : 0); }
+
+void Writer::bytes(std::span<const std::byte> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void Writer::str(std::string_view s) {
+  varint(s.size());
+  bytes(std::as_bytes(std::span(s.data(), s.size())));
+}
+
+void Reader::need(std::size_t n) const {
+  if (remaining() < n) throw DecodeError("truncated input");
+}
+
+namespace {
+template <typename T>
+T get_le(std::span<const std::byte> data, std::size_t pos) {
+  std::array<std::byte, sizeof(T)> raw;
+  std::memcpy(raw.data(), data.data() + pos, sizeof(T));
+  if constexpr (std::endian::native == std::endian::big) {
+    std::reverse(raw.begin(), raw.end());
+  }
+  T v;
+  std::memcpy(&v, raw.data(), sizeof(T));
+  return v;
+}
+}  // namespace
+
+std::uint8_t Reader::u8() {
+  need(1);
+  const auto v = get_le<std::uint8_t>(data_, pos_);
+  pos_ += 1;
+  return v;
+}
+std::uint16_t Reader::u16() {
+  need(2);
+  const auto v = get_le<std::uint16_t>(data_, pos_);
+  pos_ += 2;
+  return v;
+}
+std::uint32_t Reader::u32() {
+  need(4);
+  const auto v = get_le<std::uint32_t>(data_, pos_);
+  pos_ += 4;
+  return v;
+}
+std::uint64_t Reader::u64() {
+  need(8);
+  const auto v = get_le<std::uint64_t>(data_, pos_);
+  pos_ += 8;
+  return v;
+}
+std::int32_t Reader::i32() { return static_cast<std::int32_t>(u32()); }
+std::int64_t Reader::i64() { return static_cast<std::int64_t>(u64()); }
+double Reader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::uint64_t Reader::varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    need(1);
+    const auto b = static_cast<std::uint8_t>(data_[pos_++]);
+    if (shift == 63 && (b & 0x7e) != 0) throw DecodeError("varint overflow");
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+    if (shift > 63) throw DecodeError("varint too long");
+  }
+}
+
+bool Reader::boolean() {
+  const auto v = u8();
+  if (v > 1) throw DecodeError("invalid boolean");
+  return v == 1;
+}
+
+std::string Reader::str() {
+  const std::uint64_t len = varint();
+  if (len > remaining()) throw DecodeError("string length exceeds input");
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_),
+                static_cast<std::size_t>(len));
+  pos_ += static_cast<std::size_t>(len);
+  return s;
+}
+
+std::span<const std::byte> Reader::bytes(std::size_t len) {
+  need(len);
+  auto out = data_.subspan(pos_, len);
+  pos_ += len;
+  return out;
+}
+
+}  // namespace dex

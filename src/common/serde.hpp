@@ -1,0 +1,96 @@
+// Byte-level serialization for wire messages.
+//
+// A tiny hand-rolled codec: little-endian fixed-width integers, LEB128
+// varints for lengths, and length-prefixed strings/vectors. Every Reader
+// operation is bounds-checked and reports failure through DecodeError so a
+// malformed frame from a Byzantine peer can never read out of bounds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dex {
+
+/// Thrown by Reader on truncated or malformed input.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends encoded values to a growable byte buffer.
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v);
+  void i64(std::int64_t v);
+  void f64(double v);
+  /// Unsigned LEB128.
+  void varint(std::uint64_t v);
+  void boolean(bool v);
+  void bytes(std::span<const std::byte> data);          // raw, no length prefix
+  void str(std::string_view s);                         // varint length + bytes
+
+  template <typename T, typename Fn>
+  void vec(const std::vector<T>& v, Fn&& encode_elem) {
+    varint(v.size());
+    for (const T& e : v) encode_elem(*this, e);
+  }
+
+  [[nodiscard]] std::span<const std::byte> view() const { return buf_; }
+  [[nodiscard]] std::vector<std::byte> take() && { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Consumes encoded values from a byte span. Does not own the data.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32();
+  std::int64_t i64();
+  double f64();
+  std::uint64_t varint();
+  bool boolean();
+  std::string str();
+  /// Raw bytes (caller knows the length).
+  std::span<const std::byte> bytes(std::size_t len);
+
+  template <typename T, typename Fn>
+  std::vector<T> vec(Fn&& decode_elem, std::size_t max_elems = 1u << 20) {
+    const std::uint64_t count = varint();
+    if (count > max_elems) throw DecodeError("vector length exceeds limit");
+    std::vector<T> out;
+    out.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) out.push_back(decode_elem(*this));
+    return out;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const { return remaining() == 0; }
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dex

@@ -1,0 +1,29 @@
+// Fundamental type aliases shared across the DEX library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dex {
+
+/// Identifier of a process in the system Pi = {p_0, ..., p_{n-1}}.
+/// The paper indexes from 1; we index from 0 throughout the code base.
+using ProcessId = std::int32_t;
+
+/// A proposal value. The consensus core agrees on opaque 64-bit values;
+/// applications that need richer payloads (e.g. the SMR substrate) agree on
+/// a digest and disseminate the payload out of band.
+using Value = std::int64_t;
+
+/// Sentinel used by container code where "no process" is needed.
+inline constexpr ProcessId kNoProcess = -1;
+
+/// Simulated time in nanoseconds (discrete-event simulator clock).
+using SimTime = std::uint64_t;
+
+inline constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();
+
+/// Identifies one consensus instance (e.g. an SMR slot).
+using InstanceId = std::uint64_t;
+
+}  // namespace dex

@@ -1,0 +1,122 @@
+#include "consensus/bosco/bosco.hpp"
+
+#include "common/assert.hpp"
+
+namespace dex {
+
+BoscoEngine::BoscoEngine(std::size_t n, std::size_t t, ProcessId self,
+                         InstanceId instance, BoscoMode mode,
+                         UnderlyingConsensus* uc, Outbox* outbox)
+    : n_(n),
+      t_(t),
+      self_(self),
+      instance_(instance),
+      mode_(mode),
+      uc_(uc),
+      outbox_(outbox),
+      votes_(n) {
+  DEX_ENSURE(uc != nullptr && outbox != nullptr);
+  DEX_ENSURE(self >= 0 && static_cast<std::size_t>(self) < n);
+  if (mode == BoscoMode::kWeak) {
+    DEX_ENSURE_MSG(n > 5 * t, "weakly one-step BOSCO requires n > 5t");
+  } else {
+    DEX_ENSURE_MSG(n > 7 * t, "strongly one-step BOSCO requires n > 7t");
+  }
+}
+
+void BoscoEngine::propose(Value v) {
+  if (started_) return;
+  started_ = true;
+  my_value_ = v;
+  votes_.set(static_cast<std::size_t>(self_), v);
+
+  Message m;
+  m.kind = MsgKind::kPlain;
+  m.instance = instance_;
+  m.tag = chan::kBoscoVote;
+  m.payload = ValuePayload{v}.to_bytes();
+  outbox_->broadcast(std::move(m));
+  evaluate_once();
+}
+
+void BoscoEngine::on_vote(ProcessId src, Value v) {
+  if (src < 0 || static_cast<std::size_t>(src) >= n_) return;
+  const auto idx = static_cast<std::size_t>(src);
+  if (votes_.has(idx)) return;  // one vote per sender
+  votes_.set(idx, v);
+  evaluate_once();
+}
+
+void BoscoEngine::evaluate_once() {
+  // BOSCO acts exactly once, at the moment the n−t'th vote arrives (own vote
+  // included). Later votes are ignored — the contrast with DEX.
+  if (evaluated_ || !started_ || votes_.known_count() < n_ - t_) return;
+  evaluated_ = true;
+
+  const FreqStats s = votes_.freq();
+  // One-step decision: more than (n+t)/2 votes for one value.
+  if (!s.empty() && 2 * s.first_count() > n_ + t_) {
+    decision_ = Decision{*s.first(), DecisionPath::kOneStep, 0};
+  }
+  // Underlying proposal: adopt the (necessarily unique) value with more than
+  // (n−t)/2 votes if one exists, else keep our own proposal.
+  Value prop = my_value_;
+  if (!s.empty() && 2 * s.first_count() > n_ - t_ &&
+      !(s.second().has_value() && 2 * s.second_count() > n_ - t_)) {
+    prop = *s.first();
+  }
+  uc_->propose(prop);
+}
+
+void BoscoEngine::on_uc_decided(Value v, std::uint32_t uc_rounds) {
+  if (!decision_.has_value()) {
+    decision_ = Decision{v, DecisionPath::kUnderlying, uc_rounds};
+  }
+}
+
+BoscoStack::BoscoStack(const StackConfig& cfg, BoscoMode mode)
+    : BoscoStack(cfg, mode, default_uc_factory()) {}
+
+BoscoStack::BoscoStack(const StackConfig& cfg, BoscoMode mode, UcFactory uc_factory)
+    : StackBase(cfg, std::move(uc_factory)) {
+  engine_ = std::make_unique<BoscoEngine>(cfg_.n, cfg_.t, cfg_.self, cfg_.instance,
+                                          mode, uc_.get(), &outbox_);
+}
+
+void BoscoStack::handle_plain(ProcessId src, const Message& msg) {
+  if (chan::channel(msg.tag) != chan::kBoscoVote) return;
+  try {
+    engine_->on_vote(src, ValuePayload::from_bytes(msg.payload).v);
+  } catch (const DecodeError&) {
+  }
+}
+
+void BoscoStack::check_uc_decision() {
+  if (uc_decision_seen_) return;
+  if (const auto d = uc_->decision()) {
+    uc_decision_seen_ = true;
+    engine_->on_uc_decided(*d, uc_->rounds_used());
+  }
+}
+
+std::uint32_t BoscoStack::logical_steps() const {
+  const auto& d = engine_->decision();
+  if (!d.has_value()) return 0;
+  switch (d->path) {
+    case DecisionPath::kOneStep: return 1;
+    case DecisionPath::kTwoStep: return 2;  // unreachable for BOSCO
+    case DecisionPath::kUnderlying:
+      return 1 + uc_->logical_steps();  // the VOTE step, then the fallback
+  }
+  return 0;
+}
+
+bool BoscoStack::halted() const {
+  return engine_->decision().has_value() && uc_->halted();
+}
+
+std::string BoscoStack::algorithm() const {
+  return engine_->mode() == BoscoMode::kWeak ? "bosco-weak" : "bosco-strong";
+}
+
+}  // namespace dex

@@ -1,0 +1,87 @@
+// BOSCO — the one-step Byzantine consensus of Song & van Renesse, the
+// paper's principal comparator (Table 1 rows "Friedman et al." / "Bosco").
+//
+//   upon Propose(v):
+//     broadcast ⟨VOTE, v⟩
+//     wait until n−t VOTE messages received          (evaluated ONCE)
+//     if more than (n+t)/2 VOTEs carry the same w → Decide(w)       (1 step)
+//     if more than (n−t)/2 VOTEs carry the same w (necessarily unique)
+//        → v := w
+//     UnderlyingConsensus.propose(v)
+//
+// The same pseudocode is *weakly* one-step for n > 5t (one-step decision when
+// all processes propose the same value and none is faulty) and *strongly*
+// one-step for n > 7t (one-step whenever all correct processes propose the
+// same value, regardless of faults). The contrast with DEX: BOSCO evaluates
+// its predicate exactly once at the n−t threshold and on the plain (not
+// identical) channel, and it has no two-step scheme.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "consensus/decision.hpp"
+#include "consensus/stack_base.hpp"
+#include "consensus/view.hpp"
+
+namespace dex {
+
+enum class BoscoMode { kWeak, kStrong };
+
+class BoscoEngine {
+ public:
+  BoscoEngine(std::size_t n, std::size_t t, ProcessId self, InstanceId instance,
+              BoscoMode mode, UnderlyingConsensus* uc, Outbox* outbox);
+
+  void propose(Value v);
+  void on_vote(ProcessId src, Value v);
+  void on_uc_decided(Value v, std::uint32_t uc_rounds);
+
+  [[nodiscard]] const std::optional<Decision>& decision() const { return decision_; }
+  [[nodiscard]] const View& votes() const { return votes_; }
+  [[nodiscard]] BoscoMode mode() const { return mode_; }
+
+ private:
+  void evaluate_once();
+
+  std::size_t n_;
+  std::size_t t_;
+  ProcessId self_;
+  InstanceId instance_;
+  BoscoMode mode_;
+  UnderlyingConsensus* uc_;
+  Outbox* outbox_;
+
+  bool started_ = false;
+  bool evaluated_ = false;
+  Value my_value_ = 0;
+  View votes_;
+  std::optional<Decision> decision_;
+};
+
+class BoscoStack final : public StackBase {
+ public:
+  BoscoStack(const StackConfig& cfg, BoscoMode mode);
+  BoscoStack(const StackConfig& cfg, BoscoMode mode, UcFactory uc_factory);
+
+  void propose(Value v) override { engine_->propose(v); }
+  [[nodiscard]] const std::optional<Decision>& decision() const override {
+    return engine_->decision();
+  }
+  [[nodiscard]] std::uint32_t logical_steps() const override;
+  [[nodiscard]] bool halted() const override;
+  [[nodiscard]] std::string algorithm() const override;
+
+  [[nodiscard]] BoscoEngine& engine() { return *engine_; }
+
+ protected:
+  void handle_plain(ProcessId src, const Message& msg) override;
+  void handle_idb(const IdbDelivery&) override {}
+  void check_uc_decision() override;
+
+ private:
+  std::unique_ptr<BoscoEngine> engine_;
+  bool uc_decision_seen_ = false;
+};
+
+}  // namespace dex

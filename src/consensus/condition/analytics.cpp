@@ -1,0 +1,120 @@
+#include "consensus/condition/analytics.hpp"
+
+#include "common/assert.hpp"
+
+namespace dex {
+
+CoverageCurve estimate_coverage(const ConditionSequence& seq, const InputSource& source,
+                                std::size_t samples, Rng& rng) {
+  CoverageCurve curve;
+  curve.coverage.assign(seq.length(), 0.0);
+  if (samples == 0) return curve;
+  std::vector<std::size_t> hits(seq.length(), 0);
+  for (std::size_t s = 0; s < samples; ++s) {
+    const InputVector input = source(rng);
+    for (std::size_t k = 0; k < seq.length(); ++k) {
+      if (seq.contains(input, k)) {
+        ++hits[k];
+      } else {
+        break;  // monotone sequence: containment fails for all larger k too
+      }
+    }
+  }
+  for (std::size_t k = 0; k < seq.length(); ++k) {
+    curve.coverage[k] = static_cast<double>(hits[k]) / static_cast<double>(samples);
+  }
+  return curve;
+}
+
+PairCoverage estimate_pair_coverage(const ConditionPair& pair, const InputSource& source,
+                                    std::size_t samples, Rng& rng) {
+  PairCoverage pc;
+  pc.one_step = estimate_coverage(pair.s1(), source, samples, rng);
+  pc.two_step = estimate_coverage(pair.s2(), source, samples, rng);
+  return pc;
+}
+
+InputSource skewed_source(std::size_t n, double p_common, Value common_value,
+                          std::size_t domain) {
+  return [=](Rng& rng) {
+    std::vector<Value> v(n);
+    for (auto& e : v) {
+      e = rng.next_bool(p_common) ? common_value
+                                  : static_cast<Value>(rng.next_below(domain));
+    }
+    return InputVector(std::move(v));
+  };
+}
+
+void enumerate_inputs(std::size_t n, std::size_t domain,
+                      const std::function<void(const InputVector&)>& fn) {
+  DEX_ENSURE(domain >= 1);
+  double total = 1;
+  for (std::size_t i = 0; i < n; ++i) total *= static_cast<double>(domain);
+  DEX_ENSURE_MSG(total <= 50e6, "input space too large to enumerate");
+
+  std::vector<Value> v(n, 0);
+  InputVector input(v);
+  for (;;) {
+    fn(input);
+    // Odometer increment.
+    std::size_t pos = 0;
+    while (pos < n) {
+      if (static_cast<std::size_t>(++input[pos]) < domain) break;
+      input[pos] = 0;
+      ++pos;
+    }
+    if (pos == n) return;
+  }
+}
+
+CoverageCurve exact_coverage(const ConditionSequence& seq, std::size_t n,
+                             std::size_t domain) {
+  CoverageCurve curve;
+  curve.coverage.assign(seq.length(), 0.0);
+  std::vector<std::uint64_t> hits(seq.length(), 0);
+  std::uint64_t total = 0;
+  enumerate_inputs(n, domain, [&](const InputVector& input) {
+    ++total;
+    for (std::size_t k = 0; k < seq.length(); ++k) {
+      if (seq.contains(input, k)) {
+        ++hits[k];
+      } else {
+        break;
+      }
+    }
+  });
+  for (std::size_t k = 0; k < seq.length(); ++k) {
+    curve.coverage[k] =
+        static_cast<double>(hits[k]) / static_cast<double>(total);
+  }
+  return curve;
+}
+
+double exact_fraction(std::size_t n, std::size_t domain,
+                      const std::function<bool(const InputVector&)>& pred) {
+  std::uint64_t hits = 0, total = 0;
+  enumerate_inputs(n, domain, [&](const InputVector& input) {
+    ++total;
+    if (pred(input)) ++hits;
+  });
+  return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+InputSource uniform_source(std::size_t n, std::size_t domain) {
+  return [=](Rng& rng) {
+    std::vector<Value> v(n);
+    for (auto& e : v) e = static_cast<Value>(rng.next_below(domain));
+    return InputVector(std::move(v));
+  };
+}
+
+InputSource binary_contention_source(std::size_t n, double p_a, Value a, Value b) {
+  return [=](Rng& rng) {
+    std::vector<Value> v(n);
+    for (auto& e : v) e = rng.next_bool(p_a) ? a : b;
+    return InputVector(std::move(v));
+  };
+}
+
+}  // namespace dex

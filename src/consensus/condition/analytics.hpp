@@ -1,0 +1,67 @@
+// Monte-Carlo condition-coverage analytics.
+//
+// Quantifies the paper's adaptiveness claim: for a given input distribution,
+// what fraction of inputs lies inside C_k for each k? Fewer actual faults
+// (smaller k) means a larger condition and thus more inputs on the fast path.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "consensus/condition/condition.hpp"
+#include "consensus/condition/pair.hpp"
+
+namespace dex {
+
+/// Draws input vectors from some distribution (workload model).
+using InputSource = std::function<InputVector(Rng&)>;
+
+/// coverage[k] ≈ P(I ∈ C_k) under the given source.
+struct CoverageCurve {
+  std::vector<double> coverage;
+};
+
+CoverageCurve estimate_coverage(const ConditionSequence& seq, const InputSource& source,
+                                std::size_t samples, Rng& rng);
+
+/// Coverage of both sequences of a pair under one source.
+struct PairCoverage {
+  CoverageCurve one_step;   // S1: P(I ∈ C1_k)
+  CoverageCurve two_step;   // S2: P(I ∈ C2_k)
+};
+
+PairCoverage estimate_pair_coverage(const ConditionPair& pair, const InputSource& source,
+                                    std::size_t samples, Rng& rng);
+
+/// Standard workload models used across benches.
+/// Each process independently proposes the "common" value with probability
+/// `p_common`, otherwise a uniform value from the domain. p_common → 1 models
+/// the contention-free replicated-state-machine case from §1.1.
+InputSource skewed_source(std::size_t n, double p_common, Value common_value,
+                          std::size_t domain);
+
+/// Uniformly random proposals over the domain.
+InputSource uniform_source(std::size_t n, std::size_t domain);
+
+/// Enumerates ALL input vectors in {0..domain-1}^n and invokes fn on each.
+/// domain^n must stay laptop-sized (the caller's responsibility; the function
+/// refuses more than ~50M vectors).
+void enumerate_inputs(std::size_t n, std::size_t domain,
+                      const std::function<void(const InputVector&)>& fn);
+
+/// Exact coverage |{I : I ∈ C_k}| / domain^n for each k, by enumeration.
+CoverageCurve exact_coverage(const ConditionSequence& seq, std::size_t n,
+                             std::size_t domain);
+
+/// Exact fraction of the input space for which a predicate holds.
+double exact_fraction(std::size_t n, std::size_t domain,
+                      const std::function<bool(const InputVector&)>& pred);
+
+/// Exactly two competing values; `p_a` is the per-process probability of
+/// proposing a. Models binary contention (e.g. two racing client requests).
+InputSource binary_contention_source(std::size_t n, double p_a, Value a, Value b);
+
+}  // namespace dex

@@ -1,0 +1,42 @@
+#include "consensus/condition/condition.hpp"
+
+#include <sstream>
+
+namespace dex {
+
+bool FreqCondition::contains(const InputVector& input) const {
+  const FreqStats s = input.as_view().freq();
+  if (s.empty()) return false;
+  return s.margin() > d_;
+}
+
+std::string FreqCondition::describe() const {
+  std::ostringstream os;
+  os << "C^freq_" << d_ << " = { I | #1st(I) - #2nd(I) > " << d_ << " }";
+  return os.str();
+}
+
+bool PrivilegedCondition::contains(const InputVector& input) const {
+  return input.as_view().count_of(m_) > d_;
+}
+
+std::string PrivilegedCondition::describe() const {
+  std::ostringstream os;
+  os << "C^prv(" << m_ << ")_" << d_ << " = { I | #" << m_ << "(I) > " << d_ << " }";
+  return os.str();
+}
+
+std::optional<std::size_t> ConditionSequence::max_valid_faults(
+    const InputVector& input) const {
+  std::optional<std::size_t> best;
+  for (std::size_t k = 0; k < conds_.size(); ++k) {
+    if (conds_[k]->contains(input)) {
+      best = k;
+    } else {
+      break;  // monotone: C_k ⊇ C_{k+1}
+    }
+  }
+  return best;
+}
+
+}  // namespace dex

@@ -1,0 +1,82 @@
+// Conditions and condition sequences — the adaptive condition-based
+// framework of §2.3/§3.
+//
+// A condition is a set of input vectors. A condition sequence
+// (C_0, C_1, ..., C_t) with C_k ⊇ C_{k+1} captures adaptiveness: C_k is the
+// set of inputs for which the fast path is guaranteed when the *actual*
+// number of faults is at most k.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "consensus/view.hpp"
+
+namespace dex {
+
+/// A condition: a (possibly huge) set of input vectors, represented by its
+/// membership predicate.
+class Condition {
+ public:
+  virtual ~Condition() = default;
+  [[nodiscard]] virtual bool contains(const InputVector& input) const = 0;
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+/// The frequency-based condition C^freq_d = { I | #1st(I) − #2nd(I) > d }.
+/// Known to be d-legal [Mostefaoui et al.].
+class FreqCondition final : public Condition {
+ public:
+  explicit FreqCondition(std::size_t d) : d_(d) {}
+  [[nodiscard]] bool contains(const InputVector& input) const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::size_t d() const { return d_; }
+
+ private:
+  std::size_t d_;
+};
+
+/// The privileged-value condition C^prv(m)_d = { I | #m(I) > d }. The
+/// privileged value m (e.g. Commit in atomic commitment) is known a priori.
+class PrivilegedCondition final : public Condition {
+ public:
+  PrivilegedCondition(Value m, std::size_t d) : m_(m), d_(d) {}
+  [[nodiscard]] bool contains(const InputVector& input) const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] Value privileged_value() const { return m_; }
+  [[nodiscard]] std::size_t d() const { return d_; }
+
+ private:
+  Value m_;
+  std::size_t d_;
+};
+
+/// A condition sequence (C_0, ..., C_t). Construction checks the adaptiveness
+/// shape only through `max_valid_faults`; the concrete sequences built by the
+/// library are monotone by construction (d grows with k).
+class ConditionSequence {
+ public:
+  ConditionSequence() = default;
+  explicit ConditionSequence(std::vector<std::shared_ptr<const Condition>> conds)
+      : conds_(std::move(conds)) {}
+
+  [[nodiscard]] std::size_t length() const { return conds_.size(); }
+  [[nodiscard]] const Condition& at(std::size_t k) const { return *conds_.at(k); }
+  [[nodiscard]] bool contains(const InputVector& input, std::size_t k) const {
+    return conds_.at(k)->contains(input);
+  }
+
+  /// The largest k with I ∈ C_k, or nullopt if I ∉ C_0. Because C_k ⊇ C_{k+1},
+  /// the fast path fires iff the actual fault count f ≤ max_valid_faults(I).
+  [[nodiscard]] std::optional<std::size_t> max_valid_faults(
+      const InputVector& input) const;
+
+ private:
+  std::vector<std::shared_ptr<const Condition>> conds_;
+};
+
+}  // namespace dex

@@ -1,0 +1,127 @@
+#include "consensus/condition/input_gen.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace dex {
+
+InputVector random_input(std::size_t n, Rng& rng, const InputGenOptions& opts) {
+  DEX_ENSURE(opts.domain >= 1);
+  std::vector<Value> v(n);
+  for (auto& e : v) e = static_cast<Value>(rng.next_below(opts.domain));
+  return InputVector(std::move(v));
+}
+
+InputVector unanimous_input(std::size_t n, Value v) {
+  return InputVector::uniform(n, v);
+}
+
+InputVector margin_input(std::size_t n, std::size_t margin, Value top, Rng& rng,
+                         const InputGenOptions& opts) {
+  DEX_ENSURE_MSG(margin >= 1 && margin <= n, "margin must be in [1, n]");
+  // A margin of exactly n−1 cannot exist: if the top value fills n−1 entries
+  // the single remaining entry forms a runner-up of count 1.
+  DEX_ENSURE_MSG(margin != n - 1 || n == 1, "margin n-1 is infeasible");
+  DEX_ENSURE(opts.domain >= 3);
+
+  if (margin == n) return unanimous_input(n, top);
+
+  // Two-party contested shape: c1 = floor((n+m)/2) entries of `top`,
+  // c2 = c1 − m of a runner-up, and at most one filler entry of a third value
+  // (needs c2 >= 1, guaranteed by margin <= n−2).
+  const std::size_t c1 = (n + margin) / 2;
+  const std::size_t c2 = c1 - margin;
+  const std::size_t fill = n - c1 - c2;
+  DEX_ENSURE(fill <= 1);
+
+  // Runner-up and filler values distinct from `top` and from each other.
+  Value runner = top;
+  while (runner == top) runner = static_cast<Value>(rng.next_below(opts.domain));
+  Value filler = top;
+  while (filler == top || filler == runner) {
+    filler = static_cast<Value>(rng.next_below(opts.domain));
+  }
+
+  std::vector<Value> v;
+  v.reserve(n);
+  v.insert(v.end(), c1, top);
+  v.insert(v.end(), c2, runner);
+  v.insert(v.end(), fill, filler);
+  rng.shuffle(v);
+  return InputVector(std::move(v));
+}
+
+InputVector privileged_input(std::size_t n, Value m, std::size_t count_m, Rng& rng,
+                             const InputGenOptions& opts) {
+  DEX_ENSURE(count_m <= n);
+  DEX_ENSURE(opts.domain >= 2);
+  std::vector<Value> v;
+  v.reserve(n);
+  v.insert(v.end(), count_m, m);
+  // Round-robin over the domain excluding m; only #m matters to C^prv.
+  std::size_t next = 0;
+  while (v.size() < n) {
+    auto candidate = static_cast<Value>(next % opts.domain);
+    ++next;
+    if (candidate == m) continue;
+    v.push_back(candidate);
+  }
+  rng.shuffle(v);
+  return InputVector(std::move(v));
+}
+
+InputVector split_input(std::size_t n, Value a, std::size_t count_a, Value b) {
+  DEX_ENSURE(count_a <= n);
+  DEX_ENSURE(a != b || count_a == n);
+  std::vector<Value> v;
+  v.reserve(n);
+  v.insert(v.end(), count_a, a);
+  v.insert(v.end(), n - count_a, b);
+  return InputVector(std::move(v));
+}
+
+View perturbed_view(const InputVector& input, std::size_t perturb, Rng& rng,
+                    double bottom_bias, const InputGenOptions& opts) {
+  View j = input.as_view();
+  if (perturb == 0) return j;
+  std::vector<std::size_t> idx(input.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  rng.shuffle(idx);
+  const std::size_t count =
+      static_cast<std::size_t>(rng.next_below(std::min(perturb, input.size()) + 1));
+  for (std::size_t i = 0; i < count; ++i) {
+    if (rng.next_bool(bottom_bias)) {
+      j.clear(idx[i]);
+    } else {
+      j.set(idx[i], static_cast<Value>(rng.next_below(opts.domain)));
+    }
+  }
+  return j;
+}
+
+View masked_view(const InputVector& input, std::size_t bottoms, Rng& rng) {
+  DEX_ENSURE(bottoms <= input.size());
+  View j = input.as_view();
+  std::vector<std::size_t> idx(input.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  rng.shuffle(idx);
+  for (std::size_t i = 0; i < bottoms; ++i) j.clear(idx[i]);
+  return j;
+}
+
+InputVector mutated_input(const InputVector& input, std::size_t changes, Rng& rng,
+                          const InputGenOptions& opts) {
+  std::vector<Value> v = input.values();
+  std::vector<std::size_t> idx(v.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  rng.shuffle(idx);
+  const std::size_t count =
+      static_cast<std::size_t>(rng.next_below(std::min(changes, v.size()) + 1));
+  for (std::size_t i = 0; i < count; ++i) {
+    v[idx[i]] = static_cast<Value>(rng.next_below(opts.domain));
+  }
+  return InputVector(std::move(v));
+}
+
+}  // namespace dex

@@ -1,0 +1,59 @@
+// Input-vector generators used by property tests, the legality checker and
+// the evaluation benches. Each generator produces inputs with a controlled
+// relationship to the paper's conditions (exact frequency margin, exact
+// privileged-value count, ...), which is what lets benches sweep "how good is
+// the input" as an axis.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "consensus/view.hpp"
+
+namespace dex {
+
+/// All generators draw non-privileged values from [0, domain).
+struct InputGenOptions {
+  std::size_t domain = 8;
+};
+
+/// Uniformly random entries.
+InputVector random_input(std::size_t n, Rng& rng, const InputGenOptions& opts = {});
+
+/// All entries equal to v.
+InputVector unanimous_input(std::size_t n, Value v);
+
+/// An input whose frequency margin (#1st − #2nd) is exactly `margin`
+/// (margin in [1, n]; margin == n means unanimous). The most frequent value
+/// is `top`, positions are shuffled. The runner-up and filler values are
+/// drawn from the domain excluding `top`.
+InputVector margin_input(std::size_t n, std::size_t margin, Value top, Rng& rng,
+                         const InputGenOptions& opts = {});
+
+/// An input where the privileged value m appears exactly `count_m` times and
+/// no other value reaches count_m (so analytics on C^prv are exact). Requires
+/// a domain large enough to spread the remaining entries.
+InputVector privileged_input(std::size_t n, Value m, std::size_t count_m, Rng& rng,
+                             const InputGenOptions& opts = {});
+
+/// Exactly `count_a` entries of value a, the rest value b (a two-value split —
+/// the adversarial shape for frequency conditions).
+InputVector split_input(std::size_t n, Value a, std::size_t count_a, Value b);
+
+/// Derives a view from `input` by replacing up to `perturb` entries: each
+/// chosen entry independently becomes ⊥ (probability bottom_bias) or a random
+/// value. dist(view, input) <= perturb and the view has <= perturb ⊥ entries.
+View perturbed_view(const InputVector& input, std::size_t perturb, Rng& rng,
+                    double bottom_bias = 0.5, const InputGenOptions& opts = {});
+
+/// Derives a view from `input` by ⊥-ing exactly `bottoms` random entries
+/// (a view J with J ≤ I and |J| = n − bottoms).
+View masked_view(const InputVector& input, std::size_t bottoms, Rng& rng);
+
+/// Changes up to `changes` random entries of `input` to random other values
+/// (used to build I' with dist(I, I') <= t for LA3 checks).
+InputVector mutated_input(const InputVector& input, std::size_t changes, Rng& rng,
+                          const InputGenOptions& opts = {});
+
+}  // namespace dex

@@ -1,0 +1,172 @@
+#include "consensus/condition/legality.hpp"
+
+#include <sstream>
+
+#include "consensus/condition/input_gen.hpp"
+
+namespace dex {
+
+LegalityChecker::LegalityChecker(const ConditionPair& pair, Rng rng,
+                                 LegalityCheckOptions opts)
+    : pair_(pair), rng_(rng), opts_(opts) {}
+
+InputVector LegalityChecker::sample_input() {
+  const std::size_t n = pair_.n();
+  const InputGenOptions gen{.domain = opts_.domain};
+  // Bias toward the shapes the conditions care about, so that samples
+  // regularly land inside C1_k / C2_k and the implications get exercised
+  // with a true antecedent.
+  Value privileged = 0;
+  if (const auto* prv = dynamic_cast<const PrivilegedPair*>(&pair_)) {
+    privileged = prv->privileged_value();
+  }
+  const double roll = rng_.next_double();
+  if (roll < 0.10) {
+    return unanimous_input(n, static_cast<Value>(rng_.next_below(opts_.domain)));
+  }
+  if (roll < 0.50) {
+    // Any feasible margin (margins of exactly n−1 do not exist).
+    std::size_t margin = 1 + static_cast<std::size_t>(rng_.next_below(n));
+    if (margin == n - 1) margin = n;
+    return margin_input(n, margin, privileged, rng_, gen);
+  }
+  if (roll < 0.80) {
+    const auto count = static_cast<std::size_t>(rng_.next_below(n + 1));
+    return privileged_input(n, privileged, count, rng_, gen);
+  }
+  return random_input(n, rng_, gen);
+}
+
+std::optional<LegalityViolation> LegalityChecker::check_lt1() {
+  const std::size_t t = pair_.t();
+  const InputGenOptions gen{.domain = opts_.domain};
+  for (std::size_t s = 0; s < opts_.samples_per_criterion; ++s) {
+    const auto k = static_cast<std::size_t>(rng_.next_below(t + 1));
+    const InputVector input = sample_input();
+    if (!pair_.s1().contains(input, k)) continue;
+    const View j = perturbed_view(input, k, rng_, 0.5, gen);
+    if (!pair_.p1(j)) {
+      std::ostringstream os;
+      os << "I=" << input.to_string() << " in C1_" << k << ", J=" << j.to_string()
+         << " with dist<=k but P1(J) is false";
+      return LegalityViolation{"LT1", os.str()};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<LegalityViolation> LegalityChecker::check_lt2() {
+  const std::size_t t = pair_.t();
+  const InputGenOptions gen{.domain = opts_.domain};
+  for (std::size_t s = 0; s < opts_.samples_per_criterion; ++s) {
+    const auto k = static_cast<std::size_t>(rng_.next_below(t + 1));
+    const InputVector input = sample_input();
+    if (!pair_.s2().contains(input, k)) continue;
+    const View j = perturbed_view(input, k, rng_, 0.5, gen);
+    if (!pair_.p2(j)) {
+      std::ostringstream os;
+      os << "I=" << input.to_string() << " in C2_" << k << ", J=" << j.to_string()
+         << " with dist<=k but P2(J) is false";
+      return LegalityViolation{"LT2", os.str()};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<LegalityViolation> LegalityChecker::check_la3() {
+  const std::size_t t = pair_.t();
+  const InputGenOptions gen{.domain = opts_.domain};
+  for (std::size_t s = 0; s < opts_.samples_per_criterion; ++s) {
+    const InputVector input = sample_input();
+    const auto bottoms = static_cast<std::size_t>(rng_.next_below(t + 1));
+    const View j = masked_view(input, bottoms, rng_);
+    if (j.known_count() == 0 || !pair_.p1(j)) continue;
+    // I' differs from I in at most t entries (the Byzantine entries); J' is
+    // any view of I' with at most t bottoms.
+    const InputVector input2 = mutated_input(input, t, rng_, gen);
+    const auto bottoms2 = static_cast<std::size_t>(rng_.next_below(t + 1));
+    const View j2 = masked_view(input2, bottoms2, rng_);
+    if (j2.known_count() == 0) continue;
+    if (pair_.f(j) != pair_.f(j2)) {
+      std::ostringstream os;
+      os << "P1 holds on J=" << j.to_string() << " (I=" << input.to_string()
+         << ") but F(J)=" << pair_.f(j) << " != F(J')=" << pair_.f(j2)
+         << " for J'=" << j2.to_string() << " (I'=" << input2.to_string() << ")";
+      return LegalityViolation{"LA3", os.str()};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<LegalityViolation> LegalityChecker::check_la4() {
+  const std::size_t t = pair_.t();
+  for (std::size_t s = 0; s < opts_.samples_per_criterion; ++s) {
+    const InputVector input = sample_input();
+    const auto bottoms = static_cast<std::size_t>(rng_.next_below(t + 1));
+    const View j = masked_view(input, bottoms, rng_);
+    if (j.known_count() == 0 || !pair_.p2(j)) continue;
+    // J' is another view of the SAME vector I (identical broadcast gives all
+    // processes consistent per-sender values).
+    const auto bottoms2 = static_cast<std::size_t>(rng_.next_below(t + 1));
+    const View j2 = masked_view(input, bottoms2, rng_);
+    if (j2.known_count() == 0) continue;
+    if (pair_.f(j) != pair_.f(j2)) {
+      std::ostringstream os;
+      os << "P2 holds on J=" << j.to_string() << " but F(J)=" << pair_.f(j)
+         << " != F(J')=" << pair_.f(j2) << " for sibling view J'=" << j2.to_string()
+         << " of I=" << input.to_string();
+      return LegalityViolation{"LA4", os.str()};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<LegalityViolation> LegalityChecker::check_lu5() {
+  const std::size_t n = pair_.n();
+  const std::size_t t = pair_.t();
+  for (std::size_t s = 0; s < opts_.samples_per_criterion; ++s) {
+    // Build a view where one value a exceeds t occurrences and every other
+    // value stays <= t (the shape arising when all correct processes propose
+    // a and only Byzantine entries differ). LU5 demands F(J) = a.
+    Value a = static_cast<Value>(rng_.next_below(opts_.domain));
+    if (const auto* prv = dynamic_cast<const PrivilegedPair*>(&pair_);
+        prv != nullptr && rng_.next_bool(0.5)) {
+      a = prv->privileged_value();
+    }
+    const std::size_t count_a =
+        t + 1 + static_cast<std::size_t>(rng_.next_below(n - t));
+    View j(n);
+    std::size_t filled = 0;
+    for (; filled < count_a; ++filled) j.set(filled, a);
+    // Spread the remainder so no other value exceeds t; leave up to t ⊥s.
+    const auto bottoms = static_cast<std::size_t>(
+        rng_.next_below(std::min(t, n - count_a) + 1));
+    std::size_t other = 0, used_of_other = 0;
+    for (std::size_t i = filled; i < n - bottoms; ++i) {
+      Value v = static_cast<Value>(opts_.domain + other);  // distinct from a
+      j.set(i, v);
+      if (++used_of_other >= t) {
+        ++other;
+        used_of_other = 0;
+      }
+    }
+    if (pair_.f(j) != a) {
+      std::ostringstream os;
+      os << "J=" << j.to_string() << " has #" << a << "(J)=" << count_a
+         << " > t with all others <= t, but F(J)=" << pair_.f(j);
+      return LegalityViolation{"LU5", os.str()};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<LegalityViolation> LegalityChecker::check_all() {
+  if (auto v = check_lt1()) return v;
+  if (auto v = check_lt2()) return v;
+  if (auto v = check_la3()) return v;
+  if (auto v = check_la4()) return v;
+  if (auto v = check_lu5()) return v;
+  return std::nullopt;
+}
+
+}  // namespace dex

@@ -1,0 +1,58 @@
+// Randomized verification of the legality criteria (§3.2).
+//
+// A condition-sequence pair is legal when its (P1, P2, F) satisfy LT1, LT2,
+// LA3, LA4 and LU5. The paper proves these analytically for P_freq and P_prv
+// (Theorems 1 and 2); this checker searches for counterexamples by sampling,
+// which both property-tests the implementations and lets users sanity-check
+// custom pairs before plugging them into DEX.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "common/rng.hpp"
+#include "consensus/condition/pair.hpp"
+
+namespace dex {
+
+/// A found counterexample, with enough context to reproduce it.
+struct LegalityViolation {
+  std::string criterion;  // "LT1", "LT2", "LA3", "LA4", "LU5"
+  std::string detail;
+};
+
+struct LegalityCheckOptions {
+  std::size_t samples_per_criterion = 2000;
+  std::size_t domain = 6;
+};
+
+/// Samples adversarial (I, J, J', k) constellations per criterion and checks
+/// the pair's predicates against them.
+class LegalityChecker {
+ public:
+  LegalityChecker(const ConditionPair& pair, Rng rng,
+                  LegalityCheckOptions opts = {});
+
+  /// Each returns the first violation found, or nullopt.
+  std::optional<LegalityViolation> check_lt1();
+  std::optional<LegalityViolation> check_lt2();
+  std::optional<LegalityViolation> check_la3();
+  std::optional<LegalityViolation> check_la4();
+  std::optional<LegalityViolation> check_lu5();
+
+  /// Runs all five; returns the first violation, or nullopt if legal as far
+  /// as sampling can tell.
+  std::optional<LegalityViolation> check_all();
+
+ private:
+  /// Samples an input vector biased toward condition membership (mixes
+  /// margin/privileged/random shapes so both pairs get meaningful coverage).
+  InputVector sample_input();
+
+  const ConditionPair& pair_;
+  Rng rng_;
+  LegalityCheckOptions opts_;
+};
+
+}  // namespace dex

@@ -1,0 +1,90 @@
+#include "consensus/condition/pair.hpp"
+
+#include "common/assert.hpp"
+
+namespace dex {
+
+ConditionPair::ConditionPair(std::size_t n, std::size_t t) : n_(n), t_(t) {
+  DEX_ENSURE_MSG(n >= 1, "need at least one process");
+}
+
+void ConditionPair::set_sequences(ConditionSequence s1, ConditionSequence s2) {
+  s1_ = std::move(s1);
+  s2_ = std::move(s2);
+}
+
+namespace {
+/// Builds (C_{base+step*0}, ..., C_{base+step*t}) for a condition factory.
+template <typename MakeCond>
+ConditionSequence build_sequence(std::size_t t, MakeCond&& make) {
+  std::vector<std::shared_ptr<const Condition>> conds;
+  conds.reserve(t + 1);
+  for (std::size_t k = 0; k <= t; ++k) conds.push_back(make(k));
+  return ConditionSequence(std::move(conds));
+}
+}  // namespace
+
+FrequencyPair::FrequencyPair(std::size_t n, std::size_t t) : ConditionPair(n, t) {
+  DEX_ENSURE_MSG(n >= min_processes(t), "frequency pair requires n > 6t");
+  set_sequences(
+      build_sequence(t,
+                     [&](std::size_t k) {
+                       return std::make_shared<const FreqCondition>(4 * t + 2 * k);
+                     }),
+      build_sequence(t, [&](std::size_t k) {
+        return std::make_shared<const FreqCondition>(2 * t + 2 * k);
+      }));
+}
+
+bool FrequencyPair::p1(const View& j) const {
+  const FreqStats s = j.freq();
+  return !s.empty() && s.margin() > 4 * t_;
+}
+
+bool FrequencyPair::p2(const View& j) const {
+  const FreqStats s = j.freq();
+  return !s.empty() && s.margin() > 2 * t_;
+}
+
+Value FrequencyPair::f(const View& j) const {
+  const FreqStats s = j.freq();
+  DEX_ENSURE_MSG(!s.empty(), "F is undefined on the all-⊥ view");
+  return *s.first();
+}
+
+PrivilegedPair::PrivilegedPair(std::size_t n, std::size_t t, Value privileged)
+    : ConditionPair(n, t), m_(privileged) {
+  DEX_ENSURE_MSG(n >= min_processes(t), "privileged pair requires n > 5t");
+  set_sequences(
+      build_sequence(t,
+                     [&](std::size_t k) {
+                       return std::make_shared<const PrivilegedCondition>(m_, 3 * t + k);
+                     }),
+      build_sequence(t, [&](std::size_t k) {
+        return std::make_shared<const PrivilegedCondition>(m_, 2 * t + k);
+      }));
+}
+
+bool PrivilegedPair::p1(const View& j) const { return j.count_of(m_) > 3 * t_; }
+
+bool PrivilegedPair::p2(const View& j) const { return j.count_of(m_) > 2 * t_; }
+
+Value PrivilegedPair::f(const View& j) const {
+  if (j.count_of(m_) > t_) return m_;
+  const FreqStats s = j.freq();
+  DEX_ENSURE_MSG(!s.empty(), "F is undefined on the all-⊥ view");
+  return *s.first();
+}
+
+std::shared_ptr<const ConditionPair> make_frequency_pair(std::size_t n,
+                                                         std::size_t t) {
+  return std::make_shared<const FrequencyPair>(n, t);
+}
+
+std::shared_ptr<const ConditionPair> make_privileged_pair(std::size_t n,
+                                                          std::size_t t,
+                                                          Value privileged) {
+  return std::make_shared<const PrivilegedPair>(n, t, privileged);
+}
+
+}  // namespace dex

@@ -1,0 +1,108 @@
+// Condition-sequence pairs (S1, S2) and their associated decision machinery
+// (P1, P2, F) — §2.4 and §3.2-3.4.
+//
+// S1 identifies inputs that allow a ONE-step decision and S2 inputs that
+// allow a TWO-step decision, both adaptively in the actual fault count k.
+// A pair is *legal* when predicates P1, P2 and selection function F exist
+// satisfying LT1, LT2, LA3, LA4 and LU5; the two concrete pairs here are the
+// paper's Theorems 1 and 2.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "consensus/condition/condition.hpp"
+#include "consensus/view.hpp"
+
+namespace dex {
+
+/// A legal condition-sequence pair plus its (P1, P2, F) instantiation.
+/// Engines evaluate only p1/p2/f on views; the sequences s1/s2 exist for
+/// analytics and for verifying the adaptiveness guarantees in tests.
+class ConditionPair {
+ public:
+  /// n = number of processes, t = resilience bound. Concrete pairs check
+  /// n >= min_processes(t) at construction.
+  ConditionPair(std::size_t n, std::size_t t);
+  virtual ~ConditionPair() = default;
+
+  ConditionPair(const ConditionPair&) = delete;
+  ConditionPair& operator=(const ConditionPair&) = delete;
+
+  /// P1(J): the view J justifies deciding F(J) in one communication step.
+  [[nodiscard]] virtual bool p1(const View& j) const = 0;
+  /// P2(J): the view J justifies deciding F(J) in two communication steps.
+  [[nodiscard]] virtual bool p2(const View& j) const = 0;
+  /// F(J): the decision value extracted from J. Requires |J| > 0.
+  [[nodiscard]] virtual Value f(const View& j) const = 0;
+
+  /// The one-step condition sequence S1 = (C1_0, ..., C1_t).
+  [[nodiscard]] const ConditionSequence& s1() const { return s1_; }
+  /// The two-step condition sequence S2 = (C2_0, ..., C2_t).
+  [[nodiscard]] const ConditionSequence& s2() const { return s2_; }
+
+  /// Smallest n for which this pair is meaningful at resilience t.
+  [[nodiscard]] virtual std::size_t min_processes(std::size_t t) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] std::size_t n() const { return n_; }
+  [[nodiscard]] std::size_t t() const { return t_; }
+
+ protected:
+  void set_sequences(ConditionSequence s1, ConditionSequence s2);
+
+  std::size_t n_;
+  std::size_t t_;
+
+ private:
+  ConditionSequence s1_;
+  ConditionSequence s2_;
+};
+
+/// Frequency-based pair P_freq (§3.3, Theorem 1):
+///   C1_k = C^freq_{4t+2k},  C2_k = C^freq_{2t+2k}
+///   P1(J) ≡ margin(J) > 4t,  P2(J) ≡ margin(J) > 2t,  F(J) = 1st(J).
+/// Requires n > 6t.
+class FrequencyPair final : public ConditionPair {
+ public:
+  FrequencyPair(std::size_t n, std::size_t t);
+
+  [[nodiscard]] bool p1(const View& j) const override;
+  [[nodiscard]] bool p2(const View& j) const override;
+  [[nodiscard]] Value f(const View& j) const override;
+  [[nodiscard]] std::size_t min_processes(std::size_t t) const override {
+    return 6 * t + 1;
+  }
+  [[nodiscard]] std::string name() const override { return "freq"; }
+};
+
+/// Privileged-value pair P_prv (§3.4, Theorem 2) for privileged value m:
+///   C1_k = C^prv(m)_{3t+k},  C2_k = C^prv(m)_{2t+k}
+///   P1(J) ≡ #m(J) > 3t,  P2(J) ≡ #m(J) > 2t,
+///   F(J) = m if #m(J) > t, else the most frequent non-⊥ value of J.
+/// Requires n > 5t.
+class PrivilegedPair final : public ConditionPair {
+ public:
+  PrivilegedPair(std::size_t n, std::size_t t, Value privileged);
+
+  [[nodiscard]] bool p1(const View& j) const override;
+  [[nodiscard]] bool p2(const View& j) const override;
+  [[nodiscard]] Value f(const View& j) const override;
+  [[nodiscard]] std::size_t min_processes(std::size_t t) const override {
+    return 5 * t + 1;
+  }
+  [[nodiscard]] std::string name() const override { return "prv"; }
+  [[nodiscard]] Value privileged_value() const { return m_; }
+
+ private:
+  Value m_;
+};
+
+/// Convenience factories returning shared ownership (engines and analytics
+/// share pairs freely).
+std::shared_ptr<const ConditionPair> make_frequency_pair(std::size_t n, std::size_t t);
+std::shared_ptr<const ConditionPair> make_privileged_pair(std::size_t n, std::size_t t,
+                                                          Value privileged);
+
+}  // namespace dex

@@ -1,0 +1,105 @@
+#include "consensus/crash/onestep_crash.hpp"
+
+#include "common/assert.hpp"
+
+namespace dex {
+
+OneStepCrashEngine::OneStepCrashEngine(std::size_t n, std::size_t t, ProcessId self,
+                                       InstanceId instance, UnderlyingConsensus* uc,
+                                       Outbox* outbox)
+    : n_(n),
+      t_(t),
+      self_(self),
+      instance_(instance),
+      uc_(uc),
+      outbox_(outbox),
+      props_(n) {
+  DEX_ENSURE(uc != nullptr && outbox != nullptr);
+  DEX_ENSURE(self >= 0 && static_cast<std::size_t>(self) < n);
+  DEX_ENSURE_MSG(n > 3 * t, "one-step crash consensus requires n > 3t");
+}
+
+void OneStepCrashEngine::propose(Value v) {
+  if (started_) return;
+  started_ = true;
+  my_value_ = v;
+  props_.set(static_cast<std::size_t>(self_), v);
+
+  Message m;
+  m.kind = MsgKind::kPlain;
+  m.instance = instance_;
+  m.tag = chan::kCrashProp;
+  m.payload = ValuePayload{v}.to_bytes();
+  outbox_->broadcast(std::move(m));
+  evaluate_once();
+}
+
+void OneStepCrashEngine::on_prop(ProcessId src, Value v) {
+  if (src < 0 || static_cast<std::size_t>(src) >= n_) return;
+  const auto idx = static_cast<std::size_t>(src);
+  if (props_.has(idx)) return;
+  props_.set(idx, v);
+  evaluate_once();
+}
+
+void OneStepCrashEngine::evaluate_once() {
+  if (evaluated_ || !started_ || props_.known_count() < n_ - t_) return;
+  evaluated_ = true;
+
+  const FreqStats s = props_.freq();
+  if (!s.empty() && s.first_count() >= n_ - t_) {
+    // All n−t received proposals agree.
+    decision_ = Decision{*s.first(), DecisionPath::kOneStep, 0};
+  }
+  Value prop = my_value_;
+  if (!s.empty() && s.first_count() >= n_ - 2 * t_) prop = *s.first();
+  uc_->propose(prop);
+}
+
+void OneStepCrashEngine::on_uc_decided(Value v, std::uint32_t uc_rounds) {
+  if (!decision_.has_value()) {
+    decision_ = Decision{v, DecisionPath::kUnderlying, uc_rounds};
+  }
+}
+
+CrashStack::CrashStack(const StackConfig& cfg)
+    : CrashStack(cfg, default_uc_factory()) {}
+
+CrashStack::CrashStack(const StackConfig& cfg, UcFactory uc_factory)
+    : StackBase(cfg, std::move(uc_factory)) {
+  engine_ = std::make_unique<OneStepCrashEngine>(cfg_.n, cfg_.t, cfg_.self,
+                                                 cfg_.instance, uc_.get(), &outbox_);
+}
+
+void CrashStack::handle_plain(ProcessId src, const Message& msg) {
+  if (chan::channel(msg.tag) != chan::kCrashProp) return;
+  try {
+    engine_->on_prop(src, ValuePayload::from_bytes(msg.payload).v);
+  } catch (const DecodeError&) {
+  }
+}
+
+void CrashStack::check_uc_decision() {
+  if (uc_decision_seen_) return;
+  if (const auto d = uc_->decision()) {
+    uc_decision_seen_ = true;
+    engine_->on_uc_decided(*d, uc_->rounds_used());
+  }
+}
+
+std::uint32_t CrashStack::logical_steps() const {
+  const auto& d = engine_->decision();
+  if (!d.has_value()) return 0;
+  switch (d->path) {
+    case DecisionPath::kOneStep: return 1;
+    case DecisionPath::kTwoStep: return 2;  // unreachable
+    case DecisionPath::kUnderlying: return 1 + uc_->logical_steps();
+  }
+  return 0;
+}
+
+bool CrashStack::halted() const {
+  return engine_->decision().has_value() && uc_->halted();
+}
+
+}  // namespace dex

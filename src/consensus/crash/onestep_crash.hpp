@@ -1,0 +1,83 @@
+// One-step consensus for the CRASH failure model, after Brasileiro et al.
+// ("Consensus in One Communication Step", 2001) — the Table 1 row for the
+// crash-model ancestors of DEX.
+//
+//   upon Propose(v):
+//     broadcast ⟨PROP, v⟩
+//     wait until n−t PROP messages received          (evaluated ONCE)
+//     if all n−t carry the same w → Decide(w)                        (1 step)
+//     if at least n−2t carry the same w → v := w
+//     UnderlyingConsensus.propose(v)
+//
+// Correct against crash faults with n > 3t. A Byzantine process can break
+// its agreement (equivocating on the PROP channel splits one-step deciders
+// from the fallback) — the library keeps this engine for the evaluation
+// benches, which run it under crash-fault injection only, exactly as the
+// model row in Table 1 prescribes. The shipped underlying consensus requires
+// n > 5t, so bench configurations use that bound.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "consensus/decision.hpp"
+#include "consensus/stack_base.hpp"
+#include "consensus/view.hpp"
+
+namespace dex {
+
+class OneStepCrashEngine {
+ public:
+  OneStepCrashEngine(std::size_t n, std::size_t t, ProcessId self,
+                     InstanceId instance, UnderlyingConsensus* uc, Outbox* outbox);
+
+  void propose(Value v);
+  void on_prop(ProcessId src, Value v);
+  void on_uc_decided(Value v, std::uint32_t uc_rounds);
+
+  [[nodiscard]] const std::optional<Decision>& decision() const { return decision_; }
+  [[nodiscard]] const View& props() const { return props_; }
+
+ private:
+  void evaluate_once();
+
+  std::size_t n_;
+  std::size_t t_;
+  ProcessId self_;
+  InstanceId instance_;
+  UnderlyingConsensus* uc_;
+  Outbox* outbox_;
+
+  bool started_ = false;
+  bool evaluated_ = false;
+  Value my_value_ = 0;
+  View props_;
+  std::optional<Decision> decision_;
+};
+
+class CrashStack final : public StackBase {
+ public:
+  explicit CrashStack(const StackConfig& cfg);
+  CrashStack(const StackConfig& cfg, UcFactory uc_factory);
+
+  void propose(Value v) override { engine_->propose(v); }
+  [[nodiscard]] const std::optional<Decision>& decision() const override {
+    return engine_->decision();
+  }
+  [[nodiscard]] std::uint32_t logical_steps() const override;
+  [[nodiscard]] bool halted() const override;
+  [[nodiscard]] std::string algorithm() const override { return "crash-onestep"; }
+
+  [[nodiscard]] OneStepCrashEngine& engine() { return *engine_; }
+
+ protected:
+  void handle_plain(ProcessId src, const Message& msg) override;
+  void handle_idb(const IdbDelivery&) override {}
+  void check_uc_decision() override;
+
+ private:
+  std::unique_ptr<OneStepCrashEngine> engine_;
+  bool uc_decision_seen_ = false;
+};
+
+}  // namespace dex

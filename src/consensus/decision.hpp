@@ -1,0 +1,40 @@
+// Decision records with path accounting.
+//
+// Benches reproduce the paper's step-count claims from these records: which
+// mechanism fired (one-step, two-step, underlying fallback) and how many
+// rounds the underlying consensus needed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace dex {
+
+enum class DecisionPath : std::uint8_t {
+  kOneStep = 0,     // Figure 1 line 8 — P1(J1) fired
+  kTwoStep = 1,     // Figure 1 line 17 — P2(J2) fired
+  kUnderlying = 2,  // Figure 1 line 21 — adopted from the underlying consensus
+};
+
+inline const char* decision_path_name(DecisionPath p) {
+  switch (p) {
+    case DecisionPath::kOneStep: return "one-step";
+    case DecisionPath::kTwoStep: return "two-step";
+    case DecisionPath::kUnderlying: return "underlying";
+  }
+  return "?";
+}
+
+struct Decision {
+  Value value = 0;
+  DecisionPath path = DecisionPath::kUnderlying;
+  /// Rounds the underlying consensus ran before this process decided
+  /// (0 for fast-path decisions).
+  std::uint32_t uc_rounds = 0;
+
+  bool operator==(const Decision&) const = default;
+};
+
+}  // namespace dex

@@ -1,0 +1,92 @@
+#include "consensus/dex/dex_engine.hpp"
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace dex {
+
+DexEngine::DexEngine(DexConfig cfg, std::shared_ptr<const ConditionPair> pair,
+                     IdbEngine* idb, UnderlyingConsensus* uc, Outbox* outbox)
+    : cfg_(cfg),
+      pair_(std::move(pair)),
+      idb_(idb),
+      uc_(uc),
+      outbox_(outbox),
+      j1_(cfg.n),
+      j2_(cfg.n) {
+  DEX_ENSURE(pair_ != nullptr && idb_ != nullptr && uc_ != nullptr && outbox_ != nullptr);
+  DEX_ENSURE(cfg_.self >= 0 && static_cast<std::size_t>(cfg_.self) < cfg_.n);
+  DEX_ENSURE_MSG(pair_->n() == cfg_.n && pair_->t() == cfg_.t,
+                 "condition pair sized for a different (n, t)");
+  DEX_ENSURE_MSG(cfg_.n >= pair_->min_processes(cfg_.t),
+                 "n below the pair's resilience requirement");
+}
+
+void DexEngine::propose(Value v) {
+  if (started_) return;
+  started_ = true;
+  const auto self = static_cast<std::size_t>(cfg_.self);
+  j1_.set(self, v);
+  j2_.set(self, v);
+
+  // P-Send(v) to all processes (one-step channel).
+  Message plain;
+  plain.kind = MsgKind::kPlain;
+  plain.instance = cfg_.instance;
+  plain.tag = chan::kDexProposalPlain;
+  plain.payload = ValuePayload{v}.to_bytes();
+  outbox_->broadcast(std::move(plain));
+
+  // Id-Send(v) to all processes (two-step channel).
+  idb_->id_send(chan::kDexProposalIdb, ValuePayload{v}.to_bytes());
+}
+
+void DexEngine::on_plain_proposal(ProcessId src, Value v) {
+  if (src < 0 || static_cast<std::size_t>(src) >= cfg_.n) return;
+  const auto idx = static_cast<std::size_t>(src);
+  // First value per sender wins (a later, possibly equivocating rewrite is
+  // ignored) — but the threshold check still runs on every reception, as in
+  // Figure 1's "Upon P-Receive" handler (self-delivery included: with
+  // degenerate quorums the own proposal alone can satisfy |J1| >= n-t).
+  if (!j1_.has(idx)) j1_.set(idx, v);
+  if (j1_.known_count() < cfg_.n - cfg_.t) return;
+  // Ablation: without continuous re-evaluation, only the first n−t-sized
+  // view is consulted.
+  if (!cfg_.continuous_reevaluation && j1_evaluated_) return;
+  j1_evaluated_ = true;
+  if (!decision_.has_value() && pair_->p1(j1_)) {
+    decide(pair_->f(j1_), DecisionPath::kOneStep, 0);
+  }
+}
+
+void DexEngine::on_idb_proposal(ProcessId origin, Value v) {
+  if (origin < 0 || static_cast<std::size_t>(origin) >= cfg_.n) return;
+  const auto idx = static_cast<std::size_t>(origin);
+  if (!j2_.has(idx)) j2_.set(idx, v);
+
+  if (j2_.known_count() < cfg_.n - cfg_.t) return;
+  if (!proposed_) {
+    proposed_ = true;
+    uc_->propose(pair_->f(j2_));
+  }
+  if (!cfg_.enable_two_step) return;  // ablation: one-step only
+  if (!cfg_.continuous_reevaluation && j2_evaluated_) return;
+  j2_evaluated_ = true;
+  if (!decision_.has_value() && pair_->p2(j2_)) {
+    decide(pair_->f(j2_), DecisionPath::kTwoStep, 0);
+  }
+}
+
+void DexEngine::on_uc_decided(Value v, std::uint32_t uc_rounds) {
+  if (!decision_.has_value()) {
+    decide(v, DecisionPath::kUnderlying, uc_rounds);
+  }
+}
+
+void DexEngine::decide(Value v, DecisionPath path, std::uint32_t uc_rounds) {
+  decision_ = Decision{v, path, uc_rounds};
+  DEX_LOG(kDebug, "dex") << "p" << cfg_.self << " decided " << v << " via "
+                         << decision_path_name(path);
+}
+
+}  // namespace dex

@@ -1,0 +1,94 @@
+// DexEngine — the paper's algorithm (Figure 1), generic over a legal
+// condition-sequence pair.
+//
+//   Upon Propose(v):    J1[i] ← v; J2[i] ← v; P-Send(v); Id-Send(v).
+//   Upon P-Receive(vj): J1[j] ← vj;
+//                       if |J1| ≥ n−t ∧ P1(J1) ∧ ¬decided → Decide(F(J1))   (1 step)
+//   Upon Id-Receive(vj): J2[j] ← vj;
+//                       if |J2| ≥ n−t ∧ ¬proposed → UC_propose(F(J2))
+//                       if |J2| ≥ n−t ∧ P2(J2) ∧ ¬decided → Decide(F(J2))  (2 steps)
+//   Upon UC_decide(v):  if ¬decided → Decide(v)
+//
+// Unlike prior one-step Byzantine algorithms that evaluate their fast-path
+// predicate once at the n−t threshold, DEX keeps folding in messages from all
+// correct processes and re-evaluates on every arrival — "the real secret of
+// its ability to provide fast termination for more number of inputs" (§4).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "consensus/condition/pair.hpp"
+#include "consensus/decision.hpp"
+#include "consensus/idb/idb_engine.hpp"
+#include "consensus/message.hpp"
+#include "consensus/underlying/underlying.hpp"
+#include "consensus/view.hpp"
+
+namespace dex {
+
+struct DexConfig {
+  std::size_t n = 0;
+  std::size_t t = 0;
+  ProcessId self = kNoProcess;
+  InstanceId instance = 0;
+
+  // --- ablation switches (benchmarking the paper's design choices) ---
+  /// When false, each fast-path predicate is evaluated exactly once, at the
+  /// moment its view first reaches n−t entries (BOSCO-style), instead of on
+  /// every later arrival. Quantifies §4's claim that collecting messages
+  /// from ALL correct processes is "the real secret" of DEX's coverage.
+  bool continuous_reevaluation = true;
+  /// When false, the two-step scheme (lines 16-18) is disabled — a plain
+  /// one-step algorithm with a UC fallback. Quantifies double expedition.
+  bool enable_two_step = true;
+};
+
+class DexEngine {
+ public:
+  /// `idb` carries the two-step channel and `uc` is the fallback; both are
+  /// owned by the enclosing stack and must outlive the engine.
+  DexEngine(DexConfig cfg, std::shared_ptr<const ConditionPair> pair,
+            IdbEngine* idb, UnderlyingConsensus* uc, Outbox* outbox);
+
+  /// Figure 1, lines 1-4.
+  void propose(Value v);
+
+  /// Figure 1, lines 5-9 (the P-Receive handler). First value per sender
+  /// wins; later (possibly equivocating) rewrites are ignored.
+  void on_plain_proposal(ProcessId src, Value v);
+
+  /// Figure 1, lines 10-18 (the Id-Receive handler).
+  void on_idb_proposal(ProcessId origin, Value v);
+
+  /// Figure 1, lines 19-22. The stack calls this when the underlying
+  /// consensus reports a decision.
+  void on_uc_decided(Value v, std::uint32_t uc_rounds);
+
+  [[nodiscard]] const std::optional<Decision>& decision() const { return decision_; }
+  [[nodiscard]] bool has_proposed_to_uc() const { return proposed_; }
+
+  // Introspection for tests and the trace bench.
+  [[nodiscard]] const View& j1() const { return j1_; }
+  [[nodiscard]] const View& j2() const { return j2_; }
+  [[nodiscard]] const ConditionPair& pair() const { return *pair_; }
+
+ private:
+  void decide(Value v, DecisionPath path, std::uint32_t uc_rounds);
+
+  DexConfig cfg_;
+  std::shared_ptr<const ConditionPair> pair_;
+  IdbEngine* idb_;
+  UnderlyingConsensus* uc_;
+  Outbox* outbox_;
+
+  View j1_;
+  View j2_;
+  bool started_ = false;
+  bool proposed_ = false;  // proposed_i in Figure 1
+  bool j1_evaluated_ = false;  // single-shot ablation bookkeeping
+  bool j2_evaluated_ = false;
+  std::optional<Decision> decision_;
+};
+
+}  // namespace dex

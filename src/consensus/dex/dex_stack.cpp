@@ -1,0 +1,68 @@
+#include "consensus/dex/dex_stack.hpp"
+
+namespace dex {
+
+DexStack::DexStack(const StackConfig& cfg, std::shared_ptr<const ConditionPair> pair)
+    : DexStack(cfg, std::move(pair), default_uc_factory()) {}
+
+DexStack::DexStack(const StackConfig& cfg, std::shared_ptr<const ConditionPair> pair,
+                   UcFactory uc_factory)
+    : StackBase(cfg, std::move(uc_factory)),
+      pair_(std::move(pair)),
+      evidence_(cfg.n) {
+  DexConfig dc{cfg_.n, cfg_.t, cfg_.self, cfg_.instance,
+               cfg_.dex_continuous_reevaluation, cfg_.dex_enable_two_step};
+  engine_ = std::make_unique<DexEngine>(dc, pair_, &idb_, uc_.get(), &outbox_);
+}
+
+void DexStack::handle_plain(ProcessId src, const Message& msg) {
+  if (chan::channel(msg.tag) != chan::kDexProposalPlain) return;
+  try {
+    const Value v = ValuePayload::from_bytes(msg.payload).v;
+    evidence_.note_plain_claim(src, v);
+    engine_->on_plain_proposal(src, v);
+  } catch (const DecodeError&) {
+    // Byzantine garbage on the proposal channel; drop (and record).
+    evidence_.note_malformed(src);
+  }
+}
+
+void DexStack::handle_idb(const IdbDelivery& delivery) {
+  if (chan::channel(delivery.tag) != chan::kDexProposalIdb) return;
+  try {
+    const Value v = ValuePayload::from_bytes(delivery.payload).v;
+    evidence_.note_idb_claim(delivery.origin, v);
+    engine_->on_idb_proposal(delivery.origin, v);
+  } catch (const DecodeError&) {
+    evidence_.note_malformed(delivery.origin);
+  }
+}
+
+void DexStack::check_uc_decision() {
+  if (uc_decision_seen_) return;
+  if (const auto d = uc_->decision()) {
+    uc_decision_seen_ = true;
+    engine_->on_uc_decided(*d, uc_->rounds_used());
+  }
+}
+
+std::uint32_t DexStack::logical_steps() const {
+  const auto& d = engine_->decision();
+  if (!d.has_value()) return 0;
+  switch (d->path) {
+    case DecisionPath::kOneStep: return 1;
+    case DecisionPath::kTwoStep: return 2;  // one IDB step = two plain steps
+    case DecisionPath::kUnderlying:
+      // UC starts after J2 fills (one IDB step = 2 plain steps), then runs.
+      return 2 + uc_->logical_steps();
+  }
+  return 0;
+}
+
+bool DexStack::halted() const {
+  return engine_->decision().has_value() && uc_->halted();
+}
+
+std::string DexStack::algorithm() const { return "dex-" + pair_->name(); }
+
+}  // namespace dex

@@ -1,0 +1,47 @@
+// DexStack — a full DEX process: DexEngine + IdbEngine + underlying
+// consensus behind the ConsensusProcess interface.
+#pragma once
+
+#include <memory>
+
+#include "consensus/condition/pair.hpp"
+#include "consensus/dex/dex_engine.hpp"
+#include "consensus/evidence.hpp"
+#include "consensus/stack_base.hpp"
+
+namespace dex {
+
+class DexStack final : public StackBase {
+ public:
+  /// Production stack: RandomizedConsensus fallback with a seeded common coin.
+  DexStack(const StackConfig& cfg, std::shared_ptr<const ConditionPair> pair);
+  /// Custom underlying consensus (tests inject OracleConsensus).
+  DexStack(const StackConfig& cfg, std::shared_ptr<const ConditionPair> pair,
+           UcFactory uc_factory);
+
+  void propose(Value v) override { engine_->propose(v); }
+  [[nodiscard]] const std::optional<Decision>& decision() const override {
+    return engine_->decision();
+  }
+  [[nodiscard]] std::uint32_t logical_steps() const override;
+  [[nodiscard]] bool halted() const override;
+  [[nodiscard]] std::string algorithm() const override;
+
+  [[nodiscard]] DexEngine& engine() { return *engine_; }
+  /// Byzantine-evidence audit trail assembled from this process's own
+  /// observations (proofs of misbehavior; see evidence.hpp).
+  [[nodiscard]] const EvidenceCollector& evidence() const { return evidence_; }
+
+ protected:
+  void handle_plain(ProcessId src, const Message& msg) override;
+  void handle_idb(const IdbDelivery& delivery) override;
+  void check_uc_decision() override;
+
+ private:
+  std::shared_ptr<const ConditionPair> pair_;
+  std::unique_ptr<DexEngine> engine_;
+  EvidenceCollector evidence_{0};  // re-initialized in the constructor
+  bool uc_decision_seen_ = false;
+};
+
+}  // namespace dex

@@ -1,0 +1,67 @@
+#include "consensus/evidence.hpp"
+
+#include <sstream>
+
+namespace dex {
+
+const char* evidence_kind_name(EvidenceKind k) {
+  switch (k) {
+    case EvidenceKind::kDoublePlainClaim: return "double-plain-claim";
+    case EvidenceKind::kCrossChannelMismatch: return "cross-channel-mismatch";
+    case EvidenceKind::kMalformedPayload: return "malformed-payload";
+  }
+  return "?";
+}
+
+std::string Evidence::to_string() const {
+  std::ostringstream os;
+  os << "p" << suspect << ": " << evidence_kind_name(kind);
+  if (first_value.has_value() && second_value.has_value()) {
+    os << " (" << *first_value << " vs " << *second_value << ")";
+  }
+  return os.str();
+}
+
+void EvidenceCollector::note_plain_claim(ProcessId src, Value v) {
+  if (src < 0 || static_cast<std::size_t>(src) >= n_) return;
+  const auto [it, inserted] = plain_claims_.try_emplace(src, v);
+  if (!inserted && it->second != v &&
+      reported_.insert({src, EvidenceKind::kDoublePlainClaim}).second) {
+    evidence_.push_back(
+        Evidence{EvidenceKind::kDoublePlainClaim, src, it->second, v});
+  }
+  cross_check(src);
+}
+
+void EvidenceCollector::note_idb_claim(ProcessId origin, Value v) {
+  if (origin < 0 || static_cast<std::size_t>(origin) >= n_) return;
+  idb_claims_.try_emplace(origin, v);
+  cross_check(origin);
+}
+
+void EvidenceCollector::cross_check(ProcessId who) {
+  const auto p = plain_claims_.find(who);
+  const auto i = idb_claims_.find(who);
+  if (p == plain_claims_.end() || i == idb_claims_.end()) return;
+  if (p->second != i->second &&
+      reported_.insert({who, EvidenceKind::kCrossChannelMismatch}).second) {
+    evidence_.push_back(Evidence{EvidenceKind::kCrossChannelMismatch, who,
+                                 p->second, i->second});
+  }
+}
+
+void EvidenceCollector::note_malformed(ProcessId src) {
+  if (src < 0 || static_cast<std::size_t>(src) >= n_) return;
+  if (reported_.insert({src, EvidenceKind::kMalformedPayload}).second) {
+    evidence_.push_back(Evidence{EvidenceKind::kMalformedPayload, src,
+                                 std::nullopt, std::nullopt});
+  }
+}
+
+std::set<ProcessId> EvidenceCollector::suspects() const {
+  std::set<ProcessId> out;
+  for (const auto& e : evidence_) out.insert(e.suspect);
+  return out;
+}
+
+}  // namespace dex

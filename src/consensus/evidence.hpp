@@ -1,0 +1,70 @@
+// Byzantine-evidence collection.
+//
+// The §2.1 model has reliable, non-corrupting links, so several observations
+// a single correct process can make are *proof* of misbehavior:
+//   * two different proposal values from one sender on the plain channel
+//     (a correct process P-Sends its proposal exactly once),
+//   * a plain-channel claim that contradicts the identical-broadcast delivery
+//     for the same sender (a correct process Id-Sends the same value),
+//   * an undecodable payload on a protocol channel.
+// DexStack feeds its observations into an EvidenceCollector; applications can
+// read the audit trail (e.g. to expel suspects at reconfiguration time).
+// Evidence never influences the protocol itself — DEX's guarantees do not
+// depend on detection.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dex {
+
+enum class EvidenceKind : std::uint8_t {
+  kDoublePlainClaim,     // two different plain-channel proposals
+  kCrossChannelMismatch, // plain claim != identical-broadcast claim
+  kMalformedPayload,     // undecodable bytes on a protocol channel
+};
+
+const char* evidence_kind_name(EvidenceKind k);
+
+struct Evidence {
+  EvidenceKind kind;
+  ProcessId suspect = kNoProcess;
+  /// The conflicting values, where applicable.
+  std::optional<Value> first_value;
+  std::optional<Value> second_value;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+class EvidenceCollector {
+ public:
+  explicit EvidenceCollector(std::size_t n) : n_(n) {}
+
+  /// A proposal value observed on the plain channel from `src`.
+  void note_plain_claim(ProcessId src, Value v);
+  /// A proposal value delivered through identical broadcast for `origin`.
+  void note_idb_claim(ProcessId origin, Value v);
+  /// An undecodable payload from `src`.
+  void note_malformed(ProcessId src);
+
+  [[nodiscard]] const std::vector<Evidence>& evidence() const { return evidence_; }
+  [[nodiscard]] std::set<ProcessId> suspects() const;
+  [[nodiscard]] bool clean() const { return evidence_.empty(); }
+
+ private:
+  void cross_check(ProcessId who);
+
+  std::size_t n_;
+  std::map<ProcessId, Value> plain_claims_;
+  std::map<ProcessId, Value> idb_claims_;
+  /// Deduplication: at most one evidence record per (suspect, kind).
+  std::set<std::pair<ProcessId, EvidenceKind>> reported_;
+  std::vector<Evidence> evidence_;
+};
+
+}  // namespace dex

@@ -1,0 +1,89 @@
+#include "consensus/factory.hpp"
+
+#include "common/assert.hpp"
+#include "consensus/bosco/bosco.hpp"
+#include "consensus/condition/pair.hpp"
+#include "consensus/crash/onestep_crash.hpp"
+#include "consensus/dex/dex_stack.hpp"
+
+namespace dex {
+
+const char* algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kDexFreq: return "dex-freq";
+    case Algorithm::kDexPrv: return "dex-prv";
+    case Algorithm::kBoscoWeak: return "bosco-weak";
+    case Algorithm::kBoscoStrong: return "bosco-strong";
+    case Algorithm::kCrashOneStep: return "crash-onestep";
+    case Algorithm::kUnderlyingOnly: return "underlying-only";
+  }
+  return "?";
+}
+
+std::size_t algorithm_min_n(Algorithm a, std::size_t t) {
+  switch (a) {
+    case Algorithm::kDexFreq: return 6 * t + 1;
+    case Algorithm::kDexPrv: return 5 * t + 1;
+    case Algorithm::kBoscoWeak: return 5 * t + 1;
+    case Algorithm::kBoscoStrong: return 7 * t + 1;
+    case Algorithm::kCrashOneStep: return 5 * t + 1;  // UC bound dominates 3t+1
+    case Algorithm::kUnderlyingOnly: return 5 * t + 1;
+  }
+  return 0;
+}
+
+std::unique_ptr<ConsensusProcess> make_stack(Algorithm a, const StackConfig& cfg,
+                                             Value privileged) {
+  return make_stack(a, cfg, privileged, default_uc_factory());
+}
+
+std::unique_ptr<ConsensusProcess> make_stack(Algorithm a, const StackConfig& cfg,
+                                             Value privileged,
+                                             UcFactory uc_factory) {
+  switch (a) {
+    case Algorithm::kDexFreq:
+      return std::make_unique<DexStack>(cfg, make_frequency_pair(cfg.n, cfg.t),
+                                        std::move(uc_factory));
+    case Algorithm::kDexPrv:
+      return std::make_unique<DexStack>(
+          cfg, make_privileged_pair(cfg.n, cfg.t, privileged),
+          std::move(uc_factory));
+    case Algorithm::kBoscoWeak:
+      return std::make_unique<BoscoStack>(cfg, BoscoMode::kWeak,
+                                          std::move(uc_factory));
+    case Algorithm::kBoscoStrong:
+      return std::make_unique<BoscoStack>(cfg, BoscoMode::kStrong,
+                                          std::move(uc_factory));
+    case Algorithm::kCrashOneStep:
+      return std::make_unique<CrashStack>(cfg, std::move(uc_factory));
+    case Algorithm::kUnderlyingOnly:
+      return std::make_unique<UnderlyingOnlyStack>(cfg, std::move(uc_factory));
+  }
+  DEX_ENSURE_MSG(false, "unknown algorithm");
+  return nullptr;
+}
+
+UnderlyingOnlyStack::UnderlyingOnlyStack(const StackConfig& cfg)
+    : UnderlyingOnlyStack(cfg, default_uc_factory()) {}
+
+UnderlyingOnlyStack::UnderlyingOnlyStack(const StackConfig& cfg, UcFactory uc_factory)
+    : StackBase(cfg, std::move(uc_factory)) {}
+
+void UnderlyingOnlyStack::propose(Value v) { uc_->propose(v); }
+
+void UnderlyingOnlyStack::check_uc_decision() {
+  if (decision_.has_value()) return;
+  if (const auto d = uc_->decision()) {
+    decision_ = Decision{*d, DecisionPath::kUnderlying, uc_->rounds_used()};
+  }
+}
+
+std::uint32_t UnderlyingOnlyStack::logical_steps() const {
+  return decision_.has_value() ? uc_->logical_steps() : 0;
+}
+
+bool UnderlyingOnlyStack::halted() const {
+  return decision_.has_value() && uc_->halted();
+}
+
+}  // namespace dex

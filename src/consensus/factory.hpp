@@ -1,0 +1,60 @@
+// Factory for the protocol stacks the evaluation compares (Table 1).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "consensus/process.hpp"
+#include "consensus/stack_base.hpp"
+
+namespace dex {
+
+enum class Algorithm {
+  kDexFreq,      // DEX with the frequency-based pair (n > 6t)
+  kDexPrv,       // DEX with the privileged-value pair (n > 5t)
+  kBoscoWeak,    // BOSCO, weakly one-step guarantee regime (n > 5t)
+  kBoscoStrong,  // BOSCO, strongly one-step guarantee regime (n > 7t)
+  kCrashOneStep, // Brasileiro et al., crash model (n > 3t; UC needs n > 5t)
+  kUnderlyingOnly,  // no fast path: propose directly to the underlying consensus
+};
+
+const char* algorithm_name(Algorithm a);
+
+/// Smallest n the algorithm's guarantees require at resilience t.
+std::size_t algorithm_min_n(Algorithm a, std::size_t t);
+
+/// Builds a full stack. `privileged` is only used by kDexPrv.
+std::unique_ptr<ConsensusProcess> make_stack(Algorithm a, const StackConfig& cfg,
+                                             Value privileged = 0);
+
+/// Same, with a custom underlying-consensus factory (tests and the
+/// zero-degrading-oracle experiments).
+std::unique_ptr<ConsensusProcess> make_stack(Algorithm a, const StackConfig& cfg,
+                                             Value privileged,
+                                             UcFactory uc_factory);
+
+/// A stack that skips every fast path and simply runs the underlying
+/// consensus — the "no expedition" baseline.
+class UnderlyingOnlyStack final : public StackBase {
+ public:
+  explicit UnderlyingOnlyStack(const StackConfig& cfg);
+  UnderlyingOnlyStack(const StackConfig& cfg, UcFactory uc_factory);
+
+  void propose(Value v) override;
+  [[nodiscard]] const std::optional<Decision>& decision() const override {
+    return decision_;
+  }
+  [[nodiscard]] std::uint32_t logical_steps() const override;
+  [[nodiscard]] bool halted() const override;
+  [[nodiscard]] std::string algorithm() const override { return "underlying-only"; }
+
+ protected:
+  void handle_plain(ProcessId, const Message&) override {}
+  void handle_idb(const IdbDelivery&) override {}
+  void check_uc_decision() override;
+
+ private:
+  std::optional<Decision> decision_;
+};
+
+}  // namespace dex

@@ -1,0 +1,94 @@
+#include "consensus/idb/idb_engine.hpp"
+
+#include "common/assert.hpp"
+
+namespace dex {
+
+namespace {
+// Payloads larger than this are dropped as Byzantine garbage before they can
+// bloat slot state.
+constexpr std::size_t kMaxPayload = 1u << 20;
+}  // namespace
+
+IdbEngine::IdbEngine(std::size_t n, std::size_t t, ProcessId self,
+                     InstanceId instance, Outbox* outbox)
+    : n_(n), t_(t), self_(self), instance_(instance), outbox_(outbox) {
+  DEX_ENSURE_MSG(n > 4 * t, "identical broadcast requires n > 4t");
+  DEX_ENSURE(self >= 0 && static_cast<std::size_t>(self) < n);
+  DEX_ENSURE(outbox != nullptr);
+}
+
+void IdbEngine::id_send(std::uint64_t tag, std::vector<std::byte> payload) {
+  Message m;
+  m.kind = MsgKind::kIdbInit;
+  m.instance = instance_;
+  m.tag = tag;
+  m.origin = self_;
+  m.payload = std::move(payload);
+  ++inits_sent_;
+  outbox_->broadcast(std::move(m));
+}
+
+IdbEngine::Slot& IdbEngine::slot(ProcessId origin, std::uint64_t tag) {
+  return slots_[{origin, tag}];
+}
+
+void IdbEngine::send_echo(ProcessId origin, std::uint64_t tag,
+                          const std::vector<std::byte>& payload) {
+  Message m;
+  m.kind = MsgKind::kIdbEcho;
+  m.instance = instance_;
+  m.tag = tag;
+  m.origin = origin;
+  m.payload = payload;
+  ++echoes_sent_;
+  outbox_->broadcast(std::move(m));
+}
+
+void IdbEngine::on_message(ProcessId src, const Message& msg) {
+  if (msg.instance != instance_) return;
+  if (msg.payload.size() > kMaxPayload) return;
+  if (src < 0 || static_cast<std::size_t>(src) >= n_) return;
+
+  if (msg.kind == MsgKind::kIdbInit) {
+    // The true origin of an init is its network sender; a claimed msg.origin
+    // is ignored so a Byzantine process cannot initiate on another's behalf.
+    const ProcessId origin = src;
+    Slot& s = slot(origin, msg.tag);
+    if (s.echoed) return;  // first-echo(j)
+    s.echoed = true;
+    send_echo(origin, msg.tag, msg.payload);
+    return;
+  }
+
+  if (msg.kind == MsgKind::kIdbEcho) {
+    const ProcessId origin = msg.origin;
+    if (origin < 0 || static_cast<std::size_t>(origin) >= n_) return;
+    Slot& s = slot(origin, msg.tag);
+    auto& senders = s.echoes[msg.payload];
+    senders.insert(src);
+    const std::size_t num = senders.size();
+    // Echo amplification: n-2t matching echoes convince us to echo even if
+    // we never saw the init.
+    if (num >= n_ - 2 * t_ && !s.echoed) {
+      s.echoed = true;
+      send_echo(origin, msg.tag, msg.payload);
+    }
+    // Acceptance: n-t matching echoes.
+    if (num >= n_ - t_ && !s.accepted) {
+      s.accepted = true;
+      ++accepted_count_;
+      deliveries_.push_back(IdbDelivery{origin, msg.tag, msg.payload});
+    }
+    return;
+  }
+  // kPlain is not ours; ignore.
+}
+
+std::vector<IdbDelivery> IdbEngine::take_deliveries() {
+  std::vector<IdbDelivery> out;
+  out.swap(deliveries_);
+  return out;
+}
+
+}  // namespace dex

@@ -1,0 +1,98 @@
+#include "consensus/message.hpp"
+
+#include <sstream>
+
+namespace dex {
+
+const char* msg_kind_name(MsgKind k) {
+  switch (k) {
+    case MsgKind::kPlain: return "plain";
+    case MsgKind::kIdbInit: return "idb-init";
+    case MsgKind::kIdbEcho: return "idb-echo";
+  }
+  return "?";
+}
+
+void Message::encode(Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u64(instance);
+  w.u64(tag);
+  w.i32(origin);
+  w.varint(payload.size());
+  w.bytes(payload);
+}
+
+Message Message::decode(Reader& r) {
+  Message m;
+  const auto kind_raw = r.u8();
+  if (kind_raw > static_cast<std::uint8_t>(MsgKind::kIdbEcho)) {
+    throw DecodeError("unknown message kind");
+  }
+  m.kind = static_cast<MsgKind>(kind_raw);
+  m.instance = r.u64();
+  m.tag = r.u64();
+  m.origin = r.i32();
+  const std::uint64_t len = r.varint();
+  if (len > (1u << 24)) throw DecodeError("payload too large");
+  const auto bytes = r.bytes(static_cast<std::size_t>(len));
+  m.payload.assign(bytes.begin(), bytes.end());
+  return m;
+}
+
+std::vector<std::byte> Message::to_bytes() const {
+  Writer w(payload.size() + 32);
+  encode(w);
+  return std::move(w).take();
+}
+
+Message Message::from_bytes(std::span<const std::byte> data) {
+  Reader r(data);
+  Message m = decode(r);
+  if (!r.done()) throw DecodeError("trailing bytes after message");
+  return m;
+}
+
+std::string Message::to_string() const {
+  std::ostringstream os;
+  os << msg_kind_name(kind) << "{inst=" << instance << " tag=0x" << std::hex << tag
+     << std::dec;
+  if (origin != kNoProcess) os << " origin=" << origin;
+  os << " |payload|=" << payload.size() << "}";
+  return os.str();
+}
+
+std::vector<std::byte> ValuePayload::to_bytes() const {
+  Writer w(10);
+  w.i64(v);
+  return std::move(w).take();
+}
+
+ValuePayload ValuePayload::from_bytes(std::span<const std::byte> data) {
+  Reader r(data);
+  ValuePayload p;
+  p.v = r.i64();
+  if (!r.done()) throw DecodeError("trailing bytes in ValuePayload");
+  return p;
+}
+
+std::vector<std::byte> UcPhasePayload::to_bytes() const {
+  Writer w(16);
+  w.u32(round);
+  w.u8(phase);
+  w.boolean(has_value);
+  w.i64(v);
+  return std::move(w).take();
+}
+
+UcPhasePayload UcPhasePayload::from_bytes(std::span<const std::byte> data) {
+  Reader r(data);
+  UcPhasePayload p;
+  p.round = r.u32();
+  p.phase = r.u8();
+  p.has_value = r.boolean();
+  p.v = r.i64();
+  if (!r.done()) throw DecodeError("trailing bytes in UcPhasePayload");
+  return p;
+}
+
+}  // namespace dex

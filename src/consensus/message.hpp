@@ -1,0 +1,128 @@
+// Wire messages shared by every protocol engine.
+//
+// All traffic is a single envelope type `Message` with three kinds:
+//   kPlain    — ordinary point-to-point/broadcast payload (P-Send/P-Receive)
+//   kIdbInit  — identical-broadcast (init, m) frame
+//   kIdbEcho  — identical-broadcast (echo, m, origin) frame
+// The `tag` routes a payload to its consumer (DEX proposal channel, an
+// underlying-consensus phase, ...). Payload bytes are opaque to the envelope;
+// each consumer defines a small payload struct with its own codec. Every
+// decoder is bounds-checked: a malformed frame from a Byzantine peer yields
+// DecodeError, never undefined behaviour.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/serde.hpp"
+#include "common/types.hpp"
+
+namespace dex {
+
+enum class MsgKind : std::uint8_t { kPlain = 0, kIdbInit = 1, kIdbEcho = 2 };
+
+const char* msg_kind_name(MsgKind k);
+
+/// Channel identifiers (upper bits of `tag`). The lower 32 bits are free for
+/// per-channel sequencing (e.g. the underlying consensus packs round/phase).
+namespace chan {
+inline constexpr std::uint64_t kShift = 32;
+inline constexpr std::uint64_t kDexProposalPlain = 1ULL << kShift;  // DEX P-send
+inline constexpr std::uint64_t kDexProposalIdb = 2ULL << kShift;    // DEX Id-send
+inline constexpr std::uint64_t kUcPhase = 3ULL << kShift;           // UC EST/AUX
+inline constexpr std::uint64_t kUcDecide = 4ULL << kShift;          // UC decide relay
+inline constexpr std::uint64_t kBoscoVote = 5ULL << kShift;         // BOSCO VOTE
+inline constexpr std::uint64_t kCrashProp = 6ULL << kShift;         // crash baseline
+inline constexpr std::uint64_t kSmrDissem = 7ULL << kShift;         // SMR payloads
+
+/// Channel part of a tag.
+constexpr std::uint64_t channel(std::uint64_t tag) {
+  return tag & ~((1ULL << kShift) - 1);
+}
+/// Per-channel sequencing part of a tag.
+constexpr std::uint64_t seq(std::uint64_t tag) {
+  return tag & ((1ULL << kShift) - 1);
+}
+/// Tag for an underlying-consensus phase broadcast.
+constexpr std::uint64_t uc_phase_tag(std::uint32_t round, std::uint8_t phase) {
+  return kUcPhase | (static_cast<std::uint64_t>(round) << 8) | phase;
+}
+}  // namespace chan
+
+/// The single envelope that travels on links.
+struct Message {
+  MsgKind kind = MsgKind::kPlain;
+  InstanceId instance = 0;
+  std::uint64_t tag = 0;
+  /// For kIdbEcho: the process whose broadcast is being echoed. For kIdbInit
+  /// the origin is the sender itself. Unused for kPlain.
+  ProcessId origin = kNoProcess;
+  std::vector<std::byte> payload;
+
+  void encode(Writer& w) const;
+  static Message decode(Reader& r);
+
+  /// Full frame helpers (encode-to-buffer / decode-with-validation).
+  [[nodiscard]] std::vector<std::byte> to_bytes() const;
+  static Message from_bytes(std::span<const std::byte> data);
+
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const Message&) const = default;
+};
+
+/// A message queued for transmission. dst == kBroadcastDst fans out to all n
+/// processes including the sender (engines rely on self-delivery so their own
+/// entry appears in views and their own echoes count toward thresholds).
+inline constexpr ProcessId kBroadcastDst = -2;
+
+struct Outgoing {
+  ProcessId dst = kBroadcastDst;
+  Message msg;
+};
+
+/// Collects outgoing messages from the engines of one process; the host
+/// (simulator, threaded cluster, TCP node) drains it after every callback.
+class Outbox {
+ public:
+  void send(ProcessId dst, Message msg) { queue_.push_back({dst, std::move(msg)}); }
+  void broadcast(Message msg) { queue_.push_back({kBroadcastDst, std::move(msg)}); }
+  [[nodiscard]] std::vector<Outgoing> drain() {
+    std::vector<Outgoing> out;
+    out.swap(queue_);
+    return out;
+  }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+
+ private:
+  std::vector<Outgoing> queue_;
+};
+
+// ---------------------------------------------------------------------------
+// Payloads
+// ---------------------------------------------------------------------------
+
+/// A bare value: DEX proposals, BOSCO votes, UC decide notifications, crash
+/// baseline proposals.
+struct ValuePayload {
+  Value v = 0;
+
+  [[nodiscard]] std::vector<std::byte> to_bytes() const;
+  static ValuePayload from_bytes(std::span<const std::byte> data);
+};
+
+/// An underlying-consensus phase message. `has_value` is false for the ⊥
+/// AUX vote (no candidate seen).
+struct UcPhasePayload {
+  std::uint32_t round = 0;
+  std::uint8_t phase = 0;  // 1 = EST, 2 = AUX
+  bool has_value = true;
+  Value v = 0;
+
+  [[nodiscard]] std::vector<std::byte> to_bytes() const;
+  static UcPhasePayload from_bytes(std::span<const std::byte> data);
+};
+
+}  // namespace dex

@@ -1,0 +1,54 @@
+// ConsensusProcess — the host-agnostic interface of one process's protocol
+// stack for a single consensus instance.
+//
+// Hosts (the discrete-event simulator, the threaded in-process cluster, the
+// TCP runtime) own the event loop: they feed packets in via on_packet() and
+// transmit whatever drain_outbox() returns. Engines never block and never
+// touch the network themselves, which is what makes every protocol in the
+// library deterministic and unit-testable.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "consensus/decision.hpp"
+#include "consensus/message.hpp"
+
+namespace dex {
+
+class ConsensusProcess {
+ public:
+  virtual ~ConsensusProcess() = default;
+
+  /// Start the instance with this process's proposal. At most once.
+  virtual void propose(Value v) = 0;
+
+  /// Deliver one envelope from the network. `src` is the authenticated
+  /// transport-level sender (hosts guarantee it; Byzantine processes can lie
+  /// inside payloads but not about src).
+  virtual void on_packet(ProcessId src, const Message& msg) = 0;
+
+  /// Re-evaluate cross-engine conditions that may have changed without a
+  /// packet (used by hosts that mutate engines out of band, e.g. the oracle
+  /// underlying consensus).
+  virtual void poll() {}
+
+  /// Messages queued since the last drain. Hosts expand kBroadcastDst to all
+  /// n processes including the sender (self-delivery is load-bearing).
+  [[nodiscard]] virtual std::vector<Outgoing> drain_outbox() = 0;
+
+  [[nodiscard]] virtual const std::optional<Decision>& decision() const = 0;
+
+  /// Plain communication steps on this process's decision path (the paper's
+  /// step metric). Meaningful once decided.
+  [[nodiscard]] virtual std::uint32_t logical_steps() const = 0;
+
+  /// True once this process will produce no further messages.
+  [[nodiscard]] virtual bool halted() const = 0;
+
+  [[nodiscard]] virtual std::string algorithm() const = 0;
+  [[nodiscard]] virtual ProcessId self() const = 0;
+};
+
+}  // namespace dex

@@ -1,0 +1,48 @@
+#include "consensus/stack_base.hpp"
+
+namespace dex {
+
+UcFactory default_uc_factory() {
+  return [](const StackConfig& cfg, IdbEngine* idb, Outbox* outbox) {
+    RandomizedConsensusConfig ucc;
+    ucc.n = cfg.n;
+    ucc.t = cfg.t;
+    ucc.self = cfg.self;
+    ucc.instance = cfg.instance;
+    ucc.max_rounds = cfg.max_uc_rounds;
+    return std::make_unique<RandomizedConsensus>(
+        ucc, make_common_coin(cfg.coin_seed, cfg.n), idb, outbox);
+  };
+}
+
+StackBase::StackBase(const StackConfig& cfg, UcFactory uc_factory)
+    : cfg_(cfg), idb_(cfg.n, cfg.t, cfg.self, cfg.instance, &outbox_) {
+  uc_ = uc_factory(cfg_, &idb_, &outbox_);
+}
+
+void StackBase::on_packet(ProcessId src, const Message& msg) {
+  if (msg.instance != cfg_.instance) return;
+  switch (msg.kind) {
+    case MsgKind::kPlain:
+      if (chan::channel(msg.tag) == chan::kUcDecide) {
+        uc_->on_plain(src, msg);
+      } else {
+        handle_plain(src, msg);
+      }
+      break;
+    case MsgKind::kIdbInit:
+    case MsgKind::kIdbEcho:
+      idb_.on_message(src, msg);
+      for (const IdbDelivery& d : idb_.take_deliveries()) {
+        if (chan::channel(d.tag) == chan::kUcPhase) {
+          uc_->on_idb(d);
+        } else {
+          handle_idb(d);
+        }
+      }
+      break;
+  }
+  check_uc_decision();
+}
+
+}  // namespace dex

@@ -1,0 +1,64 @@
+// StackBase — plumbing shared by every protocol stack (DEX, BOSCO, crash
+// baseline): an outbox, an identical-broadcast engine, an underlying
+// consensus, and the packet demultiplexer that routes envelopes to them.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "consensus/idb/idb_engine.hpp"
+#include "consensus/process.hpp"
+#include "consensus/underlying/coin.hpp"
+#include "consensus/underlying/randomized.hpp"
+
+namespace dex {
+
+struct StackConfig {
+  std::size_t n = 0;
+  std::size_t t = 0;
+  ProcessId self = kNoProcess;
+  InstanceId instance = 0;
+  /// Seed of the shared common coin; all processes of an instance must use
+  /// the same value (it is configuration, not a secret).
+  std::uint64_t coin_seed = 0xC01Cu;
+  std::uint32_t max_uc_rounds = 1000;
+  /// DEX ablation switches (see DexConfig); ignored by other stacks.
+  bool dex_continuous_reevaluation = true;
+  bool dex_enable_two_step = true;
+};
+
+/// Builds the underlying consensus for a stack. The default factory creates
+/// RandomizedConsensus with a seeded common coin; tests inject OracleConsensus.
+using UcFactory = std::function<std::unique_ptr<UnderlyingConsensus>(
+    const StackConfig&, IdbEngine*, Outbox*)>;
+
+UcFactory default_uc_factory();
+
+class StackBase : public ConsensusProcess {
+ public:
+  StackBase(const StackConfig& cfg, UcFactory uc_factory);
+
+  void on_packet(ProcessId src, const Message& msg) final;
+  void poll() final { check_uc_decision(); }
+  [[nodiscard]] std::vector<Outgoing> drain_outbox() final { return outbox_.drain(); }
+  [[nodiscard]] ProcessId self() const final { return cfg_.self; }
+
+  [[nodiscard]] IdbEngine& idb() { return idb_; }
+  [[nodiscard]] UnderlyingConsensus& uc() { return *uc_; }
+  [[nodiscard]] const StackConfig& config() const { return cfg_; }
+
+ protected:
+  /// Handle a plain-channel message that is not for the underlying consensus.
+  virtual void handle_plain(ProcessId src, const Message& msg) = 0;
+  /// Handle an IDB delivery that is not for the underlying consensus.
+  virtual void handle_idb(const IdbDelivery& delivery) = 0;
+  /// Propagate a fresh underlying-consensus decision into the top engine.
+  virtual void check_uc_decision() = 0;
+
+  StackConfig cfg_;
+  Outbox outbox_;
+  IdbEngine idb_;
+  std::unique_ptr<UnderlyingConsensus> uc_;
+};
+
+}  // namespace dex

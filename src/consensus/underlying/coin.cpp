@@ -1,0 +1,35 @@
+#include "consensus/underlying/coin.hpp"
+
+#include "common/assert.hpp"
+
+namespace dex {
+
+SeededCommonCoin::SeededCommonCoin(std::uint64_t seed, std::size_t n)
+    : seed_(seed), n_(n) {
+  DEX_ENSURE(n > 0);
+}
+
+ProcessId SeededCommonCoin::pick_index(InstanceId instance,
+                                       std::uint32_t round) const {
+  const std::uint64_t h =
+      mix64(seed_ ^ mix64(instance) ^ (static_cast<std::uint64_t>(round) << 32 | round));
+  return static_cast<ProcessId>(h % n_);
+}
+
+LocalCoin::LocalCoin(std::uint64_t seed, std::size_t n) : rng_(seed), n_(n) {
+  DEX_ENSURE(n > 0);
+}
+
+ProcessId LocalCoin::pick_index(InstanceId, std::uint32_t) const {
+  return static_cast<ProcessId>(rng_.next_below(n_));
+}
+
+std::shared_ptr<const CoinSource> make_common_coin(std::uint64_t seed, std::size_t n) {
+  return std::make_shared<const SeededCommonCoin>(seed, n);
+}
+
+std::shared_ptr<const CoinSource> make_local_coin(std::uint64_t seed, std::size_t n) {
+  return std::make_shared<const LocalCoin>(seed, n);
+}
+
+}  // namespace dex

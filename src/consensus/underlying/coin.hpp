@@ -1,0 +1,59 @@
+// Common-coin abstraction for the randomized underlying consensus.
+//
+// The coin returns a process *index* for a round; a process then adopts the
+// round-1 estimate it Id-delivered from that index (identical broadcast makes
+// the adopted value consistent across every process that has it). A shared
+// seed therefore yields a common coin with no shared state and no crypto —
+// this is the library's documented substitution for a threshold-signature
+// common-coin scheme (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace dex {
+
+class CoinSource {
+ public:
+  virtual ~CoinSource() = default;
+  /// The process index suggested for (instance, round). For a common coin
+  /// this must be identical at every correct process.
+  [[nodiscard]] virtual ProcessId pick_index(InstanceId instance,
+                                             std::uint32_t round) const = 0;
+};
+
+/// Deterministic pseudorandom index from (seed, instance, round): every
+/// process constructed with the same seed computes the same index. Expected
+/// O(1) extra rounds once the network has quiesced.
+class SeededCommonCoin final : public CoinSource {
+ public:
+  SeededCommonCoin(std::uint64_t seed, std::size_t n);
+  [[nodiscard]] ProcessId pick_index(InstanceId instance,
+                                     std::uint32_t round) const override;
+
+ private:
+  std::uint64_t seed_;
+  std::size_t n_;
+};
+
+/// Independent per-process coin (no shared seed). Termination is still
+/// almost-sure but the expected round count is exponential in n — provided
+/// for completeness and for demonstrating why common coins matter.
+class LocalCoin final : public CoinSource {
+ public:
+  LocalCoin(std::uint64_t seed, std::size_t n);
+  [[nodiscard]] ProcessId pick_index(InstanceId instance,
+                                     std::uint32_t round) const override;
+
+ private:
+  mutable Rng rng_;
+  std::size_t n_;
+};
+
+std::shared_ptr<const CoinSource> make_common_coin(std::uint64_t seed, std::size_t n);
+std::shared_ptr<const CoinSource> make_local_coin(std::uint64_t seed, std::size_t n);
+
+}  // namespace dex

@@ -1,0 +1,37 @@
+#include "consensus/underlying/oracle.hpp"
+
+#include <algorithm>
+
+namespace dex {
+
+void OracleHub::submit(ProcessId from, Value v) {
+  if (decision_.has_value()) return;
+  proposals_.try_emplace(from, v);
+  if (proposals_.size() < quorum_) return;
+  // Most frequent proposal; ties toward the largest value (deterministic).
+  std::map<Value, std::size_t> counts;
+  for (const auto& [p, val] : proposals_) ++counts[val];
+  Value best = counts.begin()->first;
+  std::size_t best_count = 0;
+  for (const auto& [val, c] : counts) {
+    if (c >= best_count) {  // ascending value order → ties pick larger value
+      best = val;
+      best_count = c;
+    }
+  }
+  decision_ = best;
+  for (const auto& cb : callbacks_) cb(best);
+}
+
+OracleConsensus::OracleConsensus(ProcessId self, std::shared_ptr<OracleHub> hub)
+    : self_(self), hub_(std::move(hub)) {}
+
+void OracleConsensus::propose(Value v) {
+  if (hub_) hub_->submit(self_, v);
+}
+
+void OracleConsensus::deliver_decision(Value v) {
+  if (!decision_.has_value()) decision_ = v;
+}
+
+}  // namespace dex

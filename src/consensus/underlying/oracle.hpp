@@ -1,0 +1,71 @@
+// OracleConsensus — a host-coordinated test double for the underlying
+// consensus primitive.
+//
+// Unit tests of the DEX/BOSCO state machines want an underlying consensus
+// with scriptable timing and trivially verifiable agreement. OracleConsensus
+// forwards proposals to an OracleHub shared by all processes of an instance;
+// once the hub has proposals from `quorum` distinct processes it fixes the
+// decision (the most frequent proposal, largest-value tie-break — which
+// satisfies Unanimity because correct processes dominate any quorum) and the
+// host delivers it to every process, with whatever delay it likes.
+//
+// This is NOT a distributed protocol: it exists so tests can isolate the
+// paper's algorithm from the fallback's message traffic. Production stacks
+// use RandomizedConsensus.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "consensus/underlying/underlying.hpp"
+
+namespace dex {
+
+class OracleHub {
+ public:
+  /// quorum: proposals needed before the decision is fixed (use n - t).
+  explicit OracleHub(std::size_t quorum) : quorum_(quorum) {}
+
+  /// Ask to be notified (synchronously, from whatever context calls
+  /// submit()) when the decision fixes. The host forwards to processes with
+  /// its own scheduling/delays.
+  void on_decision(std::function<void(Value)> cb) { callbacks_.push_back(std::move(cb)); }
+
+  void submit(ProcessId from, Value v);
+
+  [[nodiscard]] std::optional<Value> fixed() const { return decision_; }
+
+ private:
+  std::size_t quorum_;
+  std::map<ProcessId, Value> proposals_;
+  std::optional<Value> decision_;
+  std::vector<std::function<void(Value)>> callbacks_;
+};
+
+class OracleConsensus final : public UnderlyingConsensus {
+ public:
+  OracleConsensus(ProcessId self, std::shared_ptr<OracleHub> hub);
+
+  void propose(Value v) override;
+  void on_plain(ProcessId, const Message&) override {}
+  void on_idb(const IdbDelivery&) override {}
+
+  /// The host calls this to deliver the hub's decision to this process.
+  void deliver_decision(Value v);
+
+  [[nodiscard]] std::optional<Value> decision() const override { return decision_; }
+  [[nodiscard]] std::uint32_t rounds_used() const override { return decision_ ? 1 : 0; }
+  [[nodiscard]] std::uint32_t logical_steps() const override { return decision_ ? 2 : 0; }
+  [[nodiscard]] bool halted() const override { return decision_.has_value(); }
+  [[nodiscard]] std::string name() const override { return "oracle"; }
+
+ private:
+  ProcessId self_;
+  std::shared_ptr<OracleHub> hub_;
+  std::optional<Value> decision_;
+};
+
+}  // namespace dex

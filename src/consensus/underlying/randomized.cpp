@@ -1,0 +1,187 @@
+#include "consensus/underlying/randomized.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace dex {
+
+RandomizedConsensus::RandomizedConsensus(RandomizedConsensusConfig cfg,
+                                         std::shared_ptr<const CoinSource> coin,
+                                         IdbEngine* idb, Outbox* outbox)
+    : cfg_(cfg), coin_(std::move(coin)), idb_(idb), outbox_(outbox) {
+  DEX_ENSURE_MSG(cfg_.n > 5 * cfg_.t, "randomized consensus requires n > 5t");
+  DEX_ENSURE(cfg_.self >= 0 && static_cast<std::size_t>(cfg_.self) < cfg_.n);
+  DEX_ENSURE(coin_ != nullptr && idb_ != nullptr && outbox_ != nullptr);
+}
+
+void RandomizedConsensus::send_phase(std::uint32_t round, std::uint8_t phase,
+                                     std::optional<Value> v) {
+  UcPhasePayload p;
+  p.round = round;
+  p.phase = phase;
+  p.has_value = v.has_value();
+  p.v = v.value_or(0);
+  idb_->id_send(chan::uc_phase_tag(round, phase), p.to_bytes());
+}
+
+void RandomizedConsensus::propose(Value v) {
+  if (proposed_ || halted_) return;
+  proposed_ = true;
+  est_ = v;
+  round_ = 1;
+  phase_ = 1;
+  send_phase(1, 1, est_);
+  advance();
+}
+
+RandomizedConsensus::PhaseView& RandomizedConsensus::view(std::uint32_t round,
+                                                          std::uint8_t phase) {
+  return views_[{round, phase}];
+}
+
+void RandomizedConsensus::on_idb(const IdbDelivery& delivery) {
+  if (halted_) return;
+  if (chan::channel(delivery.tag) != chan::kUcPhase) return;
+  const auto seq = chan::seq(delivery.tag);
+  const auto tag_round = static_cast<std::uint32_t>(seq >> 8);
+  const auto tag_phase = static_cast<std::uint8_t>(seq & 0xff);
+  if (tag_phase != 1 && tag_phase != 2) return;
+  if (tag_round == 0 || tag_round > cfg_.max_rounds + 1) return;
+
+  UcPhasePayload p;
+  try {
+    p = UcPhasePayload::from_bytes(delivery.payload);
+  } catch (const DecodeError&) {
+    return;  // Byzantine garbage
+  }
+  // The payload must agree with the broadcast tag, and EST votes must carry a
+  // value (only AUX may vote ⊥).
+  if (p.round != tag_round || p.phase != tag_phase) return;
+  if (tag_phase == 1 && !p.has_value) return;
+
+  auto& pv = view(tag_round, tag_phase);
+  const std::optional<Value> vote =
+      p.has_value ? std::optional<Value>(p.v) : std::nullopt;
+  // IDB accepts once per (origin, tag), so this insert cannot conflict; keep
+  // first-wins anyway for defence in depth.
+  pv.votes.try_emplace(delivery.origin, vote);
+  if (tag_round == 1 && tag_phase == 1) {
+    round1_ests_.try_emplace(delivery.origin, p.v);
+  }
+  advance();
+}
+
+void RandomizedConsensus::on_plain(ProcessId src, const Message& msg) {
+  if (halted_) return;
+  if (chan::channel(msg.tag) != chan::kUcDecide) return;
+  if (src < 0 || static_cast<std::size_t>(src) >= cfg_.n) return;
+  Value v;
+  try {
+    v = ValuePayload::from_bytes(msg.payload).v;
+  } catch (const DecodeError&) {
+    return;
+  }
+  auto& senders = decide_senders_[v];
+  senders.insert(src);
+  // Fast-forward: t+1 matching DECIDEs contain at least one correct decider.
+  if (!decision_.has_value() && senders.size() >= cfg_.t + 1) {
+    decided_via_relay_ = true;
+    decide(v, round_);
+  }
+  // Halt once n-t processes confirm the decision — from then on every correct
+  // process can decide from the t+1 correct DECIDEs among them, so we may
+  // safely stop participating in rounds.
+  if (decision_.has_value() &&
+      decide_senders_[*decision_].size() >= cfg_.n - cfg_.t) {
+    halted_ = true;
+  }
+}
+
+void RandomizedConsensus::decide(Value v, std::uint32_t round) {
+  if (decision_.has_value()) return;
+  decision_ = v;
+  decide_round_ = round;
+  est_ = v;
+  if (!decide_broadcast_) {
+    decide_broadcast_ = true;
+    Message m;
+    m.kind = MsgKind::kPlain;
+    m.instance = cfg_.instance;
+    m.tag = chan::kUcDecide;
+    m.payload = ValuePayload{v}.to_bytes();
+    outbox_->broadcast(std::move(m));
+  }
+}
+
+void RandomizedConsensus::advance() {
+  const std::size_t quorum = cfg_.n - cfg_.t;
+  while (proposed_ && !halted_ && !gave_up_) {
+    if (phase_ == 1) {
+      auto& pv = view(round_, 1);
+      if (pv.votes.size() < quorum) return;
+      // Candidate: the unique value with more than (n+t)/2 EST votes, if any.
+      std::map<Value, std::size_t> counts;
+      for (const auto& [sender, vote] : pv.votes) {
+        if (vote.has_value()) ++counts[*vote];
+      }
+      std::optional<Value> candidate;
+      for (const auto& [val, c] : counts) {
+        if (2 * c > cfg_.n + cfg_.t) {
+          candidate = val;
+          break;
+        }
+      }
+      send_phase(round_, 2, candidate);
+      phase_ = 2;
+      continue;
+    }
+
+    // phase_ == 2
+    auto& pv = view(round_, 2);
+    if (pv.votes.size() < quorum) return;
+    std::map<Value, std::size_t> counts;
+    for (const auto& [sender, vote] : pv.votes) {
+      if (vote.has_value()) ++counts[*vote];
+    }
+    std::optional<Value> top;
+    std::size_t top_count = 0;
+    for (const auto& [val, c] : counts) {
+      if (c > top_count || (c == top_count && top.has_value() && val > *top)) {
+        top = val;
+        top_count = c;
+      }
+    }
+    if (top.has_value() && top_count >= cfg_.n - 2 * cfg_.t) {
+      decide(*top, round_);
+      est_ = *top;
+    } else if (top.has_value() && top_count >= cfg_.t + 1) {
+      est_ = *top;
+    } else {
+      // Coin adoption: take the round-1 estimate of the coin's index if we
+      // hold it (identical broadcast makes it consistent across holders).
+      const ProcessId idx = coin_->pick_index(cfg_.instance, round_);
+      const auto it = round1_ests_.find(idx);
+      if (it != round1_ests_.end()) est_ = it->second;
+    }
+
+    ++round_;
+    if (round_ > cfg_.max_rounds) {
+      gave_up_ = true;
+      DEX_LOG(kError, "uc") << "p" << cfg_.self << " gave up after "
+                            << cfg_.max_rounds << " rounds";
+      return;
+    }
+    phase_ = 1;
+    send_phase(round_, 1, est_);
+  }
+}
+
+std::uint32_t RandomizedConsensus::logical_steps() const {
+  // Each round is two IDB broadcasts = four plain steps; a relay-decided
+  // process paid one extra plain step for the DECIDE hop.
+  return 4 * decide_round_ + (decided_via_relay_ ? 1 : 0);
+}
+
+}  // namespace dex

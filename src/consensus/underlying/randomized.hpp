@@ -1,0 +1,112 @@
+// RandomizedConsensus — a multivalued Ben-Or-style Byzantine consensus over
+// identical broadcast, with a pluggable (common) coin.
+//
+// Requires n > 5t. All round messages travel via IDB, which removes
+// per-message equivocation: every process observes the same value for a given
+// (sender, round, phase). Each round has two phases:
+//
+//   Phase 1 (EST):  Id-send (EST, r, est). Wait for n-t ESTs. If some value w
+//                   has more than (n+t)/2 occurrences, w becomes the round's
+//                   *candidate* (at most one value can); Id-send (AUX, r, w),
+//                   otherwise Id-send (AUX, r, ⊥).
+//   Phase 2 (AUX):  Wait for n-t AUXs. Let u be the most frequent non-⊥ AUX
+//                   value with count c.
+//                     c >= n-2t  → decide u (and est := u)
+//                     c >= t+1   → est := u
+//                     otherwise  → est := round-1 EST of coin index (if held)
+//
+// Deciding processes broadcast DECIDE(u) on the plain channel and keep
+// participating in rounds until they have collected DECIDE(u) from n-t
+// distinct senders (so laggards never starve); t+1 matching DECIDEs are
+// themselves sufficient to decide (fast-forward).
+//
+// Safety sketch (n >= 5t+1):
+//  * Candidate uniqueness: two values above (n+t)/2 would need > n+t distinct
+//    voters; there are only n and IDB pins one EST per sender per round.
+//  * Same-round agreement: all non-⊥ AUX values of correct processes equal
+//    the unique candidate; Byzantine senders add at most t to any other
+//    value, below the t+1 adoption threshold.
+//  * Persistence: a decision with c >= n-2t leaves every correct process with
+//    at least n-4t >= t+1 u-AUXs in its own n-t view, so all correct set
+//    est := u, making the next round unanimous and decided.
+//  * Unanimity: if all correct propose v, every n-t view has >= n-2t >
+//    (n+t)/2 v-ESTs, so round 1 decides v.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "consensus/underlying/coin.hpp"
+#include "consensus/underlying/underlying.hpp"
+
+namespace dex {
+
+struct RandomizedConsensusConfig {
+  std::size_t n = 0;
+  std::size_t t = 0;
+  ProcessId self = kNoProcess;
+  InstanceId instance = 0;
+  /// Safety valve against runaway executions (e.g. a miswired local coin in a
+  /// hostile schedule). When hit, the engine stops emitting round messages
+  /// and reports gave_up(); it never decides wrongly.
+  std::uint32_t max_rounds = 1000;
+};
+
+class RandomizedConsensus final : public UnderlyingConsensus {
+ public:
+  RandomizedConsensus(RandomizedConsensusConfig cfg,
+                      std::shared_ptr<const CoinSource> coin, IdbEngine* idb,
+                      Outbox* outbox);
+
+  void propose(Value v) override;
+  void on_plain(ProcessId src, const Message& msg) override;
+  void on_idb(const IdbDelivery& delivery) override;
+
+  [[nodiscard]] std::optional<Value> decision() const override { return decision_; }
+  [[nodiscard]] std::uint32_t rounds_used() const override { return decide_round_; }
+  [[nodiscard]] std::uint32_t logical_steps() const override;
+  [[nodiscard]] bool halted() const override { return halted_; }
+  [[nodiscard]] std::string name() const override { return "randomized-benor"; }
+
+  [[nodiscard]] bool gave_up() const { return gave_up_; }
+  [[nodiscard]] std::uint32_t current_round() const { return round_; }
+
+ private:
+  struct PhaseView {
+    /// Per-sender AUX/EST content; nullopt value = explicit ⊥ AUX vote.
+    std::map<ProcessId, std::optional<Value>> votes;
+  };
+
+  void advance();
+  void start_round(std::uint32_t round);
+  void decide(Value v, std::uint32_t round);
+  void send_phase(std::uint32_t round, std::uint8_t phase, std::optional<Value> v);
+  PhaseView& view(std::uint32_t round, std::uint8_t phase);
+
+  RandomizedConsensusConfig cfg_;
+  std::shared_ptr<const CoinSource> coin_;
+  IdbEngine* idb_;
+  Outbox* outbox_;
+
+  bool proposed_ = false;
+  Value est_ = 0;
+  std::uint32_t round_ = 0;   // current round (1-based once proposed)
+  std::uint8_t phase_ = 0;    // phase we are *waiting on* (1 or 2)
+
+  std::map<std::pair<std::uint32_t, std::uint8_t>, PhaseView> views_;
+  /// Round-1 EST per sender — the coin's adoption pool.
+  std::map<ProcessId, Value> round1_ests_;
+
+  std::optional<Value> decision_;
+  std::uint32_t decide_round_ = 0;
+  bool decided_via_relay_ = false;
+  bool decide_broadcast_ = false;
+  /// DECIDE senders per value.
+  std::map<Value, std::set<ProcessId>> decide_senders_;
+
+  bool halted_ = false;
+  bool gave_up_ = false;
+};
+
+}  // namespace dex

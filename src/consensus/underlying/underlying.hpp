@@ -1,0 +1,52 @@
+// The underlying consensus primitive assumed by the paper (§2.2).
+//
+// DEX (and the BOSCO / crash baselines) fall back to a consensus that
+// guarantees Termination, Agreement and Unanimity but makes no timing
+// promises — exactly the abstraction the paper assumes. The library ships
+// two implementations:
+//   * RandomizedConsensus — a real message-passing protocol (randomized.hpp)
+//   * OracleConsensus     — a host-coordinated test double (oracle.hpp)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+#include "consensus/idb/idb_engine.hpp"
+#include "consensus/message.hpp"
+
+namespace dex {
+
+class UnderlyingConsensus {
+ public:
+  virtual ~UnderlyingConsensus() = default;
+
+  /// UC_propose(v). Called at most once per instance by the host protocol.
+  virtual void propose(Value v) = 0;
+
+  /// Feed a plain-channel message addressed to the underlying consensus
+  /// (channel chan::kUcDecide for the shipped implementation).
+  virtual void on_plain(ProcessId src, const Message& msg) = 0;
+
+  /// Feed an identical-broadcast delivery on channel chan::kUcPhase.
+  virtual void on_idb(const IdbDelivery& delivery) = 0;
+
+  /// UC_decide(v): set once the primitive has decided.
+  [[nodiscard]] virtual std::optional<Value> decision() const = 0;
+
+  /// Rounds executed up to the decision (0 if undecided / not round-based).
+  [[nodiscard]] virtual std::uint32_t rounds_used() const = 0;
+
+  /// Plain communication steps contributed by this primitive up to its
+  /// decision (used for the benches' logical step accounting).
+  [[nodiscard]] virtual std::uint32_t logical_steps() const = 0;
+
+  /// True once the primitive will produce no further messages (safe to stop
+  /// pumping this process).
+  [[nodiscard]] virtual bool halted() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace dex

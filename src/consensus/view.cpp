@@ -1,0 +1,123 @@
+#include "consensus/view.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace dex {
+
+InputVector InputVector::uniform(std::size_t n, Value v) {
+  return InputVector(std::vector<Value>(n, v));
+}
+
+View InputVector::as_view() const {
+  View j(size());
+  for (std::size_t i = 0; i < size(); ++i) j.set(i, values_[i]);
+  return j;
+}
+
+std::string InputVector::to_string() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (i) os << ", ";
+    os << values_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+std::size_t FreqStats::count_of(Value v) const {
+  const auto it = counts_.find(v);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+void View::set(std::size_t i, Value v) {
+  DEX_ENSURE_MSG(i < entries_.size(), "view index out of range");
+  if (!entries_[i].has_value()) ++known_;
+  entries_[i] = v;
+}
+
+void View::clear(std::size_t i) {
+  DEX_ENSURE_MSG(i < entries_.size(), "view index out of range");
+  if (entries_[i].has_value()) --known_;
+  entries_[i].reset();
+}
+
+std::size_t View::count_of(Value v) const {
+  std::size_t c = 0;
+  for (const auto& e : entries_) {
+    if (e.has_value() && *e == v) ++c;
+  }
+  return c;
+}
+
+FreqStats View::freq() const {
+  FreqStats s;
+  for (const auto& e : entries_) {
+    if (e.has_value()) ++s.counts_[*e];
+  }
+  // 1st(J): most frequent; ties broken toward the larger value (paper §3.3).
+  for (const auto& [v, c] : s.counts_) {
+    if (!s.first_ || c > s.first_count_ || (c == s.first_count_ && v > *s.first_)) {
+      s.first_ = v;
+      s.first_count_ = c;
+    }
+  }
+  // 2nd(J) = 1st(Ĵ): same rule over the remaining values.
+  for (const auto& [v, c] : s.counts_) {
+    if (v == s.first_) continue;
+    if (!s.second_ || c > s.second_count_ ||
+        (c == s.second_count_ && v > *s.second_)) {
+      s.second_ = v;
+      s.second_count_ = c;
+    }
+  }
+  return s;
+}
+
+bool View::contained_in(const View& other) const {
+  DEX_ENSURE(size() == other.size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (entries_[i].has_value() &&
+        (!other.entries_[i].has_value() || *entries_[i] != *other.entries_[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t View::dist(const View& a, const View& b) {
+  DEX_ENSURE(a.size() == b.size());
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.entries_[i] != b.entries_[i]) ++d;
+  }
+  return d;
+}
+
+std::size_t View::dist(const View& j, const InputVector& i) {
+  DEX_ENSURE(j.size() == i.size());
+  std::size_t d = 0;
+  for (std::size_t k = 0; k < j.size(); ++k) {
+    if (!j.entries_[k].has_value() || *j.entries_[k] != i[k]) ++d;
+  }
+  return d;
+}
+
+std::string View::to_string() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (i) os << ", ";
+    if (entries_[i].has_value()) {
+      os << *entries_[i];
+    } else {
+      os << "⊥";
+    }
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace dex

@@ -1,0 +1,128 @@
+// Views and input vectors — the paper's §3.1 notation.
+//
+// An *input vector* I ∈ V^n holds the value proposed by every process. A
+// *view* J ∈ (V ∪ {⊥})^n is an input vector with at most t entries replaced
+// by ⊥ (unknown — message not yet received, or sender silent). Views are what
+// each process actually assembles from received messages, and every predicate
+// in the condition-based framework is evaluated on views.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dex {
+
+class View;
+
+/// An input vector I ∈ V^n: the k-th entry is the value proposed by p_k.
+/// Entries of Byzantine processes are "meaningless" per the paper — they are
+/// whatever the adversary chose to claim.
+class InputVector {
+ public:
+  InputVector() = default;
+  explicit InputVector(std::vector<Value> values) : values_(std::move(values)) {}
+  /// All-n processes propose `v`.
+  static InputVector uniform(std::size_t n, Value v);
+
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] Value operator[](std::size_t i) const { return values_[i]; }
+  Value& operator[](std::size_t i) { return values_[i]; }
+  [[nodiscard]] const std::vector<Value>& values() const { return values_; }
+
+  /// The full view of this vector (no ⊥ entries).
+  [[nodiscard]] View as_view() const;
+
+  bool operator==(const InputVector&) const = default;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+/// Frequency statistics of a view: the paper's 1st(J), 2nd(J), #_v(J).
+///
+/// 1st(J) is the most frequent non-⊥ value; ties break toward the largest
+/// value. 2nd(J) = 1st(Ĵ) where Ĵ removes every occurrence of 1st(J). If J
+/// has no non-⊥ value the stats are empty; if it has exactly one distinct
+/// value, second() is nullopt and second_count() is 0 (so the margin
+/// `first_count - second_count` degenerates to first_count, matching the
+/// convention used by the paper's conditions).
+class FreqStats {
+ public:
+  FreqStats() = default;
+
+  [[nodiscard]] bool empty() const { return !first_.has_value(); }
+  [[nodiscard]] std::optional<Value> first() const { return first_; }
+  [[nodiscard]] std::optional<Value> second() const { return second_; }
+  [[nodiscard]] std::size_t first_count() const { return first_count_; }
+  [[nodiscard]] std::size_t second_count() const { return second_count_; }
+  /// #_1st(J) − #_2nd(J); 0 for an empty view.
+  [[nodiscard]] std::size_t margin() const { return first_count_ - second_count_; }
+  /// #_v(J) for an arbitrary value.
+  [[nodiscard]] std::size_t count_of(Value v) const;
+  [[nodiscard]] std::size_t distinct_values() const { return counts_.size(); }
+
+ private:
+  friend class View;
+  std::optional<Value> first_;
+  std::optional<Value> second_;
+  std::size_t first_count_ = 0;
+  std::size_t second_count_ = 0;
+  std::unordered_map<Value, std::size_t> counts_;
+};
+
+/// A view J ∈ (V ∪ {⊥})^n. Entry i is either a value or ⊥ (unknown).
+class View {
+ public:
+  View() = default;
+  /// The all-⊥ view of dimension n (the paper's ⊥^n).
+  explicit View(std::size_t n) : entries_(n) {}
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Number of non-⊥ entries — the paper's |J|.
+  [[nodiscard]] std::size_t known_count() const { return known_; }
+  [[nodiscard]] std::size_t bottom_count() const { return size() - known_; }
+
+  [[nodiscard]] bool has(std::size_t i) const { return entries_[i].has_value(); }
+  [[nodiscard]] std::optional<Value> get(std::size_t i) const { return entries_[i]; }
+
+  /// Sets entry i. Overwriting an existing entry is allowed (engines never do
+  /// it for correct senders, but test adversaries may).
+  void set(std::size_t i, Value v);
+  void clear(std::size_t i);
+
+  /// #_v(J): occurrences of v among non-⊥ entries.
+  [[nodiscard]] std::size_t count_of(Value v) const;
+
+  /// Full frequency statistics (1st, 2nd, counts). O(n).
+  [[nodiscard]] FreqStats freq() const;
+
+  /// Containment J1 ≤ J2: every non-⊥ entry of J1 equals the same entry of J2.
+  [[nodiscard]] bool contained_in(const View& other) const;
+
+  /// Hamming distance treating ⊥ as a regular symbol. Views must have equal
+  /// dimension.
+  static std::size_t dist(const View& a, const View& b);
+
+  /// Distance to a full input vector: entries where J[i] != I[i], with ⊥
+  /// counting as a mismatch (this is dist(J, I) in the paper's lemmas).
+  static std::size_t dist(const View& j, const InputVector& i);
+
+  bool operator==(const View&) const = default;
+
+  /// e.g. "[3, ⊥, 3, 7]".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::optional<Value>> entries_;
+  std::size_t known_ = 0;
+};
+
+}  // namespace dex

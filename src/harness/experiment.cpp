@@ -1,0 +1,141 @@
+#include "harness/experiment.hpp"
+
+#include "byz/strategies.hpp"
+#include "common/assert.hpp"
+#include "consensus/underlying/oracle.hpp"
+
+namespace dex::harness {
+
+namespace {
+std::unique_ptr<byz::Strategy> make_strategy(const FaultPlan& plan, Value dealt) {
+  switch (plan.kind) {
+    case FaultKind::kSilent:
+      return std::make_unique<byz::SilentStrategy>();
+    case FaultKind::kCrashMid:
+      return std::make_unique<byz::CrashMidBroadcastStrategy>(plan.crash_reach);
+    case FaultKind::kEquivocate:
+      return byz::make_equivocator(plan.equivocate_a, plan.equivocate_b);
+    case FaultKind::kFixedValue:
+      return byz::make_fixed_proposer(dealt);
+    case FaultKind::kNoise:
+      return std::make_unique<byz::RandomNoiseStrategy>(plan.noise_rate,
+                                                        plan.noise_budget);
+    case FaultKind::kUcSaboteur:
+      return std::make_unique<byz::UcSaboteurStrategy>(plan.equivocate_a,
+                                                       plan.equivocate_b);
+  }
+  DEX_ENSURE_MSG(false, "unknown fault kind");
+  return nullptr;
+}
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  DEX_ENSURE(cfg.input.size() == cfg.n);
+  DEX_ENSURE_MSG(cfg.faults.count <= cfg.t, "fault plan exceeds resilience bound t");
+  DEX_ENSURE_MSG(cfg.n >= algorithm_min_n(cfg.algorithm, cfg.t),
+                 "n below the algorithm's resilience requirement");
+
+  sim::SimOptions opts;
+  opts.seed = cfg.seed;
+  opts.delay = cfg.delay;
+  opts.start_jitter = cfg.start_jitter;
+  opts.stop_when_all_decided = cfg.stop_when_all_decided;
+  opts.max_events = cfg.max_events;
+  opts.trace = cfg.trace;
+  sim::Simulation simulation(cfg.n, opts);
+
+  // Choose the faulty set.
+  std::set<ProcessId> faulty;
+  if (cfg.faults.random_placement) {
+    Rng placement(mix64(cfg.seed ^ 0xfa011717ULL));
+    while (faulty.size() < cfg.faults.count) {
+      faulty.insert(static_cast<ProcessId>(placement.next_below(cfg.n)));
+    }
+  } else {
+    for (std::size_t k = 0; k < cfg.faults.count; ++k) {
+      faulty.insert(static_cast<ProcessId>(cfg.n - 1 - k));
+    }
+  }
+
+  // Idealized zero-degrading fallback: a shared oracle hub that fixes the
+  // decision once n−t processes proposed and delivers it to each process two
+  // plain steps later (via simulator callbacks).
+  std::shared_ptr<OracleHub> oracle_hub;
+  auto oracle_targets = std::make_shared<std::vector<OracleConsensus*>>();
+  if (cfg.use_oracle_uc) {
+    oracle_hub = std::make_shared<OracleHub>(cfg.n - cfg.t);
+    auto* sim_ptr = &simulation;
+    const SimTime two_steps = 2 * cfg.oracle_step_time;
+    oracle_hub->on_decision([sim_ptr, oracle_targets, two_steps](Value v) {
+      sim_ptr->schedule_at(sim_ptr->now() + two_steps, [oracle_targets, v] {
+        for (OracleConsensus* uc : *oracle_targets) uc->deliver_decision(v);
+      });
+    });
+  }
+
+  for (std::size_t i = 0; i < cfg.n; ++i) {
+    const auto pid = static_cast<ProcessId>(i);
+    const Value dealt = cfg.input[i];
+    if (faulty.count(pid) > 0) {
+      simulation.attach(
+          pid, std::make_unique<byz::ByzantineActor>(
+                   cfg.n, cfg.t, pid, /*instance=*/0,
+                   mix64(cfg.seed ^ (0xb42ULL + i)), dealt,
+                   make_strategy(cfg.faults, dealt)));
+    } else {
+      StackConfig sc;
+      sc.n = cfg.n;
+      sc.t = cfg.t;
+      sc.self = pid;
+      sc.instance = 0;
+      sc.coin_seed = mix64(cfg.seed ^ 0xc0135eedULL);  // shared by all processes
+      sc.dex_continuous_reevaluation = cfg.dex_continuous_reevaluation;
+      sc.dex_enable_two_step = cfg.dex_enable_two_step;
+      std::unique_ptr<ConsensusProcess> stack;
+      if (cfg.use_oracle_uc) {
+        UcFactory factory = [oracle_hub, oracle_targets](const StackConfig& scfg,
+                                                         IdbEngine*, Outbox*) {
+          auto uc = std::make_unique<OracleConsensus>(scfg.self, oracle_hub);
+          oracle_targets->push_back(uc.get());
+          return uc;
+        };
+        stack = make_stack(cfg.algorithm, sc, cfg.privileged, std::move(factory));
+      } else {
+        stack = make_stack(cfg.algorithm, sc, cfg.privileged);
+      }
+      simulation.attach(pid, std::make_unique<sim::ProcessActor>(std::move(stack),
+                                                                 dealt));
+    }
+  }
+
+  ExperimentResult result;
+  result.stats = simulation.run();
+  result.faulty = faulty;
+  for (std::size_t i = 0; i < cfg.n; ++i) {
+    const auto pid = static_cast<ProcessId>(i);
+    if (faulty.count(pid) > 0) continue;
+    ++result.correct;
+    const auto& rec = result.stats.decisions[i];
+    if (!rec.has_value()) continue;
+    ++result.decided;
+    switch (rec->decision.path) {
+      case DecisionPath::kOneStep: ++result.one_step; break;
+      case DecisionPath::kTwoStep: ++result.two_step; break;
+      case DecisionPath::kUnderlying: ++result.via_underlying; break;
+    }
+  }
+  return result;
+}
+
+std::optional<Value> unanimous_correct_value(const InputVector& input,
+                                             const std::set<ProcessId>& faulty) {
+  std::optional<Value> v;
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    if (faulty.count(static_cast<ProcessId>(i)) > 0) continue;
+    if (v.has_value() && *v != input[i]) return std::nullopt;
+    v = input[i];
+  }
+  return v;
+}
+
+}  // namespace dex::harness

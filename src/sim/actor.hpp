@@ -1,0 +1,51 @@
+// Actors — anything attached to a simulated network endpoint: a correct
+// protocol stack, a Byzantine strategy, or an application node (SMR replica).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "consensus/message.hpp"
+#include "consensus/process.hpp"
+
+namespace dex::sim {
+
+class Actor {
+ public:
+  virtual ~Actor() = default;
+
+  /// Invoked once at the actor's (possibly jittered) start time.
+  virtual void start() {}
+
+  /// Deliver one packet. `src` is the true network sender.
+  virtual void on_packet(ProcessId src, const Message& msg) = 0;
+
+  /// Messages queued since the last drain.
+  [[nodiscard]] virtual std::vector<Outgoing> drain() = 0;
+
+  /// The wrapped consensus process, if this actor is one (used by the
+  /// simulator to record decisions and detect halting). May return nullptr.
+  [[nodiscard]] virtual ConsensusProcess* process() { return nullptr; }
+};
+
+/// Adapts a ConsensusProcess into an actor that proposes `proposal` at start.
+class ProcessActor final : public Actor {
+ public:
+  ProcessActor(std::unique_ptr<ConsensusProcess> proc, Value proposal)
+      : proc_(std::move(proc)), proposal_(proposal) {}
+
+  void start() override { proc_->propose(proposal_); }
+  void on_packet(ProcessId src, const Message& msg) override {
+    proc_->on_packet(src, msg);
+  }
+  [[nodiscard]] std::vector<Outgoing> drain() override {
+    return proc_->drain_outbox();
+  }
+  [[nodiscard]] ConsensusProcess* process() override { return proc_.get(); }
+
+ private:
+  std::unique_ptr<ConsensusProcess> proc_;
+  Value proposal_;
+};
+
+}  // namespace dex::sim

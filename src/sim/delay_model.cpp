@@ -1,0 +1,75 @@
+#include "sim/delay_model.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace dex::sim {
+
+UniformDelay::UniformDelay(SimTime lo, SimTime hi) : lo_(lo), hi_(hi) {
+  DEX_ENSURE(lo <= hi);
+}
+
+SimTime UniformDelay::delay(SimTime, ProcessId, ProcessId, const Message&, Rng& rng) {
+  return lo_ + rng.next_below(hi_ - lo_ + 1);
+}
+
+ExponentialDelay::ExponentialDelay(SimTime min, double mean) : min_(min), mean_(mean) {
+  DEX_ENSURE(mean > 0);
+}
+
+SimTime ExponentialDelay::delay(SimTime, ProcessId, ProcessId, const Message&, Rng& rng) {
+  return min_ + static_cast<SimTime>(rng.next_exponential(mean_));
+}
+
+LogNormalDelay::LogNormalDelay(SimTime min, double mu, double sigma)
+    : min_(min), mu_(mu), sigma_(sigma) {
+  DEX_ENSURE(sigma >= 0);
+}
+
+SimTime LogNormalDelay::delay(SimTime, ProcessId, ProcessId, const Message&, Rng& rng) {
+  return min_ + static_cast<SimTime>(rng.next_lognormal(mu_, sigma_));
+}
+
+SkewedDelay::SkewedDelay(std::shared_ptr<DelayModel> base, std::set<ProcessId> slow,
+                         double factor, bool match_src, bool match_dst)
+    : base_(std::move(base)),
+      slow_(std::move(slow)),
+      factor_(factor),
+      match_src_(match_src),
+      match_dst_(match_dst) {
+  DEX_ENSURE(base_ != nullptr);
+  DEX_ENSURE(factor >= 0);
+}
+
+SimTime SkewedDelay::delay(SimTime now, ProcessId src, ProcessId dst,
+                           const Message& msg, Rng& rng) {
+  const SimTime base = base_->delay(now, src, dst, msg, rng);
+  const bool hit = (match_src_ && slow_.count(src) > 0) ||
+                   (match_dst_ && slow_.count(dst) > 0);
+  if (!hit) return base;
+  return static_cast<SimTime>(static_cast<double>(base) * factor_);
+}
+
+GstDelay::GstDelay(std::shared_ptr<DelayModel> pre, std::shared_ptr<DelayModel> post,
+                   SimTime gst)
+    : pre_(std::move(pre)), post_(std::move(post)), gst_(gst) {
+  DEX_ENSURE(pre_ != nullptr && post_ != nullptr);
+}
+
+SimTime GstDelay::delay(SimTime now, ProcessId src, ProcessId dst,
+                        const Message& msg, Rng& rng) {
+  if (now >= gst_) return post_->delay(now, src, dst, msg, rng);
+  // Sent before GST: chaotic delay, but delivery no later than GST plus one
+  // post-GST hop (reliable links: nothing is lost, only late).
+  const SimTime chaotic = pre_->delay(now, src, dst, msg, rng);
+  const SimTime clamp = (gst_ - now) + post_->delay(now, src, dst, msg, rng);
+  return std::min(chaotic, clamp);
+}
+
+std::shared_ptr<DelayModel> default_delay_model() {
+  // 1-10 ms uniform one-way delay (in nanoseconds).
+  return std::make_shared<UniformDelay>(1'000'000, 10'000'000);
+}
+
+}  // namespace dex::sim

@@ -1,0 +1,111 @@
+// Message-delay models for the discrete-event simulator.
+//
+// The paper's system model is fully asynchronous: links are reliable but
+// delays are arbitrary. Delay models are where a benchmark (or an adversary)
+// shapes the schedule — uniform jitter for "well-behaved" runs, heavy tails
+// for stress, per-process skew to starve quorums, etc.
+#pragma once
+
+#include <memory>
+#include <set>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "consensus/message.hpp"
+
+namespace dex::sim {
+
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+  /// Delay for one packet sent at virtual time `now` (src != dst; the
+  /// simulator delivers self-packets immediately). Must be deterministic
+  /// given the rng state.
+  [[nodiscard]] virtual SimTime delay(SimTime now, ProcessId src, ProcessId dst,
+                                      const Message& msg, Rng& rng) = 0;
+};
+
+/// Fixed delay — the fully synchronous schedule.
+class ConstantDelay final : public DelayModel {
+ public:
+  explicit ConstantDelay(SimTime d) : d_(d) {}
+  SimTime delay(SimTime, ProcessId, ProcessId, const Message&, Rng&) override {
+    return d_;
+  }
+
+ private:
+  SimTime d_;
+};
+
+/// Uniform in [lo, hi] — the default "well-behaved but jittery" network.
+class UniformDelay final : public DelayModel {
+ public:
+  UniformDelay(SimTime lo, SimTime hi);
+  SimTime delay(SimTime, ProcessId, ProcessId, const Message&, Rng& rng) override;
+
+ private:
+  SimTime lo_;
+  SimTime hi_;
+};
+
+/// min + Exp(mean) — occasional stragglers.
+class ExponentialDelay final : public DelayModel {
+ public:
+  ExponentialDelay(SimTime min, double mean);
+  SimTime delay(SimTime, ProcessId, ProcessId, const Message&, Rng& rng) override;
+
+ private:
+  SimTime min_;
+  double mean_;
+};
+
+/// Heavy-tailed: min + LogNormal(mu, sigma) scaled — bursty WAN-like links.
+class LogNormalDelay final : public DelayModel {
+ public:
+  LogNormalDelay(SimTime min, double mu, double sigma);
+  SimTime delay(SimTime, ProcessId, ProcessId, const Message&, Rng& rng) override;
+
+ private:
+  SimTime min_;
+  double mu_;
+  double sigma_;
+};
+
+/// Wraps a base model and multiplies delays for packets sent by (or delivered
+/// to) a chosen set of processes — models slow replicas / degraded links and
+/// lets benches delay specific senders to force views to diverge.
+class SkewedDelay final : public DelayModel {
+ public:
+  SkewedDelay(std::shared_ptr<DelayModel> base, std::set<ProcessId> slow,
+              double factor, bool match_src = true, bool match_dst = false);
+  SimTime delay(SimTime now, ProcessId src, ProcessId dst, const Message& msg,
+                Rng& rng) override;
+
+ private:
+  std::shared_ptr<DelayModel> base_;
+  std::set<ProcessId> slow_;
+  double factor_;
+  bool match_src_;
+  bool match_dst_;
+};
+
+/// Partial synchrony: before the Global Stabilization Time the `pre` model
+/// rules (arbitrarily chaotic); at/after GST the `post` model rules. A packet
+/// sent before GST is additionally clamped to arrive no later than
+/// GST + post-model delay, matching the classic DLS formulation.
+class GstDelay final : public DelayModel {
+ public:
+  GstDelay(std::shared_ptr<DelayModel> pre, std::shared_ptr<DelayModel> post,
+           SimTime gst);
+  SimTime delay(SimTime now, ProcessId src, ProcessId dst, const Message& msg,
+                Rng& rng) override;
+
+ private:
+  std::shared_ptr<DelayModel> pre_;
+  std::shared_ptr<DelayModel> post_;
+  SimTime gst_;
+};
+
+std::shared_ptr<DelayModel> default_delay_model();
+
+}  // namespace dex::sim

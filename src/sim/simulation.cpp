@@ -1,0 +1,212 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace dex::sim {
+
+bool RunStats::all_decided() const {
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    if (is_consensus[i] && !decisions[i].has_value()) return false;
+  }
+  return true;
+}
+
+bool RunStats::agreement() const {
+  std::optional<Value> seen;
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    if (!is_consensus[i] || !decisions[i].has_value()) continue;
+    const Value v = decisions[i]->decision.value;
+    if (seen.has_value() && *seen != v) return false;
+    seen = v;
+  }
+  return true;
+}
+
+std::optional<Value> RunStats::common_value() const {
+  if (!all_decided() || !agreement()) return std::nullopt;
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    if (is_consensus[i] && decisions[i].has_value()) {
+      return decisions[i]->decision.value;
+    }
+  }
+  return std::nullopt;
+}
+
+std::uint32_t RunStats::max_steps() const {
+  std::uint32_t m = 0;
+  for (const auto& d : decisions) {
+    if (d.has_value()) m = std::max(m, d->steps);
+  }
+  return m;
+}
+
+std::uint32_t RunStats::min_steps() const {
+  std::uint32_t m = 0;
+  bool any = false;
+  for (const auto& d : decisions) {
+    if (d.has_value()) {
+      m = any ? std::min(m, d->steps) : d->steps;
+      any = true;
+    }
+  }
+  return m;
+}
+
+SimTime RunStats::last_decision_time() const {
+  SimTime t = 0;
+  for (const auto& d : decisions) {
+    if (d.has_value()) t = std::max(t, d->at);
+  }
+  return t;
+}
+
+Simulation::Simulation(std::size_t n, SimOptions opts)
+    : n_(n), opts_(std::move(opts)), rng_(opts_.seed), actors_(n), started_(n, false) {
+  DEX_ENSURE(n > 0);
+  if (!opts_.delay) opts_.delay = default_delay_model();
+}
+
+void Simulation::attach(ProcessId i, std::unique_ptr<Actor> actor) {
+  DEX_ENSURE(i >= 0 && static_cast<std::size_t>(i) < n_);
+  DEX_ENSURE_MSG(actors_[static_cast<std::size_t>(i)] == nullptr,
+                 "endpoint already attached");
+  actors_[static_cast<std::size_t>(i)] = std::move(actor);
+}
+
+Actor& Simulation::actor(ProcessId i) {
+  DEX_ENSURE(i >= 0 && static_cast<std::size_t>(i) < n_);
+  DEX_ENSURE(actors_[static_cast<std::size_t>(i)] != nullptr);
+  return *actors_[static_cast<std::size_t>(i)];
+}
+
+ConsensusProcess* Simulation::process(ProcessId i) { return actor(i).process(); }
+
+void Simulation::push(SimTime at, EventBody body) {
+  queue_.push(Event{at, next_seq_++, std::move(body)});
+}
+
+void Simulation::schedule_at(SimTime at, std::function<void()> fn) {
+  push(at, FuncEvent{std::move(fn)});
+}
+
+void Simulation::inject(ProcessId src, ProcessId dst, Message msg, SimTime at) {
+  DEX_ENSURE(dst >= 0 && static_cast<std::size_t>(dst) < n_);
+  push(at, DeliverEvent{src, dst, std::move(msg)});
+}
+
+void Simulation::record_decision(ProcessId i, RunStats& stats) {
+  ConsensusProcess* proc = actors_[static_cast<std::size_t>(i)]->process();
+  if (proc == nullptr) return;
+  auto& slot = stats.decisions[static_cast<std::size_t>(i)];
+  if (slot.has_value()) return;
+  if (const auto& d = proc->decision()) {
+    slot = DecisionRecord{*d, now_, proc->logical_steps()};
+    if (opts_.trace) opts_.trace->record_decide(now_, i, *d);
+  }
+}
+
+void Simulation::pump_actor(ProcessId i, RunStats& stats) {
+  Actor& a = *actors_[static_cast<std::size_t>(i)];
+  for (Outgoing& out : a.drain()) {
+    if (out.dst == kBroadcastDst) {
+      for (std::size_t d = 0; d < n_; ++d) {
+        const auto dst = static_cast<ProcessId>(d);
+        const SimTime delay =
+            (dst == i) ? 0 : opts_.delay->delay(now_, i, dst, out.msg, rng_);
+        push(now_ + delay, DeliverEvent{i, dst, out.msg});
+      }
+    } else if (out.dst >= 0 && static_cast<std::size_t>(out.dst) < n_) {
+      const SimTime delay =
+          (out.dst == i) ? 0 : opts_.delay->delay(now_, i, out.dst, out.msg, rng_);
+      push(now_ + delay, DeliverEvent{i, out.dst, std::move(out.msg)});
+    }
+    // Out-of-range unicast destinations are dropped (Byzantine nonsense).
+  }
+  record_decision(i, stats);
+}
+
+bool Simulation::all_halted() const {
+  for (const auto& a : actors_) {
+    if (ConsensusProcess* p = a->process()) {
+      if (!p->halted()) return false;
+    }
+  }
+  return true;
+}
+
+bool Simulation::all_decided_now() const {
+  for (const auto& a : actors_) {
+    if (ConsensusProcess* p = a->process()) {
+      if (!p->decision().has_value()) return false;
+    }
+  }
+  return true;
+}
+
+RunStats Simulation::run() {
+  RunStats stats;
+  stats.decisions.assign(n_, std::nullopt);
+  stats.is_consensus.assign(n_, false);
+  bool any_consensus = false;
+  for (std::size_t i = 0; i < n_; ++i) {
+    DEX_ENSURE_MSG(actors_[i] != nullptr, "every endpoint needs an actor");
+    stats.is_consensus[i] = actors_[i]->process() != nullptr;
+    any_consensus = any_consensus || stats.is_consensus[i];
+  }
+
+  // Schedule (possibly jittered) starts.
+  for (std::size_t i = 0; i < n_; ++i) {
+    const SimTime at =
+        opts_.start_jitter == 0 ? 0 : rng_.next_below(opts_.start_jitter + 1);
+    push(at, StartEvent{static_cast<ProcessId>(i)});
+  }
+
+  while (!queue_.empty()) {
+    if (stats.events >= opts_.max_events) {
+      stats.hit_event_limit = true;
+      DEX_LOG(kWarn, "sim") << "event limit reached at t=" << now_;
+      break;
+    }
+    Event ev = queue_.top();
+    queue_.pop();
+    if (ev.at > opts_.max_time) break;
+    now_ = ev.at;
+    ++stats.events;
+
+    if (auto* del = std::get_if<DeliverEvent>(&ev.body)) {
+      ++stats.packets_delivered;
+      stats.packets_by_kind.add(msg_kind_name(del->msg.kind));
+      if (opts_.trace) opts_.trace->record_deliver(now_, del->src, del->dst, del->msg);
+      actors_[static_cast<std::size_t>(del->dst)]->on_packet(del->src, del->msg);
+      pump_actor(del->dst, stats);
+    } else if (auto* st = std::get_if<StartEvent>(&ev.body)) {
+      started_[static_cast<std::size_t>(st->who)] = true;
+      if (opts_.trace) opts_.trace->record_start(now_, st->who);
+      actors_[static_cast<std::size_t>(st->who)]->start();
+      pump_actor(st->who, stats);
+    } else if (auto* fn = std::get_if<FuncEvent>(&ev.body)) {
+      fn->fn();
+      // A host callback may have mutated any actor (oracle decisions, SMR
+      // client submissions): poll consensus actors and flush every outbox.
+      for (std::size_t i = 0; i < n_; ++i) {
+        if (ConsensusProcess* p = actors_[i]->process()) p->poll();
+        pump_actor(static_cast<ProcessId>(i), stats);
+      }
+    }
+
+    if (any_consensus) {
+      if (opts_.stop_when_all_decided && all_decided_now()) break;
+      if (opts_.stop_when_all_halted && queue_.empty() == false && all_halted()) {
+        break;
+      }
+    }
+  }
+
+  stats.end_time = now_;
+  return stats;
+}
+
+}  // namespace dex::sim

@@ -1,0 +1,140 @@
+// Deterministic discrete-event simulation of an asynchronous message-passing
+// network — the library's testbed.
+//
+// The event queue is ordered by (virtual time, sequence number), so runs are
+// bit-for-bit reproducible for a given seed, delay model and actor set.
+// Reliable links, no duplication, no corruption — exactly the paper's §2.1
+// model; all adversarial power lives in the Byzantine actors and the delay
+// model.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "sim/actor.hpp"
+#include "sim/delay_model.hpp"
+#include "sim/trace.hpp"
+
+namespace dex::sim {
+
+struct SimOptions {
+  std::uint64_t seed = 1;
+  std::shared_ptr<DelayModel> delay;  // nullptr → default_delay_model()
+  /// Proposal/start times are staggered uniformly in [0, start_jitter].
+  SimTime start_jitter = 0;
+  std::uint64_t max_events = 50'000'000;
+  SimTime max_time = kSimTimeMax;
+  /// Stop as soon as every consensus actor reports halted() (default) —
+  /// otherwise run until the queue drains.
+  bool stop_when_all_halted = true;
+  /// Stop as soon as every consensus actor has decided (for latency benches
+  /// that do not care about post-decision traffic).
+  bool stop_when_all_decided = false;
+  /// Optional trace sink (not owned; must outlive the simulation).
+  TraceRecorder* trace = nullptr;
+};
+
+/// What one process decided, and when.
+struct DecisionRecord {
+  Decision decision;
+  SimTime at = 0;
+  std::uint32_t steps = 0;  // logical plain-step count of the decision path
+};
+
+struct RunStats {
+  SimTime end_time = 0;
+  std::uint64_t events = 0;
+  std::uint64_t packets_delivered = 0;
+  bool hit_event_limit = false;
+  dex::Counter packets_by_kind;
+  /// Indexed by ProcessId; nullopt for Byzantine actors and undecided ones.
+  std::vector<std::optional<DecisionRecord>> decisions;
+  /// Which endpoints host a consensus process (correct protocol stack).
+  std::vector<bool> is_consensus;
+
+  /// Every consensus actor decided.
+  [[nodiscard]] bool all_decided() const;
+  /// All decided values are equal (vacuously true if none decided).
+  [[nodiscard]] bool agreement() const;
+  /// The common decided value if all_decided() and agreement().
+  [[nodiscard]] std::optional<Value> common_value() const;
+  /// Max logical steps over deciders (0 if none).
+  [[nodiscard]] std::uint32_t max_steps() const;
+  [[nodiscard]] std::uint32_t min_steps() const;
+  /// Time by which all consensus actors had decided.
+  [[nodiscard]] SimTime last_decision_time() const;
+};
+
+class Simulation {
+ public:
+  explicit Simulation(std::size_t n, SimOptions opts = {});
+
+  /// Attach the actor for endpoint i (exactly one per endpoint before run()).
+  void attach(ProcessId i, std::unique_ptr<Actor> actor);
+
+  /// Schedule an arbitrary host callback (oracle hubs, fault timers, ...).
+  void schedule_at(SimTime at, std::function<void()> fn);
+
+  /// Inject a packet directly (test harnesses; bypasses any actor outbox).
+  void inject(ProcessId src, ProcessId dst, Message msg, SimTime at);
+
+  RunStats run();
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] std::size_t n() const { return n_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] Actor& actor(ProcessId i);
+  /// The consensus process at endpoint i, or nullptr.
+  [[nodiscard]] ConsensusProcess* process(ProcessId i);
+
+ private:
+  struct DeliverEvent {
+    ProcessId src;
+    ProcessId dst;
+    Message msg;
+  };
+  struct StartEvent {
+    ProcessId who;
+  };
+  struct FuncEvent {
+    std::function<void()> fn;
+  };
+  using EventBody = std::variant<DeliverEvent, StartEvent, FuncEvent>;
+
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    EventBody body;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;  // min-heap: earlier seq first at equal time
+    }
+  };
+
+  void push(SimTime at, EventBody body);
+  void pump_actor(ProcessId i, RunStats& stats);
+  void record_decision(ProcessId i, RunStats& stats);
+  [[nodiscard]] bool all_halted() const;
+  [[nodiscard]] bool all_decided_now() const;
+
+  std::size_t n_;
+  SimOptions opts_;
+  Rng rng_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::vector<std::unique_ptr<Actor>> actors_;
+  std::vector<bool> started_;
+};
+
+}  // namespace dex::sim

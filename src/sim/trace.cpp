@@ -1,0 +1,114 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace dex::sim {
+
+const char* trace_kind_name(TraceKind k) {
+  switch (k) {
+    case TraceKind::kStart: return "start";
+    case TraceKind::kDeliver: return "deliver";
+    case TraceKind::kDecide: return "decide";
+  }
+  return "?";
+}
+
+void TraceRecorder::record_start(SimTime at, ProcessId who) {
+  TraceEvent e;
+  e.at = at;
+  e.kind = TraceKind::kStart;
+  e.dst = who;
+  events_.push_back(e);
+}
+
+void TraceRecorder::record_deliver(SimTime at, ProcessId src, ProcessId dst,
+                                   const Message& msg) {
+  TraceEvent e;
+  e.at = at;
+  e.kind = TraceKind::kDeliver;
+  e.src = src;
+  e.dst = dst;
+  e.msg_kind = msg.kind;
+  e.tag = msg.tag;
+  e.instance = msg.instance;
+  e.payload_size = msg.payload.size();
+  events_.push_back(e);
+}
+
+void TraceRecorder::record_decide(SimTime at, ProcessId who,
+                                  const Decision& decision) {
+  TraceEvent e;
+  e.at = at;
+  e.kind = TraceKind::kDecide;
+  e.dst = who;
+  e.decision = decision;
+  events_.push_back(e);
+}
+
+std::size_t TraceRecorder::count(TraceKind kind) const {
+  std::size_t c = 0;
+  for (const auto& e : events_) {
+    if (e.kind == kind) ++c;
+  }
+  return c;
+}
+
+std::vector<TraceEvent> TraceRecorder::for_process(ProcessId who) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.dst == who) out.push_back(e);
+  }
+  return out;
+}
+
+std::string TraceRecorder::to_text(std::size_t limit) const {
+  std::ostringstream os;
+  std::size_t lines = 0;
+  for (const auto& e : events_) {
+    if (limit != 0 && lines >= limit) {
+      os << "... (" << events_.size() - lines << " more events)\n";
+      break;
+    }
+    os << "[" << static_cast<double>(e.at) / 1e6 << "ms] ";
+    switch (e.kind) {
+      case TraceKind::kStart:
+        os << "p" << e.dst << " start";
+        break;
+      case TraceKind::kDeliver:
+        os << "p" << e.src << " -> p" << e.dst << " " << msg_kind_name(e.msg_kind)
+           << " tag=0x" << std::hex << e.tag << std::dec << " inst=" << e.instance
+           << " |payload|=" << e.payload_size;
+        break;
+      case TraceKind::kDecide:
+        os << "p" << e.dst << " DECIDE " << e.decision->value << " via "
+           << decision_path_name(e.decision->path);
+        break;
+    }
+    os << "\n";
+    ++lines;
+  }
+  return os.str();
+}
+
+std::string TraceRecorder::to_csv() const {
+  std::ostringstream os;
+  os << "at_ns,kind,src,dst,msg_kind,tag,instance,payload_size,decided_value,"
+        "decision_path\n";
+  for (const auto& e : events_) {
+    os << e.at << "," << trace_kind_name(e.kind) << "," << e.src << "," << e.dst
+       << ",";
+    if (e.kind == TraceKind::kDeliver) {
+      os << msg_kind_name(e.msg_kind) << "," << e.tag << "," << e.instance << ","
+         << e.payload_size << ",,";
+    } else if (e.kind == TraceKind::kDecide) {
+      os << ",,,," << e.decision->value << ","
+         << decision_path_name(e.decision->path);
+    } else {
+      os << ",,,,,";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dex::sim

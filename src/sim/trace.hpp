@@ -1,0 +1,59 @@
+// Structured execution traces for simulated runs.
+//
+// When a TraceRecorder is attached to a Simulation, every start event, packet
+// delivery and decision is recorded with its virtual timestamp. Traces power
+// debugging (human-readable dump), analysis (CSV export) and tests
+// (determinism can be asserted as trace equality).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "consensus/decision.hpp"
+#include "consensus/message.hpp"
+
+namespace dex::sim {
+
+enum class TraceKind : std::uint8_t { kStart, kDeliver, kDecide };
+
+const char* trace_kind_name(TraceKind k);
+
+struct TraceEvent {
+  SimTime at = 0;
+  TraceKind kind = TraceKind::kDeliver;
+  ProcessId src = kNoProcess;  // kDeliver only
+  ProcessId dst = kNoProcess;  // the acting process
+  // kDeliver details
+  MsgKind msg_kind = MsgKind::kPlain;
+  std::uint64_t tag = 0;
+  InstanceId instance = 0;
+  std::size_t payload_size = 0;
+  // kDecide details
+  std::optional<Decision> decision;
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+class TraceRecorder {
+ public:
+  void record_start(SimTime at, ProcessId who);
+  void record_deliver(SimTime at, ProcessId src, ProcessId dst, const Message& msg);
+  void record_decide(SimTime at, ProcessId who, const Decision& decision);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  [[nodiscard]] std::size_t count(TraceKind kind) const;
+  [[nodiscard]] std::vector<TraceEvent> for_process(ProcessId who) const;
+  void clear() { events_.clear(); }
+
+  /// Human-readable dump; `limit` caps the number of lines (0 = unlimited).
+  [[nodiscard]] std::string to_text(std::size_t limit = 0) const;
+  /// CSV with a header row: at_ns,kind,src,dst,msg_kind,tag,instance,...
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace dex::sim

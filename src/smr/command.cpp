@@ -1,0 +1,33 @@
+#include "smr/command.hpp"
+
+#include "common/hash.hpp"
+#include "common/serde.hpp"
+
+namespace dex::smr {
+
+std::vector<std::byte> Command::to_bytes() const {
+  Writer w(op.size() + 16);
+  w.u32(client);
+  w.u64(seq);
+  w.str(op);
+  return std::move(w).take();
+}
+
+Command Command::from_bytes(std::span<const std::byte> data) {
+  Reader r(data);
+  Command c;
+  c.client = r.u32();
+  c.seq = r.u64();
+  c.op = r.str();
+  if (!r.done()) throw DecodeError("trailing bytes in Command");
+  return c;
+}
+
+Value Command::digest() const {
+  const auto bytes = to_bytes();
+  auto d = static_cast<Value>(fnv1a64(bytes));
+  if (d == kNoopDigest) d = 1;  // keep the no-op digest reserved
+  return d;
+}
+
+}  // namespace dex::smr

@@ -1,0 +1,33 @@
+// Commands for the replicated-state-machine substrate.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dex::smr {
+
+/// A client command. Replicas agree on command *digests* (the consensus
+/// Value); bodies travel on the dissemination channel.
+struct Command {
+  std::uint32_t client = 0;
+  std::uint64_t seq = 0;
+  std::string op;
+
+  /// Stable 64-bit digest (FNV-1a over the canonical encoding).
+  [[nodiscard]] Value digest() const;
+
+  [[nodiscard]] std::vector<std::byte> to_bytes() const;
+  static Command from_bytes(std::span<const std::byte> data);
+
+  bool operator==(const Command&) const = default;
+};
+
+/// Digest of the reserved no-op command (proposed by replicas with an empty
+/// pending queue so a slot can still make progress).
+inline constexpr Value kNoopDigest = 0;
+
+}  // namespace dex::smr

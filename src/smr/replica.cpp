@@ -1,0 +1,154 @@
+#include "smr/replica.hpp"
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace dex::smr {
+
+namespace {
+/// Byzantine traffic may name arbitrary instances; bound how far ahead of the
+/// committed prefix we are willing to allocate slot state.
+constexpr InstanceId kSlotWindow = 16;
+}  // namespace
+
+Replica::Replica(const ReplicaConfig& cfg, std::shared_ptr<const ConditionPair> pair)
+    : cfg_(cfg), pair_(std::move(pair)) {
+  DEX_ENSURE(pair_ != nullptr);
+  DEX_ENSURE(cfg_.n == pair_->n() && cfg_.t == pair_->t());
+}
+
+Replica::Slot& Replica::open_slot(InstanceId s) {
+  auto it = slots_.find(s);
+  if (it != slots_.end()) return it->second;
+
+  StackConfig sc;
+  sc.n = cfg_.n;
+  sc.t = cfg_.t;
+  sc.self = cfg_.self;
+  sc.instance = s;
+  sc.coin_seed = mix64(cfg_.coin_seed ^ s);
+  Slot slot;
+  slot.stack = std::make_unique<DexStack>(sc, pair_);
+  return slots_.emplace(s, std::move(slot)).first->second;
+}
+
+void Replica::submit(const Command& cmd) {
+  const Value d = cmd.digest();
+  bodies_.try_emplace(d, cmd);
+  if (committed_digests_.count(d) == 0 && pending_set_.insert(d).second) {
+    pending_.push_back(d);
+  }
+  if (next_slot_ < cfg_.max_slots) propose_if_ready(next_slot_);
+}
+
+void Replica::propose_if_ready(InstanceId s) {
+  if (s >= cfg_.max_slots) return;
+  Slot& slot = open_slot(s);
+  if (slot.proposed) return;
+
+  // A replica proposes only real commands. Liveness does not need filler
+  // proposals: whoever proposes a digest also disseminates its body below, so
+  // every correct replica eventually holds a pending command for the slot and
+  // joins in — and an idle system stays quiet.
+  if (pending_.empty()) return;
+  const Value d = pending_.front();
+
+  slot.proposed = true;
+  slot.stack->propose(d);
+  // Disseminate the body so every replica can propose/apply the command.
+  const auto it = bodies_.find(d);
+  if (it != bodies_.end()) {
+    Message m;
+    m.kind = MsgKind::kPlain;
+    m.instance = s;
+    m.tag = chan::kSmrDissem;
+    m.payload = it->second.to_bytes();
+    dissem_outbox_.broadcast(std::move(m));
+  }
+}
+
+void Replica::start() {
+  if (!pending_.empty()) propose_if_ready(0);
+}
+
+void Replica::on_packet(ProcessId src, const Message& msg) {
+  if (msg.kind == MsgKind::kPlain && chan::channel(msg.tag) == chan::kSmrDissem) {
+    try {
+      const Command cmd = Command::from_bytes(msg.payload);
+      const Value d = cmd.digest();
+      bodies_.try_emplace(d, cmd);
+      if (committed_digests_.count(d) == 0 && pending_set_.insert(d).second) {
+        pending_.push_back(d);
+      }
+      propose_if_ready(next_slot_);
+    } catch (const DecodeError&) {
+    }
+    harvest_decisions();
+    return;
+  }
+
+  const InstanceId s = msg.instance;
+  if (s >= cfg_.max_slots || s > next_slot_ + kSlotWindow) return;
+  Slot& slot = open_slot(s);
+  slot.stack->on_packet(src, msg);
+  propose_if_ready(s);
+  harvest_decisions();
+}
+
+void Replica::harvest_decisions() {
+  for (auto& [s, slot] : slots_) {
+    if (slot.committed || decided_.count(s) > 0) continue;
+    if (const auto& d = slot.stack->decision()) decided_.emplace(s, *d);
+  }
+  try_commit();
+}
+
+void Replica::try_commit() {
+  while (true) {
+    const auto it = decided_.find(next_slot_);
+    if (it == decided_.end()) return;
+    const Decision d = it->second;
+    decided_.erase(it);
+
+    LogEntry entry;
+    entry.slot = next_slot_;
+    entry.digest = d.value;
+    entry.path = d.path;
+    if (d.value != kNoopDigest && committed_digests_.insert(d.value).second) {
+      const auto body = bodies_.find(d.value);
+      if (body != bodies_.end()) {
+        entry.command = body->second;
+      } else {
+        DEX_LOG(kWarn, "smr") << "r" << cfg_.self << " slot " << next_slot_
+                              << " committed unknown digest " << d.value;
+      }
+      // Drop from the pending queue if we were going to propose it.
+      if (pending_set_.erase(d.value) > 0) {
+        for (auto q = pending_.begin(); q != pending_.end(); ++q) {
+          if (*q == d.value) {
+            pending_.erase(q);
+            break;
+          }
+        }
+      }
+    }
+    slots_[next_slot_].committed = true;
+    log_.push_back(std::move(entry));
+    ++next_slot_;
+    if (!pending_.empty() && next_slot_ < cfg_.max_slots) {
+      propose_if_ready(next_slot_);
+    }
+  }
+}
+
+std::vector<Outgoing> Replica::drain() {
+  std::vector<Outgoing> out = dissem_outbox_.drain();
+  for (auto& [s, slot] : slots_) {
+    auto more = slot.stack->drain_outbox();
+    out.insert(out.end(), std::make_move_iterator(more.begin()),
+               std::make_move_iterator(more.end()));
+  }
+  return out;
+}
+
+}  // namespace dex::smr

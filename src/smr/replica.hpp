@@ -1,0 +1,95 @@
+// Replica — state-machine replication over per-slot DEX consensus instances.
+//
+// The paper's §1.1 motivation: replicated servers agree on the processing
+// order of client requests; with no contention every server proposes the same
+// request and DEX commits it in one communication step. Each log slot runs
+// one DexStack (instance id = slot). Slots are decided strictly in order.
+//
+// Flow per slot: when slot s becomes active (s == 0, or slot s-1 decided, or
+// traffic for s arrives) a replica with a non-empty pending queue proposes
+// its oldest pending digest and broadcasts the command body on the
+// dissemination channel. Replicas with empty queues stay quiet — they join
+// the slot as soon as any proposer's dissemination hands them a command, so
+// liveness needs no filler proposals and an idle system sends nothing. When
+// a slot decides a digest whose body is known the command is applied; an
+// unknown digest (possible only with Byzantine proposers) commits as a hole,
+// so the log never deadlocks.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "consensus/condition/pair.hpp"
+#include "consensus/dex/dex_stack.hpp"
+#include "sim/actor.hpp"
+#include "smr/command.hpp"
+
+namespace dex::smr {
+
+struct ReplicaConfig {
+  std::size_t n = 0;
+  std::size_t t = 0;
+  ProcessId self = kNoProcess;
+  std::uint64_t coin_seed = 0x5312u;
+  /// Stop opening new slots after this many (benches bound their runs).
+  std::size_t max_slots = 64;
+};
+
+/// One committed log entry.
+struct LogEntry {
+  InstanceId slot = 0;
+  Value digest = 0;
+  std::optional<Command> command;  // nullopt for no-op or unresolved digest
+  DecisionPath path = DecisionPath::kUnderlying;
+};
+
+class Replica final : public sim::Actor {
+ public:
+  Replica(const ReplicaConfig& cfg, std::shared_ptr<const ConditionPair> pair);
+
+  /// Hand a client command to this replica (the host models client broadcast
+  /// by calling this on every replica, with per-replica arrival skew).
+  void submit(const Command& cmd);
+
+  // sim::Actor
+  void start() override;
+  void on_packet(ProcessId src, const Message& msg) override;
+  [[nodiscard]] std::vector<Outgoing> drain() override;
+
+  [[nodiscard]] const std::vector<LogEntry>& log() const { return log_; }
+  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+  [[nodiscard]] InstanceId next_slot() const { return next_slot_; }
+
+ private:
+  struct Slot {
+    std::unique_ptr<DexStack> stack;
+    bool proposed = false;
+    bool committed = false;
+  };
+
+  /// The condition pair must be rebuilt per slot? No — pairs are stateless;
+  /// one shared instance serves every slot.
+  Slot& open_slot(InstanceId s);
+  void propose_if_ready(InstanceId s);
+  void harvest_decisions();
+  void try_commit();
+
+  ReplicaConfig cfg_;
+  std::shared_ptr<const ConditionPair> pair_;
+
+  std::map<InstanceId, Slot> slots_;
+  InstanceId next_slot_ = 0;  // lowest undecided slot
+  std::deque<Value> pending_;           // FIFO of digests awaiting commitment
+  std::set<Value> pending_set_;
+  std::map<Value, Command> bodies_;     // digest → command body
+  std::set<Value> committed_digests_;
+  std::map<InstanceId, Decision> decided_;  // decided but not yet applied
+  std::vector<LogEntry> log_;
+  Outbox dissem_outbox_;  // command-body broadcasts
+};
+
+}  // namespace dex::smr

@@ -1,0 +1,72 @@
+#include "transport/inproc.hpp"
+
+#include "common/assert.hpp"
+
+namespace dex::transport {
+
+void Mailbox::push(Incoming item) {
+  {
+    const std::scoped_lock lock(mu_);
+    if (closed_) return;
+    items_.push_back(std::move(item));
+  }
+  cv_.notify_one();
+}
+
+std::optional<Incoming> Mailbox::pop(std::chrono::milliseconds timeout) {
+  std::unique_lock lock(mu_);
+  if (!cv_.wait_for(lock, timeout, [&] { return !items_.empty() || closed_; })) {
+    return std::nullopt;
+  }
+  if (items_.empty()) return std::nullopt;  // closed
+  Incoming item = std::move(items_.front());
+  items_.pop_front();
+  return item;
+}
+
+void Mailbox::close() {
+  {
+    const std::scoped_lock lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+InProcNetwork::InProcNetwork(std::size_t n) {
+  DEX_ENSURE(n > 0);
+  mailboxes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+std::unique_ptr<InProcTransport> InProcNetwork::endpoint(ProcessId i) {
+  DEX_ENSURE(i >= 0 && static_cast<std::size_t>(i) < mailboxes_.size());
+  return std::make_unique<InProcTransport>(this, i);
+}
+
+Mailbox& InProcNetwork::mailbox(ProcessId i) {
+  DEX_ENSURE(i >= 0 && static_cast<std::size_t>(i) < mailboxes_.size());
+  return *mailboxes_[static_cast<std::size_t>(i)];
+}
+
+void InProcNetwork::deliver(ProcessId src, ProcessId dst, Message msg) {
+  if (dst < 0 || static_cast<std::size_t>(dst) >= mailboxes_.size()) return;
+  mailboxes_[static_cast<std::size_t>(dst)]->push(Incoming{src, std::move(msg)});
+}
+
+void InProcNetwork::shutdown() {
+  for (auto& mb : mailboxes_) mb->close();
+}
+
+void InProcTransport::send(ProcessId dst, Message msg) {
+  net_->deliver(self_, dst, std::move(msg));
+}
+
+std::optional<Incoming> InProcTransport::recv(std::chrono::milliseconds timeout) {
+  return net_->mailbox(self_).pop(timeout);
+}
+
+std::size_t InProcTransport::n() const { return net_->n(); }
+
+}  // namespace dex::transport

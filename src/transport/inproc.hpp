@@ -1,0 +1,63 @@
+// In-process transport: n endpoints connected by thread-safe mailboxes.
+// The cheapest way to run the protocol stacks under real concurrency (one
+// thread per process, true interleavings) without sockets.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "transport/transport.hpp"
+
+namespace dex::transport {
+
+/// A bounded-ish MPSC mailbox. Senders never block (consensus traffic is
+/// small); the receiver blocks with timeout.
+class Mailbox {
+ public:
+  void push(Incoming item);
+  std::optional<Incoming> pop(std::chrono::milliseconds timeout);
+  void close();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Incoming> items_;
+  bool closed_ = false;
+};
+
+class InProcNetwork;
+
+class InProcTransport final : public Transport {
+ public:
+  InProcTransport(InProcNetwork* net, ProcessId self) : net_(net), self_(self) {}
+
+  void send(ProcessId dst, Message msg) override;
+  std::optional<Incoming> recv(std::chrono::milliseconds timeout) override;
+  [[nodiscard]] std::size_t n() const override;
+  [[nodiscard]] ProcessId self() const override { return self_; }
+
+ private:
+  InProcNetwork* net_;
+  ProcessId self_;
+};
+
+/// Owns the mailboxes; hands out one Transport per endpoint.
+class InProcNetwork {
+ public:
+  explicit InProcNetwork(std::size_t n);
+
+  [[nodiscard]] std::unique_ptr<InProcTransport> endpoint(ProcessId i);
+  [[nodiscard]] std::size_t n() const { return mailboxes_.size(); }
+
+  void deliver(ProcessId src, ProcessId dst, Message msg);
+  Mailbox& mailbox(ProcessId i);
+  void shutdown();
+
+ private:
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+};
+
+}  // namespace dex::transport

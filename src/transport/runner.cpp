@@ -1,0 +1,74 @@
+#include "transport/runner.hpp"
+
+#include "common/assert.hpp"
+
+namespace dex::transport {
+
+bool RunnerResult::all_decided() const {
+  for (const auto& d : decisions) {
+    if (!d.has_value()) return false;
+  }
+  return true;
+}
+
+bool RunnerResult::agreement() const {
+  std::optional<Value> seen;
+  for (const auto& d : decisions) {
+    if (!d.has_value()) continue;
+    if (seen.has_value() && *seen != d->value) return false;
+    seen = d->value;
+  }
+  return true;
+}
+
+namespace {
+void flush_outbox(ConsensusProcess& proc, Transport& transport) {
+  for (Outgoing& out : proc.drain_outbox()) {
+    if (out.dst == kBroadcastDst) {
+      transport.broadcast(out.msg);
+    } else {
+      transport.send(out.dst, std::move(out.msg));
+    }
+  }
+}
+}  // namespace
+
+void drive_process(ConsensusProcess& proc, Transport& transport, Value proposal,
+                   const RunnerOptions& opts) {
+  const auto deadline = std::chrono::steady_clock::now() + opts.deadline;
+  proc.propose(proposal);
+  flush_outbox(proc, transport);
+  while (!proc.halted() && std::chrono::steady_clock::now() < deadline) {
+    if (auto in = transport.recv(opts.recv_timeout)) {
+      proc.on_packet(in->src, in->msg);
+      flush_outbox(proc, transport);
+    }
+  }
+}
+
+RunnerResult run_cluster(std::vector<std::unique_ptr<ConsensusProcess>>& procs,
+                         std::vector<std::unique_ptr<Transport>>& transports,
+                         const std::vector<Value>& proposals,
+                         const RunnerOptions& opts) {
+  DEX_ENSURE(procs.size() == transports.size());
+  DEX_ENSURE(procs.size() == proposals.size());
+
+  std::vector<std::thread> threads;
+  threads.reserve(procs.size());
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    threads.emplace_back([&, i] {
+      drive_process(*procs[i], *transports[i], proposals[i], opts);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  RunnerResult result;
+  result.all_halted = true;
+  for (const auto& p : procs) {
+    result.decisions.push_back(p->decision());
+    result.all_halted = result.all_halted && p->halted();
+  }
+  return result;
+}
+
+}  // namespace dex::transport

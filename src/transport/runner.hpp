@@ -1,0 +1,41 @@
+// ClusterRunner — drives ConsensusProcess stacks over any Transport with one
+// thread per process. This is how the engines run outside the simulator.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "consensus/process.hpp"
+#include "transport/transport.hpp"
+
+namespace dex::transport {
+
+struct RunnerOptions {
+  std::chrono::milliseconds recv_timeout{10};
+  std::chrono::milliseconds deadline{10'000};
+};
+
+struct RunnerResult {
+  std::vector<std::optional<Decision>> decisions;  // per process
+  bool all_halted = false;
+
+  [[nodiscard]] bool all_decided() const;
+  [[nodiscard]] bool agreement() const;
+};
+
+/// Drives one process until it halts or the deadline passes. Blocking; meant
+/// to be called from a dedicated thread.
+void drive_process(ConsensusProcess& proc, Transport& transport, Value proposal,
+                   const RunnerOptions& opts);
+
+/// Runs a full cluster of stacks over the given transports (one thread per
+/// process) and collects the decisions.
+RunnerResult run_cluster(std::vector<std::unique_ptr<ConsensusProcess>>& procs,
+                         std::vector<std::unique_ptr<Transport>>& transports,
+                         const std::vector<Value>& proposals,
+                         const RunnerOptions& opts = {});
+
+}  // namespace dex::transport

@@ -1,0 +1,252 @@
+#include "transport/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+#include "common/hash.hpp"
+#include "common/logging.hpp"
+
+namespace dex::transport {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x44455843;  // "DEXC"
+constexpr std::uint32_t kMaxFrame = 1u << 24;
+
+bool write_all(int fd, const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::byte*>(data);
+  while (len > 0) {
+    const ssize_t w = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (w <= 0) return false;
+    p += w;
+    len -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool read_all(int fd, void* data, std::size_t len) {
+  auto* p = static_cast<std::byte*>(data);
+  while (len > 0) {
+    const ssize_t r = ::recv(fd, p, len, 0);
+    if (r <= 0) return false;
+    p += r;
+    len -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+void put_u32(std::byte* out, std::uint32_t v) {
+  out[0] = static_cast<std::byte>(v & 0xff);
+  out[1] = static_cast<std::byte>((v >> 8) & 0xff);
+  out[2] = static_cast<std::byte>((v >> 16) & 0xff);
+  out[3] = static_cast<std::byte>((v >> 24) & 0xff);
+}
+
+std::uint32_t get_u32(const std::byte* in) {
+  return static_cast<std::uint32_t>(in[0]) |
+         (static_cast<std::uint32_t>(in[1]) << 8) |
+         (static_cast<std::uint32_t>(in[2]) << 16) |
+         (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+}  // namespace
+
+TcpTransport::TcpTransport(TcpConfig cfg) : cfg_(std::move(cfg)) {
+  DEX_ENSURE(cfg_.n > 0);
+  DEX_ENSURE(cfg_.self >= 0 && static_cast<std::size_t>(cfg_.self) < cfg_.n);
+  peers_.resize(cfg_.n);
+  for (auto& p : peers_) p = std::make_unique<Peer>();
+}
+
+TcpTransport::~TcpTransport() { shutdown(); }
+
+void TcpTransport::start() {
+  // Listen socket.
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<std::uint16_t>(cfg_.base_port + cfg_.self));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw std::runtime_error("bind() failed on port " +
+                             std::to_string(cfg_.base_port + cfg_.self));
+  }
+  if (::listen(listen_fd_, static_cast<int>(cfg_.n)) != 0) {
+    throw std::runtime_error("listen() failed");
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+
+  // Outbound connections to higher-numbered peers.
+  const auto deadline = std::chrono::steady_clock::now() + cfg_.connect_deadline;
+  for (std::size_t j = static_cast<std::size_t>(cfg_.self) + 1; j < cfg_.n; ++j) {
+    int fd = -1;
+    for (;;) {
+      fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) throw std::runtime_error("socket() failed");
+      sockaddr_in peer{};
+      peer.sin_family = AF_INET;
+      peer.sin_port = htons(static_cast<std::uint16_t>(cfg_.base_port + j));
+      if (::inet_pton(AF_INET, cfg_.host.c_str(), &peer.sin_addr) != 1) {
+        ::close(fd);
+        throw std::runtime_error("bad host " + cfg_.host);
+      }
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&peer), sizeof(peer)) == 0) break;
+      ::close(fd);
+      if (std::chrono::steady_clock::now() > deadline) {
+        throw std::runtime_error("connect deadline to peer " + std::to_string(j));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    set_nodelay(fd);
+    // Hello frame: our id.
+    std::byte hello[4];
+    put_u32(hello, static_cast<std::uint32_t>(cfg_.self));
+    if (!write_all(fd, hello, sizeof(hello))) {
+      ::close(fd);
+      throw std::runtime_error("hello write failed");
+    }
+    setup_peer(static_cast<ProcessId>(j), fd);
+  }
+
+  // Wait for inbound connections from lower-numbered peers.
+  const std::size_t expected = cfg_.n - 1;
+  while (connected_.load() < expected) {
+    if (std::chrono::steady_clock::now() > deadline) {
+      throw std::runtime_error("timed out waiting for inbound peers");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+void TcpTransport::accept_loop() {
+  while (!stopping_.load()) {
+    sockaddr_in peer{};
+    socklen_t len = sizeof(peer);
+    const int fd = ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &len);
+    if (fd < 0) {
+      if (stopping_.load()) return;
+      continue;
+    }
+    set_nodelay(fd);
+    std::byte hello[4];
+    if (!read_all(fd, hello, sizeof(hello))) {
+      ::close(fd);
+      continue;
+    }
+    const auto peer_id = static_cast<ProcessId>(get_u32(hello));
+    if (peer_id < 0 || static_cast<std::size_t>(peer_id) >= cfg_.n ||
+        peer_id == cfg_.self) {
+      ::close(fd);
+      continue;
+    }
+    setup_peer(peer_id, fd);
+  }
+}
+
+void TcpTransport::setup_peer(ProcessId peer_id, int fd) {
+  Peer& p = *peers_[static_cast<std::size_t>(peer_id)];
+  {
+    const std::scoped_lock lock(p.write_mu);
+    if (p.fd >= 0) {  // duplicate connection; keep the first
+      ::close(fd);
+      return;
+    }
+    p.fd = fd;
+  }
+  p.reader = std::thread([this, peer_id] { reader_loop(peer_id); });
+  connected_.fetch_add(1);
+}
+
+void TcpTransport::reader_loop(ProcessId peer_id) {
+  Peer& p = *peers_[static_cast<std::size_t>(peer_id)];
+  const int fd = p.fd;
+  for (;;) {
+    std::byte header[12];
+    if (!read_all(fd, header, sizeof(header))) break;
+    if (get_u32(header) != kMagic) {
+      DEX_LOG(kWarn, "tcp") << "bad magic from peer " << peer_id;
+      break;
+    }
+    const std::uint32_t len = get_u32(header + 4);
+    const std::uint32_t crc = get_u32(header + 8);
+    if (len > kMaxFrame) {
+      DEX_LOG(kWarn, "tcp") << "oversized frame from peer " << peer_id;
+      break;
+    }
+    std::vector<std::byte> payload(len);
+    if (len > 0 && !read_all(fd, payload.data(), len)) break;
+    if (crc32(payload) != crc) {
+      DEX_LOG(kWarn, "tcp") << "crc mismatch from peer " << peer_id;
+      break;
+    }
+    try {
+      inbox_.push(Incoming{peer_id, Message::from_bytes(payload)});
+    } catch (const DecodeError&) {
+      // Byzantine content; drop the frame but keep the stream.
+    }
+  }
+}
+
+void TcpTransport::write_frame(Peer& peer, const std::vector<std::byte>& payload) {
+  std::byte header[12];
+  put_u32(header, kMagic);
+  put_u32(header + 4, static_cast<std::uint32_t>(payload.size()));
+  put_u32(header + 8, crc32(payload));
+  const std::scoped_lock lock(peer.write_mu);
+  if (peer.fd < 0) return;
+  if (!write_all(peer.fd, header, sizeof(header)) ||
+      (!payload.empty() && !write_all(peer.fd, payload.data(), payload.size()))) {
+    DEX_LOG(kWarn, "tcp") << "write failed";
+  }
+}
+
+void TcpTransport::send(ProcessId dst, Message msg) {
+  if (dst == cfg_.self) {
+    inbox_.push(Incoming{cfg_.self, std::move(msg)});
+    return;
+  }
+  if (dst < 0 || static_cast<std::size_t>(dst) >= cfg_.n) return;
+  write_frame(*peers_[static_cast<std::size_t>(dst)], msg.to_bytes());
+}
+
+std::optional<Incoming> TcpTransport::recv(std::chrono::milliseconds timeout) {
+  return inbox_.pop(timeout);
+}
+
+void TcpTransport::shutdown() {
+  if (stopping_.exchange(true)) return;
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  for (auto& p : peers_) {
+    int fd;
+    {
+      const std::scoped_lock lock(p->write_mu);
+      fd = p->fd;
+      p->fd = -1;
+    }
+    if (fd >= 0) {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    }
+    if (p->reader.joinable()) p->reader.join();
+  }
+  inbox_.close();
+}
+
+}  // namespace dex::transport

@@ -1,0 +1,74 @@
+// TCP transport: a full mesh of framed, CRC-checked connections.
+//
+// Topology: every node listens on base_port + id; node i initiates the
+// connection to node j exactly when i < j, and identifies itself with a hello
+// frame, so each unordered pair shares one duplex socket. Self-sends bypass
+// the network. One reader thread per peer socket feeds a shared mailbox.
+//
+// Wire format per frame:
+//   u32 magic ("DEXC") | u32 payload length | u32 crc32(payload) | payload
+// A frame that fails any check kills the connection (a Byzantine peer can
+// send garbage *content*, but framing errors indicate a broken stream).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "transport/inproc.hpp"  // reuses Mailbox
+#include "transport/transport.hpp"
+
+namespace dex::transport {
+
+struct TcpConfig {
+  std::size_t n = 0;
+  ProcessId self = kNoProcess;
+  std::uint16_t base_port = 9400;
+  std::string host = "127.0.0.1";
+  /// How long start() keeps retrying peer connections.
+  std::chrono::milliseconds connect_deadline{10'000};
+};
+
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(TcpConfig cfg);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  /// Binds, accepts and connects until the full mesh is up (or throws
+  /// std::runtime_error on deadline/socket failure). Call once before use.
+  void start();
+
+  void send(ProcessId dst, Message msg) override;
+  std::optional<Incoming> recv(std::chrono::milliseconds timeout) override;
+  [[nodiscard]] std::size_t n() const override { return cfg_.n; }
+  [[nodiscard]] ProcessId self() const override { return cfg_.self; }
+
+  void shutdown();
+
+ private:
+  struct Peer {
+    int fd = -1;
+    std::mutex write_mu;
+    std::thread reader;
+  };
+
+  void accept_loop();
+  void reader_loop(ProcessId peer_id);
+  void setup_peer(ProcessId peer_id, int fd);
+  void write_frame(Peer& peer, const std::vector<std::byte>& payload);
+
+  TcpConfig cfg_;
+  int listen_fd_ = -1;
+  std::vector<std::unique_ptr<Peer>> peers_;  // index = ProcessId; self unused
+  Mailbox inbox_;
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> connected_{0};
+};
+
+}  // namespace dex::transport

@@ -1,0 +1,41 @@
+// Transport abstraction for real (non-simulated) deployments.
+//
+// A Transport is one process's handle onto the network: unicast send plus a
+// blocking receive with timeout. The same ConsensusProcess objects that run
+// under the simulator run over any Transport via ClusterRunner.
+#pragma once
+
+#include <chrono>
+#include <optional>
+
+#include "consensus/message.hpp"
+
+namespace dex::transport {
+
+struct Incoming {
+  ProcessId src = kNoProcess;
+  Message msg;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Unicast to dst. Must be callable from the owner's driver thread.
+  virtual void send(ProcessId dst, Message msg) = 0;
+
+  /// Next inbound message, or nullopt on timeout / shutdown.
+  virtual std::optional<Incoming> recv(std::chrono::milliseconds timeout) = 0;
+
+  [[nodiscard]] virtual std::size_t n() const = 0;
+  [[nodiscard]] virtual ProcessId self() const = 0;
+
+  /// Broadcast helper: unicast to every process including self.
+  void broadcast(const Message& msg) {
+    for (std::size_t d = 0; d < n(); ++d) {
+      send(static_cast<ProcessId>(d), msg);
+    }
+  }
+};
+
+}  // namespace dex::transport

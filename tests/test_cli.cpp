@@ -1,0 +1,113 @@
+// Tests for the command-line argument parser.
+#include <gtest/gtest.h>
+
+#include "common/cli.hpp"
+
+namespace dex {
+namespace {
+
+std::vector<const char*> args(std::initializer_list<const char*> list) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), list);
+  return v;
+}
+
+TEST(Cli, ParsesKeyValueForms) {
+  Cli cli;
+  auto a = args({"--n", "13", "--t=2", "--name", "dex"});
+  cli.parse(static_cast<int>(a.size()), a.data(), /*strict=*/false);
+  EXPECT_EQ(cli.num("n", 0), 13);
+  EXPECT_EQ(cli.num("t", 0), 2);
+  EXPECT_EQ(cli.str("name", ""), "dex");
+}
+
+TEST(Cli, FlagsWithoutValues) {
+  Cli cli;
+  auto a = args({"--verbose", "--n", "5"});
+  cli.parse(static_cast<int>(a.size()), a.data(), false);
+  EXPECT_TRUE(cli.flag("verbose"));
+  EXPECT_FALSE(cli.flag("quiet"));
+  EXPECT_EQ(cli.num("n", 0), 5);
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  Cli cli;
+  auto a = args({});
+  cli.parse(static_cast<int>(a.size()), a.data(), false);
+  EXPECT_EQ(cli.num("n", 42), 42);
+  EXPECT_EQ(cli.str("s", "x"), "x");
+  EXPECT_DOUBLE_EQ(cli.real("r", 1.5), 1.5);
+  EXPECT_EQ(cli.unsigned_num("u", 7u), 7u);
+}
+
+TEST(Cli, PositionalArguments) {
+  Cli cli;
+  auto a = args({"alpha", "--k", "1", "beta"});
+  cli.parse(static_cast<int>(a.size()), a.data(), false);
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "alpha");
+  EXPECT_EQ(cli.positional()[1], "beta");
+}
+
+TEST(Cli, StrictModeRejectsUnknown) {
+  Cli cli;
+  cli.option("known", "a known option");
+  auto a = args({"--unknown", "1"});
+  EXPECT_THROW(cli.parse(static_cast<int>(a.size()), a.data(), true), CliError);
+}
+
+TEST(Cli, StrictModeAcceptsDeclared) {
+  Cli cli;
+  cli.option("known", "a known option");
+  auto a = args({"--known", "1"});
+  EXPECT_NO_THROW(cli.parse(static_cast<int>(a.size()), a.data(), true));
+}
+
+TEST(Cli, MalformedNumberThrows) {
+  Cli cli;
+  auto a = args({"--n", "12x"});
+  cli.parse(static_cast<int>(a.size()), a.data(), false);
+  EXPECT_THROW((void)cli.num("n", 0), CliError);
+}
+
+TEST(Cli, NegativeRejectedByUnsigned) {
+  Cli cli;
+  auto a = args({"--n", "-3"});
+  cli.parse(static_cast<int>(a.size()), a.data(), false);
+  EXPECT_EQ(cli.num("n", 0), -3);
+  EXPECT_THROW((void)cli.unsigned_num("n", 0), CliError);
+}
+
+TEST(Cli, RealParsing) {
+  Cli cli;
+  auto a = args({"--p", "0.75"});
+  cli.parse(static_cast<int>(a.size()), a.data(), false);
+  EXPECT_DOUBLE_EQ(cli.real("p", 0), 0.75);
+}
+
+TEST(Cli, NegativeNumberAsValue) {
+  // "--k -3": the "-3" does not start with "--" so it is consumed as a value.
+  Cli cli;
+  auto a = args({"--k", "-3"});
+  cli.parse(static_cast<int>(a.size()), a.data(), false);
+  EXPECT_EQ(cli.num("k", 0), -3);
+}
+
+TEST(Cli, UsageListsDeclaredOptions) {
+  Cli cli;
+  cli.option("alpha", "the alpha option", "int");
+  cli.option("beta", "the beta flag");
+  const auto u = cli.usage("tool");
+  EXPECT_NE(u.find("--alpha"), std::string::npos);
+  EXPECT_NE(u.find("the beta flag"), std::string::npos);
+  EXPECT_NE(u.find("usage: tool"), std::string::npos);
+}
+
+TEST(Cli, EmptyOptionNameThrows) {
+  Cli cli;
+  auto a = args({"--"});
+  EXPECT_THROW(cli.parse(static_cast<int>(a.size()), a.data(), false), CliError);
+}
+
+}  // namespace
+}  // namespace dex

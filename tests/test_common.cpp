@@ -1,0 +1,235 @@
+// Unit tests for the common substrate: RNG, serde, hashing, histograms.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/hash.hpp"
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "common/serde.hpp"
+
+namespace dex {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowInRangeAndCoversAll) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_below(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextBelowOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowZeroThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.next_below(0), ContractViolation);
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(17);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_exponential(3.0);
+  EXPECT_NEAR(sum / kN, 3.0, 0.15);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(23);
+  Rng child = a.split();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+TEST(Mix64, InjectiveOnSamples) {
+  std::set<std::uint64_t> out;
+  for (std::uint64_t i = 0; i < 10000; ++i) out.insert(mix64(i));
+  EXPECT_EQ(out.size(), 10000u);
+}
+
+TEST(Serde, RoundTripScalars) {
+  Writer w;
+  w.u8(250);
+  w.u16(65500);
+  w.u32(4000000000u);
+  w.u64(0x0123456789abcdefULL);
+  w.i32(-12345);
+  w.i64(-9876543210LL);
+  w.f64(3.14159);
+  w.boolean(true);
+  w.boolean(false);
+  const auto bytes = std::move(w).take();
+
+  Reader r(bytes);
+  EXPECT_EQ(r.u8(), 250);
+  EXPECT_EQ(r.u16(), 65500);
+  EXPECT_EQ(r.u32(), 4000000000u);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i32(), -12345);
+  EXPECT_EQ(r.i64(), -9876543210LL);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serde, VarintRoundTripBoundaries) {
+  const std::uint64_t cases[] = {0,    1,        127,        128,
+                                 300,  16383,    16384,      (1ULL << 32),
+                                 ~0ULL, (1ULL << 63), 0x7fffffffffffffffULL};
+  for (const auto v : cases) {
+    Writer w;
+    w.varint(v);
+    Reader r(w.view());
+    EXPECT_EQ(r.varint(), v) << v;
+  }
+}
+
+TEST(Serde, StringRoundTrip) {
+  Writer w;
+  w.str("hello");
+  w.str("");
+  w.str(std::string(1000, 'x'));
+  Reader r(w.view());
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), std::string(1000, 'x'));
+}
+
+TEST(Serde, TruncatedInputThrows) {
+  Writer w;
+  w.u64(7);
+  const auto bytes = std::move(w).take();
+  Reader r(std::span<const std::byte>(bytes).subspan(0, 4));
+  EXPECT_THROW(r.u64(), DecodeError);
+}
+
+TEST(Serde, MalformedVarintThrows) {
+  // 11 continuation bytes exceed the 64-bit capacity.
+  std::vector<std::byte> bad(11, std::byte{0x80});
+  Reader r(bad);
+  EXPECT_THROW(r.varint(), DecodeError);
+}
+
+TEST(Serde, InvalidBooleanThrows) {
+  std::vector<std::byte> bad{std::byte{2}};
+  Reader r(bad);
+  EXPECT_THROW(r.boolean(), DecodeError);
+}
+
+TEST(Serde, StringLengthBeyondInputThrows) {
+  Writer w;
+  w.varint(100);  // claims 100 bytes, provides none
+  Reader r(w.view());
+  EXPECT_THROW(r.str(), DecodeError);
+}
+
+TEST(Hash, Fnv1a64KnownValue) {
+  // FNV-1a("") is the offset basis.
+  EXPECT_EQ(fnv1a64(std::string_view{}), 0xcbf29ce484222325ULL);
+  EXPECT_NE(fnv1a64("a"), fnv1a64("b"));
+}
+
+TEST(Hash, Crc32KnownVector) {
+  // CRC-32("123456789") = 0xCBF43926 (classic check value).
+  const std::string s = "123456789";
+  EXPECT_EQ(crc32(std::as_bytes(std::span(s.data(), s.size()))), 0xCBF43926u);
+}
+
+TEST(Hash, Crc32DetectsBitFlip) {
+  std::vector<std::byte> data(64, std::byte{0x5a});
+  const auto before = crc32(data);
+  data[17] ^= std::byte{0x01};
+  EXPECT_NE(before, crc32(data));
+}
+
+TEST(Histogram, BasicStats) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.min(), 1);
+  EXPECT_DOUBLE_EQ(h.max(), 100);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_NEAR(h.quantile(0.5), 50, 1);
+  EXPECT_NEAR(h.quantile(0.99), 99, 1);
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a, b;
+  a.add(1);
+  b.add(3);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(Histogram, EmptyThrowsOnStats) {
+  Histogram h;
+  EXPECT_THROW((void)h.mean(), ContractViolation);
+  EXPECT_THROW((void)h.quantile(0.5), ContractViolation);
+}
+
+TEST(Counter, FractionsAndTotals) {
+  Counter c;
+  c.add("one-step", 3);
+  c.add("two-step");
+  EXPECT_EQ(c.total(), 4u);
+  EXPECT_EQ(c.get("one-step"), 3u);
+  EXPECT_EQ(c.get("missing"), 0u);
+  EXPECT_DOUBLE_EQ(c.fraction("one-step"), 0.75);
+}
+
+}  // namespace
+}  // namespace dex

@@ -1,0 +1,227 @@
+// Tests for conditions, condition sequences, the two legal pairs (§3.3-3.4)
+// and the input generators / coverage analytics that feed the benches.
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "consensus/condition/analytics.hpp"
+#include "consensus/condition/input_gen.hpp"
+#include "consensus/condition/pair.hpp"
+
+namespace dex {
+namespace {
+
+TEST(FreqCondition, MembershipByMargin) {
+  const FreqCondition c(4);
+  // margin 5 > 4: in. n=13: 9 of value 1, 4 of value 0.
+  EXPECT_TRUE(c.contains(split_input(13, 1, 9, 0)));
+  // margin 3: out.
+  EXPECT_FALSE(c.contains(split_input(13, 1, 8, 0)));
+}
+
+TEST(FreqCondition, UnanimousAlwaysInForDBelowN) {
+  const FreqCondition c(10);
+  EXPECT_TRUE(c.contains(unanimous_input(11, 5)));
+  const FreqCondition too_strict(11);
+  EXPECT_FALSE(too_strict.contains(unanimous_input(11, 5)));
+}
+
+TEST(PrivilegedCondition, MembershipByCount) {
+  const PrivilegedCondition c(7, 6);  // needs #7 > 6
+  EXPECT_TRUE(c.contains(split_input(11, 7, 7, 0)));
+  EXPECT_FALSE(c.contains(split_input(11, 7, 6, 0)));
+  // Counts of other values are irrelevant.
+  EXPECT_FALSE(c.contains(unanimous_input(11, 3)));
+}
+
+TEST(ConditionSequence, MaxValidFaultsMonotone) {
+  // Frequency pair at n=13, t=2: C1_k = C^freq_{8+2k}.
+  const FrequencyPair pair(13, 2);
+  // margin 11 > 8+2*1=10 but not > 12 ⇒ max k = 1.
+  const auto in_margin_11 = split_input(13, 1, 12, 0);  // margin 12-1=11
+  const auto k = pair.s1().max_valid_faults(in_margin_11);
+  ASSERT_TRUE(k.has_value());
+  EXPECT_EQ(*k, 1u);
+  // Unanimous: margin 13 > 12 ⇒ k = t = 2.
+  EXPECT_EQ(pair.s1().max_valid_faults(unanimous_input(13, 4)), 2u);
+  // margin 8: not even in C1_0.
+  EXPECT_FALSE(pair.s1().max_valid_faults(split_input(13, 1, 10, 0)).has_value());
+}
+
+TEST(FrequencyPair, RequiresSixTPlusOne) {
+  EXPECT_NO_THROW(FrequencyPair(13, 2));
+  EXPECT_THROW(FrequencyPair(12, 2), ContractViolation);
+}
+
+TEST(FrequencyPair, PredicatesMatchDefinitions) {
+  const FrequencyPair pair(13, 2);
+  View j(13);
+  // 10 × 5, 1 × 3 → margin 9 > 4t = 8 ⇒ P1.
+  for (int i = 0; i < 10; ++i) j.set(static_cast<std::size_t>(i), 5);
+  j.set(10, 3);
+  EXPECT_TRUE(pair.p1(j));
+  EXPECT_TRUE(pair.p2(j));
+  EXPECT_EQ(pair.f(j), 5);
+  // Reduce margin to 8: P1 fails, P2 (margin > 4) holds.
+  j.set(11, 3);
+  EXPECT_FALSE(pair.p1(j));
+  EXPECT_TRUE(pair.p2(j));
+}
+
+TEST(FrequencyPair, P2Boundary) {
+  const FrequencyPair pair(13, 2);
+  View j(13);
+  // margin exactly 2t = 4 → P2 false; margin 5 → true.
+  for (int i = 0; i < 8; ++i) j.set(static_cast<std::size_t>(i), 1);
+  for (int i = 8; i < 12; ++i) j.set(static_cast<std::size_t>(i), 0);
+  EXPECT_FALSE(pair.p2(j));
+  j.set(12, 1);
+  EXPECT_TRUE(pair.p2(j));
+}
+
+TEST(FrequencyPair, FIsUndefinedOnEmptyView) {
+  const FrequencyPair pair(13, 2);
+  EXPECT_THROW((void)pair.f(View(13)), ContractViolation);
+}
+
+TEST(PrivilegedPair, RequiresFiveTPlusOne) {
+  EXPECT_NO_THROW(PrivilegedPair(11, 2, 0));
+  EXPECT_THROW(PrivilegedPair(10, 2, 0), ContractViolation);
+}
+
+TEST(PrivilegedPair, PredicatesMatchDefinitions) {
+  const Value m = 42;
+  const PrivilegedPair pair(11, 2, m);
+  View j(11);
+  for (int i = 0; i < 7; ++i) j.set(static_cast<std::size_t>(i), m);
+  EXPECT_TRUE(pair.p1(j));  // 7 > 3t = 6
+  EXPECT_TRUE(pair.p2(j));
+  EXPECT_EQ(pair.f(j), m);
+  j.clear(6);
+  EXPECT_FALSE(pair.p1(j));  // 6 not > 6
+  EXPECT_TRUE(pair.p2(j));   // 6 > 4
+}
+
+TEST(PrivilegedPair, FFallsBackToMostFrequent) {
+  const Value m = 42;
+  const PrivilegedPair pair(11, 2, m);
+  View j(11);
+  // #m = 2 <= t ⇒ F is the most frequent non-⊥ value.
+  j.set(0, m);
+  j.set(1, m);
+  for (int i = 2; i < 8; ++i) j.set(static_cast<std::size_t>(i), 7);
+  EXPECT_EQ(pair.f(j), 7);
+  // #m = 3 > t ⇒ F = m even though 7 is more frequent.
+  j.set(8, m);
+  EXPECT_EQ(pair.f(j), m);
+}
+
+TEST(PrivilegedPair, SequencesUseDocumentedThresholds) {
+  const PrivilegedPair pair(11, 2, 0);
+  // C1_k = C^prv_{3t+k}: #m must exceed 6+k.
+  EXPECT_TRUE(pair.s1().contains(split_input(11, 0, 7, 1), 0));
+  EXPECT_FALSE(pair.s1().contains(split_input(11, 0, 7, 1), 1));
+  // C2_k = C^prv_{2t+k}: #m must exceed 4+k.
+  EXPECT_TRUE(pair.s2().contains(split_input(11, 0, 5, 1), 0));
+  EXPECT_FALSE(pair.s2().contains(split_input(11, 0, 5, 1), 1));
+}
+
+// --- input generators ---
+
+TEST(InputGen, MarginInputHasExactMargin) {
+  Rng rng(1);
+  for (std::size_t margin : {1u, 2u, 5u, 9u, 11u}) {
+    if (margin == 12) continue;
+    const auto in = margin_input(13, margin, 3, rng);
+    const auto s = in.as_view().freq();
+    EXPECT_EQ(s.margin(), margin) << "margin " << margin;
+    EXPECT_EQ(s.first(), 3);
+  }
+}
+
+TEST(InputGen, MarginNIsUnanimous) {
+  Rng rng(2);
+  const auto in = margin_input(9, 9, 5, rng);
+  EXPECT_EQ(in, unanimous_input(9, 5));
+}
+
+TEST(InputGen, MarginNMinusOneRejected) {
+  Rng rng(3);
+  EXPECT_THROW(margin_input(9, 8, 5, rng), ContractViolation);
+}
+
+TEST(InputGen, PrivilegedInputHasExactCount) {
+  Rng rng(4);
+  for (std::size_t c : {0u, 1u, 5u, 11u}) {
+    const auto in = privileged_input(11, 42, c, rng);
+    EXPECT_EQ(in.as_view().count_of(42), c);
+  }
+}
+
+TEST(InputGen, PerturbedViewRespectsDistance) {
+  Rng rng(5);
+  const auto in = unanimous_input(13, 9);
+  for (int trial = 0; trial < 200; ++trial) {
+    const View j = perturbed_view(in, 3, rng);
+    EXPECT_LE(View::dist(j, in), 3u);
+    EXPECT_LE(j.bottom_count(), 3u);
+  }
+}
+
+TEST(InputGen, MaskedViewBottomsExact) {
+  Rng rng(6);
+  const auto in = unanimous_input(10, 1);
+  const View j = masked_view(in, 4, rng);
+  EXPECT_EQ(j.bottom_count(), 4u);
+  EXPECT_TRUE(j.contained_in(in.as_view()));
+}
+
+TEST(InputGen, MutatedInputBoundedChanges) {
+  Rng rng(7);
+  const auto in = unanimous_input(12, 3);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto mut = mutated_input(in, 2, rng);
+    std::size_t diff = 0;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      if (in[i] != mut[i]) ++diff;
+    }
+    EXPECT_LE(diff, 2u);
+  }
+}
+
+// --- coverage analytics ---
+
+TEST(Analytics, CoverageMonotoneInK) {
+  const FrequencyPair pair(13, 2);
+  Rng rng(8);
+  const auto cov = estimate_pair_coverage(
+      pair, skewed_source(13, 0.9, 7, 8), 4000, rng);
+  ASSERT_EQ(cov.one_step.coverage.size(), 3u);
+  // Larger k ⇒ stricter condition ⇒ lower coverage.
+  EXPECT_GE(cov.one_step.coverage[0], cov.one_step.coverage[1]);
+  EXPECT_GE(cov.one_step.coverage[1], cov.one_step.coverage[2]);
+  // The two-step condition is weaker than the one-step one.
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_GE(cov.two_step.coverage[k], cov.one_step.coverage[k]);
+  }
+}
+
+TEST(Analytics, HighCommonalityYieldsHighCoverage) {
+  const FrequencyPair pair(13, 2);
+  Rng rng(9);
+  const auto high = estimate_pair_coverage(pair, skewed_source(13, 0.99, 7, 8),
+                                           2000, rng);
+  const auto low = estimate_pair_coverage(pair, uniform_source(13, 8), 2000, rng);
+  EXPECT_GT(high.one_step.coverage[0], 0.8);
+  EXPECT_LT(low.one_step.coverage[0], 0.1);
+}
+
+TEST(Analytics, UnanimousSourceFullCoverage) {
+  const FrequencyPair pair(13, 2);
+  Rng rng(10);
+  const auto cov = estimate_pair_coverage(
+      pair, [](Rng&) { return unanimous_input(13, 4); }, 100, rng);
+  for (const double c : cov.one_step.coverage) EXPECT_DOUBLE_EQ(c, 1.0);
+}
+
+}  // namespace
+}  // namespace dex

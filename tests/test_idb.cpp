@@ -1,0 +1,332 @@
+// Tests for the Identical Broadcast engine (Figure 3 / Theorem 4):
+// Termination, Agreement, Validity — including under equivocation and
+// injected Byzantine echo traffic.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "common/rng.hpp"
+#include "consensus/idb/idb_engine.hpp"
+
+namespace dex {
+namespace {
+
+std::vector<std::byte> payload_of(Value v) { return ValuePayload{v}.to_bytes(); }
+
+/// A tiny synchronous network of IDB engines: FIFO delivery, optional drop
+/// filter and direct injection — enough to script any Figure-2 scenario.
+class IdbNet {
+ public:
+  IdbNet(std::size_t n, std::size_t t) : n_(n), t_(t) {
+    for (std::size_t i = 0; i < n; ++i) {
+      outboxes_.push_back(std::make_unique<Outbox>());
+      engines_.push_back(std::make_unique<IdbEngine>(
+          n, t, static_cast<ProcessId>(i), 0, outboxes_.back().get()));
+    }
+  }
+
+  IdbEngine& engine(std::size_t i) { return *engines_[i]; }
+
+  /// Packets (src → dst) for which this returns false are dropped.
+  std::function<bool(ProcessId, ProcessId, const Message&)> filter =
+      [](ProcessId, ProcessId, const Message&) { return true; };
+
+  void inject(ProcessId src, ProcessId dst, Message msg) {
+    queue_.push_back({src, dst, std::move(msg)});
+  }
+
+  /// Drains outboxes and delivers until quiescent.
+  void run() {
+    for (;;) {
+      collect();
+      if (queue_.empty()) return;
+      auto [src, dst, msg] = std::move(queue_.front());
+      queue_.pop_front();
+      engines_[static_cast<std::size_t>(dst)]->on_message(src, msg);
+      for (auto& d : engines_[static_cast<std::size_t>(dst)]->take_deliveries()) {
+        delivered_[dst].push_back(std::move(d));
+      }
+    }
+  }
+
+  const std::vector<IdbDelivery>& delivered(ProcessId i) { return delivered_[i]; }
+
+ private:
+  void collect() {
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (Outgoing& out : outboxes_[i]->drain()) {
+        const auto src = static_cast<ProcessId>(i);
+        if (out.dst == kBroadcastDst) {
+          for (std::size_t d = 0; d < n_; ++d) {
+            const auto dst = static_cast<ProcessId>(d);
+            if (filter(src, dst, out.msg)) queue_.push_back({src, dst, out.msg});
+          }
+        } else if (filter(src, out.dst, out.msg)) {
+          queue_.push_back({src, out.dst, std::move(out.msg)});
+        }
+      }
+    }
+  }
+
+  struct Pending {
+    ProcessId src;
+    ProcessId dst;
+    Message msg;
+  };
+
+  std::size_t n_;
+  std::size_t t_;
+  std::vector<std::unique_ptr<Outbox>> outboxes_;
+  std::vector<std::unique_ptr<IdbEngine>> engines_;
+  std::deque<Pending> queue_;
+  std::map<ProcessId, std::vector<IdbDelivery>> delivered_;
+};
+
+Message init_msg(ProcessId origin, std::uint64_t tag, Value v) {
+  Message m;
+  m.kind = MsgKind::kIdbInit;
+  m.tag = tag;
+  m.origin = origin;
+  m.payload = payload_of(v);
+  return m;
+}
+
+Message echo_msg(ProcessId origin, std::uint64_t tag, Value v) {
+  Message m;
+  m.kind = MsgKind::kIdbEcho;
+  m.tag = tag;
+  m.origin = origin;
+  m.payload = payload_of(v);
+  return m;
+}
+
+TEST(Idb, RequiresFourTPlusOne) {
+  Outbox ob;
+  EXPECT_THROW(IdbEngine(8, 2, 0, 0, &ob), ContractViolation);
+  EXPECT_NO_THROW(IdbEngine(9, 2, 0, 0, &ob));
+}
+
+TEST(Idb, CorrectBroadcastDeliversToAll) {
+  IdbNet net(5, 1);
+  net.engine(0).id_send(7, payload_of(99));
+  net.run();
+  for (ProcessId i = 0; i < 5; ++i) {
+    ASSERT_EQ(net.delivered(i).size(), 1u) << "process " << i;
+    EXPECT_EQ(net.delivered(i)[0].origin, 0);
+    EXPECT_EQ(net.delivered(i)[0].tag, 7u);
+    EXPECT_EQ(ValuePayload::from_bytes(net.delivered(i)[0].payload).v, 99);
+  }
+}
+
+TEST(Idb, TwoStepsOfPlainCommunication) {
+  // One IDB broadcast costs exactly one init broadcast plus (at most) one
+  // echo broadcast per process: n + n*n plain messages for n correct.
+  IdbNet net(5, 1);
+  net.engine(0).id_send(1, payload_of(5));
+  net.run();
+  std::uint64_t echoes = 0;
+  for (std::size_t i = 0; i < 5; ++i) echoes += net.engine(i).echoes_sent();
+  EXPECT_EQ(echoes, 5u);  // every process echoes exactly once
+}
+
+TEST(Idb, EquivocatingInitSplitMinorityDeliversNothing) {
+  // Byzantine p4 sends value 1 to {0,1} and value 2 to {2,3}: neither echo
+  // group can reach n−t = 4, so no correct process accepts anything — but
+  // none accept *different* messages (Agreement).
+  IdbNet net(5, 1);
+  for (ProcessId dst = 0; dst < 2; ++dst) net.inject(4, dst, init_msg(4, 3, 1));
+  for (ProcessId dst = 2; dst < 4; ++dst) net.inject(4, dst, init_msg(4, 3, 2));
+  net.run();
+  for (ProcessId i = 0; i < 4; ++i) {
+    EXPECT_TRUE(net.delivered(i).empty()) << "process " << i;
+  }
+}
+
+TEST(Idb, EquivocatingInitMajoritySideWins) {
+  // Value 1 reaches three correct processes: their echoes (3 >= n−2t) pull
+  // the fourth across, and everyone accepts value 1. Figure 2's scenario.
+  IdbNet net(5, 1);
+  for (ProcessId dst = 0; dst < 3; ++dst) net.inject(4, dst, init_msg(4, 3, 1));
+  net.inject(4, 3, init_msg(4, 3, 2));
+  net.run();
+  for (ProcessId i = 0; i < 4; ++i) {
+    ASSERT_EQ(net.delivered(i).size(), 1u) << "process " << i;
+    EXPECT_EQ(ValuePayload::from_bytes(net.delivered(i)[0].payload).v, 1);
+  }
+}
+
+TEST(Idb, LateProcessAcceptsViaEchoAmplification) {
+  // Process 3 never sees the init but collects echoes from the others.
+  IdbNet net(5, 1);
+  net.filter = [](ProcessId, ProcessId dst, const Message& m) {
+    return !(m.kind == MsgKind::kIdbInit && dst == 3);
+  };
+  net.engine(0).id_send(9, payload_of(42));
+  net.run();
+  ASSERT_EQ(net.delivered(3).size(), 1u);
+  EXPECT_EQ(ValuePayload::from_bytes(net.delivered(3)[0].payload).v, 42);
+}
+
+TEST(Idb, FirstEchoSticksOnConflictingInits) {
+  // A second init with different content from the same origin must not
+  // produce a second echo from a correct process.
+  Outbox ob;
+  IdbEngine e(5, 1, 0, 0, &ob);
+  e.on_message(4, init_msg(4, 1, 10));
+  e.on_message(4, init_msg(4, 1, 20));
+  EXPECT_EQ(e.echoes_sent(), 1u);
+  const auto out = ob.drain();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(ValuePayload::from_bytes(out[0].msg.payload).v, 10);
+}
+
+TEST(Idb, DuplicateEchoesFromOneSenderCountOnce) {
+  Outbox ob;
+  IdbEngine e(5, 1, 0, 0, &ob);
+  // Three distinct senders short of the n−t = 4 acceptance quorum; repeats
+  // from the same sender must not close the gap.
+  for (int rep = 0; rep < 5; ++rep) {
+    e.on_message(1, echo_msg(4, 2, 7));
+    e.on_message(2, echo_msg(4, 2, 7));
+    e.on_message(3, echo_msg(4, 2, 7));
+  }
+  EXPECT_TRUE(e.take_deliveries().empty());
+  e.on_message(0, echo_msg(4, 2, 7));
+  EXPECT_EQ(e.take_deliveries().size(), 1u);
+}
+
+TEST(Idb, AcceptsOncePerOriginTag) {
+  Outbox ob;
+  IdbEngine e(5, 1, 0, 0, &ob);
+  for (ProcessId s = 0; s < 5; ++s) e.on_message(s, echo_msg(4, 2, 7));
+  EXPECT_EQ(e.take_deliveries().size(), 1u);
+  // More echoes change nothing.
+  for (ProcessId s = 0; s < 5; ++s) e.on_message(s, echo_msg(4, 2, 7));
+  EXPECT_TRUE(e.take_deliveries().empty());
+  EXPECT_EQ(e.accepted_count(), 1u);
+}
+
+TEST(Idb, TagsAreIndependentSlots) {
+  IdbNet net(5, 1);
+  net.engine(2).id_send(100, payload_of(1));
+  net.engine(2).id_send(200, payload_of(2));
+  net.run();
+  ASSERT_EQ(net.delivered(0).size(), 2u);
+  std::map<std::uint64_t, Value> got;
+  for (const auto& d : net.delivered(0)) {
+    got[d.tag] = ValuePayload::from_bytes(d.payload).v;
+  }
+  EXPECT_EQ(got[100], 1);
+  EXPECT_EQ(got[200], 2);
+}
+
+TEST(Idb, IgnoresForeignInstanceAndBadFields) {
+  Outbox ob;
+  IdbEngine e(5, 1, 0, /*instance=*/3, &ob);
+  Message wrong_instance = echo_msg(4, 2, 7);
+  wrong_instance.instance = 9;
+  e.on_message(1, wrong_instance);
+
+  Message bad_origin = echo_msg(77, 2, 7);
+  bad_origin.instance = 3;
+  e.on_message(1, bad_origin);
+
+  Message huge = echo_msg(4, 2, 7);
+  huge.instance = 3;
+  huge.payload.assign((1u << 20) + 1, std::byte{0});
+  e.on_message(1, huge);
+
+  EXPECT_TRUE(e.take_deliveries().empty());
+  EXPECT_EQ(e.echoes_sent(), 0u);
+}
+
+TEST(Idb, InitOriginComesFromTransportSender) {
+  // A Byzantine process cannot initiate a broadcast on another's behalf: the
+  // engine uses the transport-level src, not the claimed origin field.
+  Outbox ob;
+  IdbEngine e(5, 1, 0, 0, &ob);
+  Message forged = init_msg(/*origin=*/2, 5, 9);
+  e.on_message(/*src=*/4, forged);
+  const auto out = ob.drain();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].msg.origin, 4);  // echo names the true sender
+}
+
+// Agreement property under randomized Byzantine echo/init injection:
+// no two correct processes ever accept different payloads for one slot.
+class IdbAgreementProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IdbAgreementProperty, HoldsUnderRandomInjection) {
+  Rng rng(GetParam());
+  const std::size_t n = 9, t = 2;  // two Byzantine injectors: 7 and 8
+  IdbNet net(n, t);
+  net.filter = [](ProcessId src, ProcessId, const Message&) {
+    return src < 7;  // Byzantine engines stay silent; we inject for them
+  };
+  // A correct broadcast in the background.
+  net.engine(0).id_send(50, payload_of(123));
+  // Byzantine storm: random inits/echoes on the same and other slots.
+  for (int i = 0; i < 300; ++i) {
+    const auto src = static_cast<ProcessId>(7 + rng.next_below(2));
+    const auto dst = static_cast<ProcessId>(rng.next_below(7));
+    const auto origin = static_cast<ProcessId>(rng.next_below(n));
+    const auto tag = 50 + rng.next_below(3);
+    const auto v = static_cast<Value>(rng.next_below(4));
+    net.inject(src, dst,
+               rng.next_bool() ? init_msg(origin, tag, v) : echo_msg(origin, tag, v));
+  }
+  net.run();
+
+  // Agreement per slot across correct processes.
+  std::map<std::pair<ProcessId, std::uint64_t>, std::vector<std::byte>> seen;
+  for (ProcessId i = 0; i < 7; ++i) {
+    for (const auto& d : net.delivered(i)) {
+      const auto key = std::make_pair(d.origin, d.tag);
+      const auto it = seen.find(key);
+      if (it == seen.end()) {
+        seen.emplace(key, d.payload);
+      } else {
+        EXPECT_EQ(it->second, d.payload)
+            << "disagreement on origin " << d.origin << " tag " << d.tag;
+      }
+    }
+  }
+  // Termination for the correct broadcast.
+  for (ProcessId i = 0; i < 7; ++i) {
+    bool got = false;
+    for (const auto& d : net.delivered(i)) {
+      if (d.origin == 0 && d.tag == 50) {
+        got = true;
+        EXPECT_EQ(ValuePayload::from_bytes(d.payload).v, 123);
+      }
+    }
+    EXPECT_TRUE(got) << "process " << i << " missed the correct broadcast";
+  }
+  // Totality holds for CORRECT origins (Termination: everyone delivers).
+  // Note it deliberately does NOT hold for Byzantine origins: the paper's
+  // identical broadcast is weaker than Bracha reliable broadcast (no READY
+  // phase), so a Byzantine sender can get accepted at some correct processes
+  // and not others — all that is promised is that nobody accepts a DIFFERENT
+  // message. DEX's two-step agreement (LA4) is proven over sibling views for
+  // exactly this reason.
+  for (const auto slot_tag : {std::uint64_t{50}}) {
+    for (ProcessId origin = 0; origin < 7; ++origin) {
+      std::size_t acceptors = 0;
+      for (ProcessId i = 0; i < 7; ++i) {
+        for (const auto& d : net.delivered(i)) {
+          if (d.origin == origin && d.tag == slot_tag) ++acceptors;
+        }
+      }
+      EXPECT_TRUE(acceptors == 0 || acceptors == 7)
+          << "correct-origin totality violated for origin " << origin;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IdbAgreementProperty,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace dex

@@ -1,0 +1,125 @@
+// Tests for the wire envelope, channel tags and payload codecs.
+#include <gtest/gtest.h>
+
+#include "consensus/message.hpp"
+
+namespace dex {
+namespace {
+
+TEST(Chan, ChannelAndSeqSplit) {
+  const auto tag = chan::uc_phase_tag(7, 2);
+  EXPECT_EQ(chan::channel(tag), chan::kUcPhase);
+  EXPECT_EQ(chan::seq(tag), (7ULL << 8) | 2);
+}
+
+TEST(Chan, ChannelsAreDistinct) {
+  const std::uint64_t chans[] = {chan::kDexProposalPlain, chan::kDexProposalIdb,
+                                 chan::kUcPhase,          chan::kUcDecide,
+                                 chan::kBoscoVote,        chan::kCrashProp,
+                                 chan::kSmrDissem};
+  for (std::size_t i = 0; i < std::size(chans); ++i) {
+    for (std::size_t j = i + 1; j < std::size(chans); ++j) {
+      EXPECT_NE(chans[i], chans[j]);
+    }
+  }
+}
+
+TEST(Message, RoundTrip) {
+  Message m;
+  m.kind = MsgKind::kIdbEcho;
+  m.instance = 42;
+  m.tag = chan::uc_phase_tag(3, 1);
+  m.origin = 5;
+  m.payload = ValuePayload{-77}.to_bytes();
+
+  const auto bytes = m.to_bytes();
+  const Message back = Message::from_bytes(bytes);
+  EXPECT_EQ(back, m);
+}
+
+TEST(Message, RoundTripEmptyPayload) {
+  Message m;
+  m.kind = MsgKind::kPlain;
+  m.tag = chan::kUcDecide;
+  const Message back = Message::from_bytes(m.to_bytes());
+  EXPECT_EQ(back, m);
+}
+
+TEST(Message, RejectsUnknownKind) {
+  Message m;
+  m.kind = MsgKind::kPlain;
+  auto bytes = m.to_bytes();
+  bytes[0] = std::byte{9};  // invalid kind
+  EXPECT_THROW(Message::from_bytes(bytes), DecodeError);
+}
+
+TEST(Message, RejectsTrailingBytes) {
+  Message m;
+  auto bytes = m.to_bytes();
+  bytes.push_back(std::byte{0});
+  EXPECT_THROW(Message::from_bytes(bytes), DecodeError);
+}
+
+TEST(Message, RejectsTruncated) {
+  Message m;
+  m.payload = ValuePayload{1}.to_bytes();
+  auto bytes = m.to_bytes();
+  bytes.resize(bytes.size() - 3);
+  EXPECT_THROW(Message::from_bytes(bytes), DecodeError);
+}
+
+TEST(Message, RejectsOversizedPayloadLength) {
+  // Hand-craft a header claiming a huge payload.
+  Writer w;
+  w.u8(0);               // kind
+  w.u64(0);              // instance
+  w.u64(0);              // tag
+  w.i32(-1);             // origin
+  w.varint(1ULL << 30);  // absurd length
+  const auto bytes = std::move(w).take();
+  Reader r(bytes);
+  EXPECT_THROW(Message::decode(r), DecodeError);
+}
+
+TEST(ValuePayload, RoundTripExtremes) {
+  for (const Value v : {Value{0}, Value{-1}, Value{INT64_MAX}, Value{INT64_MIN}}) {
+    EXPECT_EQ(ValuePayload::from_bytes(ValuePayload{v}.to_bytes()).v, v);
+  }
+}
+
+TEST(ValuePayload, RejectsTrailing) {
+  auto bytes = ValuePayload{1}.to_bytes();
+  bytes.push_back(std::byte{0});
+  EXPECT_THROW(ValuePayload::from_bytes(bytes), DecodeError);
+}
+
+TEST(UcPhasePayload, RoundTrip) {
+  UcPhasePayload p{9, 2, false, 123};
+  const auto back = UcPhasePayload::from_bytes(p.to_bytes());
+  EXPECT_EQ(back.round, 9u);
+  EXPECT_EQ(back.phase, 2);
+  EXPECT_FALSE(back.has_value);
+  EXPECT_EQ(back.v, 123);
+}
+
+TEST(UcPhasePayload, RejectsGarbage) {
+  std::vector<std::byte> junk(3, std::byte{0xff});
+  EXPECT_THROW(UcPhasePayload::from_bytes(junk), DecodeError);
+}
+
+TEST(Outbox, DrainMovesAndClears) {
+  Outbox ob;
+  Message m;
+  m.tag = chan::kBoscoVote;
+  ob.send(3, m);
+  ob.broadcast(m);
+  auto out = ob.drain();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].dst, 3);
+  EXPECT_EQ(out[1].dst, kBroadcastDst);
+  EXPECT_TRUE(ob.empty());
+  EXPECT_TRUE(ob.drain().empty());
+}
+
+}  // namespace
+}  // namespace dex

@@ -1,0 +1,278 @@
+// White-box unit tests of the RandomizedConsensus state machine: phase
+// thresholds, candidate selection, ⊥-vote handling, decide/adopt/coin rules,
+// DECIDE relay and halting — driven by hand-crafted IDB deliveries, no
+// network.
+#include <gtest/gtest.h>
+
+#include "consensus/underlying/randomized.hpp"
+
+namespace dex {
+namespace {
+
+constexpr std::size_t kN = 11, kT = 2;  // quorum n-t = 9, decide c >= n-2t = 7
+
+struct UcFixture {
+  Outbox outbox;
+  IdbEngine idb{kN, kT, 0, 0, &outbox};
+  RandomizedConsensus uc;
+
+  UcFixture()
+      : uc(RandomizedConsensusConfig{kN, kT, 0, 0, 100},
+           make_common_coin(42, kN), &idb, &outbox) {}
+
+  /// Simulates an Id-Receive of a UC phase message from `sender`.
+  void deliver(ProcessId sender, std::uint32_t round, std::uint8_t phase,
+               std::optional<Value> v) {
+    IdbDelivery d;
+    d.origin = sender;
+    d.tag = chan::uc_phase_tag(round, phase);
+    d.payload = UcPhasePayload{round, phase, v.has_value(), v.value_or(0)}.to_bytes();
+    uc.on_idb(d);
+  }
+
+  /// Collects the UcPhasePayloads this process Id-sent since last drain.
+  std::vector<UcPhasePayload> sent_phases() {
+    std::vector<UcPhasePayload> out;
+    for (const auto& o : outbox.drain()) {
+      if (o.msg.kind == MsgKind::kIdbInit &&
+          chan::channel(o.msg.tag) == chan::kUcPhase) {
+        out.push_back(UcPhasePayload::from_bytes(o.msg.payload));
+      }
+    }
+    return out;
+  }
+
+  void deliver_decide(ProcessId src, Value v) {
+    Message m;
+    m.kind = MsgKind::kPlain;
+    m.tag = chan::kUcDecide;
+    m.payload = ValuePayload{v}.to_bytes();
+    uc.on_plain(src, m);
+  }
+};
+
+TEST(RandomizedUnit, ProposeSendsRoundOneEst) {
+  UcFixture fx;
+  fx.uc.propose(5);
+  const auto sent = fx.sent_phases();
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].round, 1u);
+  EXPECT_EQ(sent[0].phase, 1);
+  EXPECT_TRUE(sent[0].has_value);
+  EXPECT_EQ(sent[0].v, 5);
+}
+
+TEST(RandomizedUnit, NoAuxBelowQuorum) {
+  UcFixture fx;
+  fx.uc.propose(5);
+  (void)fx.sent_phases();
+  for (ProcessId p = 0; p < 8; ++p) fx.deliver(p, 1, 1, 5);  // 8 < 9
+  EXPECT_TRUE(fx.sent_phases().empty());
+}
+
+TEST(RandomizedUnit, AuxCarriesCandidateWhenMajority) {
+  UcFixture fx;
+  fx.uc.propose(5);
+  (void)fx.sent_phases();
+  // 9 ESTs, 8×5 and 1×3: 8 > (n+t)/2 = 6.5 → candidate 5.
+  for (ProcessId p = 0; p < 8; ++p) fx.deliver(p, 1, 1, 5);
+  fx.deliver(8, 1, 1, 3);
+  const auto sent = fx.sent_phases();
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].phase, 2);
+  EXPECT_TRUE(sent[0].has_value);
+  EXPECT_EQ(sent[0].v, 5);
+}
+
+TEST(RandomizedUnit, AuxIsBottomWithoutMajority) {
+  UcFixture fx;
+  fx.uc.propose(5);
+  (void)fx.sent_phases();
+  // 5×5 + 4×3: no value above 6.5 → AUX ⊥.
+  for (ProcessId p = 0; p < 5; ++p) fx.deliver(p, 1, 1, 5);
+  for (ProcessId p = 5; p < 9; ++p) fx.deliver(p, 1, 1, 3);
+  const auto sent = fx.sent_phases();
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].phase, 2);
+  EXPECT_FALSE(sent[0].has_value);
+}
+
+TEST(RandomizedUnit, DecidesOnStrongAuxSupport) {
+  UcFixture fx;
+  fx.uc.propose(5);
+  (void)fx.sent_phases();
+  for (ProcessId p = 0; p < 9; ++p) fx.deliver(p, 1, 1, 5);
+  (void)fx.sent_phases();
+  // 9 AUX for 5 >= n-2t = 7 → decide in round 1.
+  for (ProcessId p = 0; p < 9; ++p) fx.deliver(p, 1, 2, 5);
+  ASSERT_TRUE(fx.uc.decision().has_value());
+  EXPECT_EQ(*fx.uc.decision(), 5);
+  EXPECT_EQ(fx.uc.rounds_used(), 1u);
+  // A DECIDE broadcast went out.
+  bool saw_decide = false;
+  for (const auto& o : fx.outbox.drain()) {
+    if (o.msg.kind == MsgKind::kPlain && chan::channel(o.msg.tag) == chan::kUcDecide) {
+      saw_decide = true;
+      EXPECT_EQ(ValuePayload::from_bytes(o.msg.payload).v, 5);
+    }
+  }
+  EXPECT_TRUE(saw_decide);
+}
+
+TEST(RandomizedUnit, AdoptsCandidateOnWeakSupportAndContinues) {
+  UcFixture fx;
+  fx.uc.propose(3);
+  (void)fx.sent_phases();
+  for (ProcessId p = 0; p < 8; ++p) fx.deliver(p, 1, 1, 5);
+  fx.deliver(8, 1, 1, 3);
+  (void)fx.sent_phases();
+  // AUX: 3×5 (>= t+1 = 3 but < 7) + 6×⊥ → adopt 5, move to round 2.
+  for (ProcessId p = 0; p < 3; ++p) fx.deliver(p, 1, 2, 5);
+  for (ProcessId p = 3; p < 9; ++p) fx.deliver(p, 1, 2, std::nullopt);
+  EXPECT_FALSE(fx.uc.decision().has_value());
+  const auto sent = fx.sent_phases();
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].round, 2u);
+  EXPECT_EQ(sent[0].phase, 1);
+  EXPECT_EQ(sent[0].v, 5);  // adopted the candidate, not its own 3
+  EXPECT_EQ(fx.uc.current_round(), 2u);
+}
+
+TEST(RandomizedUnit, CoinAdoptionUsesRoundOneEstOfIndex) {
+  UcFixture fx;
+  fx.uc.propose(3);
+  (void)fx.sent_phases();
+  // Distinct ESTs per sender so the coin's choice is identifiable.
+  for (ProcessId p = 0; p < 9; ++p) {
+    fx.deliver(p, 1, 1, 100 + p);
+  }
+  (void)fx.sent_phases();
+  // All-⊥ AUX round → est := round-1 EST of the coin index (if held).
+  for (ProcessId p = 0; p < 9; ++p) fx.deliver(p, 1, 2, std::nullopt);
+  const auto sent = fx.sent_phases();
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].round, 2u);
+  const auto idx = make_common_coin(42, kN)->pick_index(0, 1);
+  if (idx < 9) {
+    EXPECT_EQ(sent[0].v, 100 + idx);
+  } else {
+    EXPECT_EQ(sent[0].v, 3);  // coin index not held → keep own estimate
+  }
+}
+
+TEST(RandomizedUnit, BufferedFutureRoundsApplyAfterCatchUp) {
+  UcFixture fx;
+  fx.uc.propose(5);
+  (void)fx.sent_phases();
+  // Round-2 traffic arrives before round 1 completes: must be buffered.
+  for (ProcessId p = 0; p < 9; ++p) fx.deliver(p, 2, 1, 7);
+  EXPECT_TRUE(fx.sent_phases().empty());
+  EXPECT_EQ(fx.uc.current_round(), 1u);
+  // Now complete round 1 with weak support for 7; the buffered round-2 view
+  // immediately carries the engine through round 2's phase 1.
+  for (ProcessId p = 0; p < 9; ++p) fx.deliver(p, 1, 1, 7);
+  std::vector<UcPhasePayload> sent = fx.sent_phases();
+  ASSERT_EQ(sent.size(), 1u);  // AUX for round 1
+  for (ProcessId p = 0; p < 9; ++p) fx.deliver(p, 1, 2, 7);
+  // Decides in round 1 AND has already processed round 2 phase 1.
+  ASSERT_TRUE(fx.uc.decision().has_value());
+  EXPECT_EQ(*fx.uc.decision(), 7);
+}
+
+TEST(RandomizedUnit, MalformedAndMismatchedPayloadsIgnored) {
+  UcFixture fx;
+  fx.uc.propose(5);
+  (void)fx.sent_phases();
+  // Tag/payload mismatch.
+  IdbDelivery d;
+  d.origin = 1;
+  d.tag = chan::uc_phase_tag(1, 1);
+  d.payload = UcPhasePayload{2, 1, true, 9}.to_bytes();  // claims round 2
+  fx.uc.on_idb(d);
+  // EST with ⊥ (only AUX may be ⊥).
+  d.payload = UcPhasePayload{1, 1, false, 0}.to_bytes();
+  fx.uc.on_idb(d);
+  // Garbage bytes.
+  d.payload.assign(3, std::byte{0x7f});
+  fx.uc.on_idb(d);
+  // Absurd round number.
+  d.tag = chan::uc_phase_tag(5000, 1);
+  d.payload = UcPhasePayload{5000, 1, true, 9}.to_bytes();
+  fx.uc.on_idb(d);
+  // None of it counts toward the quorum.
+  for (ProcessId p = 0; p < 8; ++p) fx.deliver(p, 1, 1, 5);
+  EXPECT_TRUE(fx.sent_phases().empty());  // still 8 valid < 9
+}
+
+TEST(RandomizedUnit, FastForwardOnTPlusOneDecides) {
+  UcFixture fx;
+  fx.uc.propose(5);
+  (void)fx.sent_phases();
+  fx.deliver_decide(3, 9);
+  fx.deliver_decide(4, 9);
+  EXPECT_FALSE(fx.uc.decision().has_value());  // 2 = t < t+1
+  fx.deliver_decide(5, 9);
+  ASSERT_TRUE(fx.uc.decision().has_value());
+  EXPECT_EQ(*fx.uc.decision(), 9);
+}
+
+TEST(RandomizedUnit, MixedValueDecidesDoNotFastForward) {
+  UcFixture fx;
+  fx.uc.propose(5);
+  (void)fx.sent_phases();
+  fx.deliver_decide(1, 7);
+  fx.deliver_decide(2, 8);
+  fx.deliver_decide(3, 9);
+  EXPECT_FALSE(fx.uc.decision().has_value());
+}
+
+TEST(RandomizedUnit, HaltsAfterQuorumOfMatchingDecides) {
+  UcFixture fx;
+  fx.uc.propose(5);
+  (void)fx.sent_phases();
+  for (ProcessId p = 1; p <= 3; ++p) fx.deliver_decide(p, 9);
+  ASSERT_TRUE(fx.uc.decision().has_value());
+  EXPECT_FALSE(fx.uc.halted());
+  for (ProcessId p = 4; p <= 9; ++p) fx.deliver_decide(p, 9);
+  EXPECT_TRUE(fx.uc.halted());  // 9 = n-t matching DECIDEs
+}
+
+TEST(RandomizedUnit, DuplicateDecideSendersCountOnce) {
+  UcFixture fx;
+  fx.uc.propose(5);
+  (void)fx.sent_phases();
+  fx.deliver_decide(1, 9);
+  fx.deliver_decide(1, 9);
+  fx.deliver_decide(1, 9);
+  EXPECT_FALSE(fx.uc.decision().has_value());
+}
+
+TEST(RandomizedUnit, GivesUpAtMaxRoundsWithoutDeciding) {
+  Outbox outbox;
+  IdbEngine idb(kN, kT, 0, 0, &outbox);
+  RandomizedConsensus uc(RandomizedConsensusConfig{kN, kT, 0, 0, /*max_rounds=*/2},
+                         make_common_coin(1, kN), &idb, &outbox);
+  uc.propose(1);
+  // Drive two full rounds with hopeless splits and ⊥ AUX.
+  for (std::uint32_t r = 1; r <= 2; ++r) {
+    for (ProcessId p = 0; p < 9; ++p) {
+      IdbDelivery d;
+      d.origin = p;
+      d.tag = chan::uc_phase_tag(r, 1);
+      d.payload = UcPhasePayload{r, 1, true, static_cast<Value>(p)}.to_bytes();
+      uc.on_idb(d);
+    }
+    for (ProcessId p = 0; p < 9; ++p) {
+      IdbDelivery d;
+      d.origin = p;
+      d.tag = chan::uc_phase_tag(r, 2);
+      d.payload = UcPhasePayload{r, 2, false, 0}.to_bytes();
+      uc.on_idb(d);
+    }
+  }
+  EXPECT_TRUE(uc.gave_up());
+  EXPECT_FALSE(uc.decision().has_value());  // never decides wrongly
+}
+
+}  // namespace
+}  // namespace dex

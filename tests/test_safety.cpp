@@ -1,0 +1,266 @@
+// Randomized end-to-end safety sweep: Agreement, Unanimity and Termination
+// (Lemmas 1-3) for DEX under every Byzantine strategy, input shape, delay
+// skew and seed — the property-test core of the suite.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "consensus/condition/input_gen.hpp"
+#include "harness/experiment.hpp"
+#include "sim/delay_model.hpp"
+
+namespace dex {
+namespace {
+
+using harness::ExperimentConfig;
+using harness::FaultKind;
+using harness::run_experiment;
+
+struct SafetyCase {
+  Algorithm algorithm;
+  std::size_t n;
+  std::size_t t;
+  std::size_t faults;
+  FaultKind kind;
+  int input_shape;  // 0 unanimous, 1 margin, 2 split, 3 random, 4 privileged
+  std::uint64_t seed;
+
+  [[nodiscard]] std::string label() const {
+    std::ostringstream os;
+    os << algorithm_name(algorithm) << "_n" << n << "t" << t << "f" << faults
+       << "_k" << static_cast<int>(kind) << "_in" << input_shape << "_s" << seed;
+    std::string s = os.str();
+    for (auto& c : s) {
+      if (c == '-') c = '_';
+    }
+    return s;
+  }
+};
+
+InputVector make_input(const SafetyCase& c, Rng& rng) {
+  switch (c.input_shape) {
+    case 0:
+      return unanimous_input(c.n, static_cast<Value>(rng.next_below(5)));
+    case 1: {
+      std::size_t margin = 1 + rng.next_below(c.n);
+      if (margin == c.n - 1) margin = c.n;
+      return margin_input(c.n, margin, static_cast<Value>(rng.next_below(5)), rng);
+    }
+    case 2:
+      return split_input(c.n, 1, c.n / 2, 2);
+    case 3:
+      return random_input(c.n, rng, {.domain = 4});
+    default:
+      return privileged_input(c.n, 0, rng.next_below(c.n + 1), rng);
+  }
+}
+
+class SafetySweep : public ::testing::TestWithParam<SafetyCase> {};
+
+TEST_P(SafetySweep, AgreementUnanimityTermination) {
+  const auto& c = GetParam();
+  Rng rng(mix64(c.seed));
+  ExperimentConfig cfg;
+  cfg.algorithm = c.algorithm;
+  cfg.n = c.n;
+  cfg.t = c.t;
+  cfg.privileged = 0;
+  cfg.input = make_input(c, rng);
+  cfg.seed = c.seed;
+  cfg.faults.count = c.faults;
+  cfg.faults.kind = c.kind;
+  cfg.faults.random_placement = (c.seed % 2 == 0);
+  cfg.start_jitter = 3'000'000;
+  // Alternate between jittery and heavy-tailed delays.
+  if (c.seed % 3 == 0) {
+    cfg.delay = std::make_shared<sim::ExponentialDelay>(500'000, 4'000'000.0);
+  }
+
+  const auto r = run_experiment(cfg);
+  EXPECT_TRUE(r.all_decided()) << "termination violated";
+  EXPECT_TRUE(r.agreement()) << "agreement violated";
+  if (const auto u = harness::unanimous_correct_value(cfg.input, r.faulty)) {
+    ASSERT_TRUE(r.decided_value().has_value());
+    EXPECT_EQ(*r.decided_value(), *u) << "unanimity violated";
+  }
+  EXPECT_FALSE(r.stats.hit_event_limit);
+}
+
+std::vector<SafetyCase> sweep_cases() {
+  std::vector<SafetyCase> cases;
+  std::uint64_t seed = 1000;
+  const FaultKind kinds[] = {FaultKind::kSilent,     FaultKind::kCrashMid,
+                             FaultKind::kEquivocate, FaultKind::kFixedValue,
+                             FaultKind::kNoise,      FaultKind::kUcSaboteur};
+  // DEX with the frequency pair at n = 6t+1 (the tight bound).
+  for (const auto kind : kinds) {
+    for (int shape = 0; shape <= 3; ++shape) {
+      cases.push_back({Algorithm::kDexFreq, 13, 2, 2, kind, shape, seed++});
+    }
+  }
+  // DEX with the privileged pair at n = 5t+1.
+  for (const auto kind : kinds) {
+    for (int shape : {0, 2, 4}) {
+      cases.push_back({Algorithm::kDexPrv, 11, 2, 2, kind, shape, seed++});
+    }
+  }
+  // BOSCO weak at its bound; fewer shapes (covered further in test_baselines).
+  for (const auto kind : kinds) {
+    cases.push_back({Algorithm::kBoscoWeak, 11, 2, 2, kind, 0, seed++});
+    cases.push_back({Algorithm::kBoscoWeak, 11, 2, 2, kind, 3, seed++});
+  }
+  // Larger systems, t = 3.
+  for (const auto kind : {FaultKind::kSilent, FaultKind::kEquivocate}) {
+    cases.push_back({Algorithm::kDexFreq, 19, 3, 3, kind, 1, seed++});
+    cases.push_back({Algorithm::kDexPrv, 16, 3, 3, kind, 4, seed++});
+    cases.push_back({Algorithm::kBoscoStrong, 22, 3, 3, kind, 0, seed++});
+  }
+  // Fewer faults than the bound (adaptive sweet spot).
+  for (std::size_t f = 0; f <= 2; ++f) {
+    cases.push_back(
+        {Algorithm::kDexFreq, 13, 2, f, FaultKind::kSilent, 1, seed++});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SafetySweep, ::testing::ValuesIn(sweep_cases()),
+                         [](const ::testing::TestParamInfo<SafetyCase>& info) {
+                           return info.param.label();
+                         });
+
+// Degenerate configuration: a single process (n=1, t=0) is its own quorum
+// and must one-step decide its own proposal.
+TEST(SafetyTargeted, SingleProcessDecidesItself) {
+  ExperimentConfig cfg;
+  cfg.algorithm = Algorithm::kDexFreq;
+  cfg.n = 1;
+  cfg.t = 0;
+  cfg.input = unanimous_input(1, 9);
+  cfg.seed = 1;
+  const auto r = run_experiment(cfg);
+  EXPECT_TRUE(r.all_decided());
+  EXPECT_TRUE(r.all_one_step());
+  EXPECT_EQ(r.decided_value(), 9);
+}
+
+// Large-system stress: n=31, t=5 with maximal equivocation and heavy-tailed
+// delays — the biggest configuration in the suite.
+TEST(SafetyTargeted, LargeSystemStress) {
+  ExperimentConfig cfg;
+  cfg.algorithm = Algorithm::kDexFreq;
+  cfg.n = 31;
+  cfg.t = 5;
+  Rng rng(3);
+  cfg.input = margin_input(31, 2 * 5 + 1, 4, rng);
+  cfg.faults.count = 5;
+  cfg.faults.kind = FaultKind::kEquivocate;
+  cfg.seed = 3;
+  cfg.delay = std::make_shared<sim::ExponentialDelay>(500'000, 4'000'000.0);
+  cfg.start_jitter = 5'000'000;
+  const auto r = run_experiment(cfg);
+  EXPECT_TRUE(r.all_decided());
+  EXPECT_TRUE(r.agreement());
+  EXPECT_FALSE(r.stats.hit_event_limit);
+}
+
+// Targeted adversarial scenario: the Byzantine processes aim their proposals
+// at the runner-up value to shrink the frequency margin below the one-step
+// threshold at some processes but not others — the classic split between a
+// one-step decider and fallback deciders. Agreement must hold regardless.
+TEST(SafetyTargeted, MarginBoundaryWithHostileProposers) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    ExperimentConfig cfg;
+    cfg.algorithm = Algorithm::kDexFreq;
+    cfg.n = 13;
+    cfg.t = 2;
+    // Correct margin sits exactly at the P1 boundary 4t+1 = 9.
+    cfg.input = margin_input(13, 9, 5, rng);
+    cfg.faults.count = 2;
+    cfg.faults.kind = FaultKind::kEquivocate;
+    cfg.faults.equivocate_a = 5;   // top value to half...
+    cfg.faults.equivocate_b = 0;   // ...runner-up-ish to the rest
+    cfg.seed = seed;
+    cfg.start_jitter = 5'000'000;
+    const auto r = run_experiment(cfg);
+    EXPECT_TRUE(r.all_decided()) << "seed " << seed;
+    EXPECT_TRUE(r.agreement()) << "seed " << seed;
+  }
+}
+
+// The saboteur drives the underlying consensus directly: conflicting EST/AUX
+// broadcasts plus forged echoes, on inputs with no fast path so the fallback
+// is guaranteed to matter.
+TEST(SafetyTargeted, UcSaboteurCannotBreakTheFallback) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    ExperimentConfig cfg;
+    cfg.algorithm = Algorithm::kDexFreq;
+    cfg.n = 13;
+    cfg.t = 2;
+    cfg.input = split_input(13, 1, 7, 2);  // margin 1: fallback territory
+    cfg.faults.count = 2;
+    cfg.faults.kind = FaultKind::kUcSaboteur;
+    cfg.faults.equivocate_a = 1;
+    cfg.faults.equivocate_b = 2;
+    cfg.seed = seed;
+    cfg.start_jitter = 4'000'000;
+    const auto r = run_experiment(cfg);
+    EXPECT_TRUE(r.all_decided()) << "seed " << seed;
+    EXPECT_TRUE(r.agreement()) << "seed " << seed;
+    const auto v = r.decided_value();
+    ASSERT_TRUE(v.has_value()) << "seed " << seed;
+    EXPECT_TRUE(*v == 1 || *v == 2) << "seed " << seed << " decided " << *v;
+  }
+}
+
+// Ablation sanity: the single-shot and one-step-only variants stay safe (they
+// only trade away fast-path coverage).
+TEST(SafetyTargeted, AblationVariantsPreserveSafety) {
+  for (int variant = 0; variant < 2; ++variant) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      ExperimentConfig cfg;
+      cfg.algorithm = Algorithm::kDexFreq;
+      cfg.n = 13;
+      cfg.t = 2;
+      Rng rng(seed);
+      cfg.input = margin_input(13, 9, 5, rng);
+      cfg.faults.count = 2;
+      cfg.faults.kind = FaultKind::kEquivocate;
+      cfg.seed = seed;
+      if (variant == 0) {
+        cfg.dex_continuous_reevaluation = false;
+      } else {
+        cfg.dex_enable_two_step = false;
+      }
+      const auto r = run_experiment(cfg);
+      EXPECT_TRUE(r.all_decided()) << "variant " << variant << " seed " << seed;
+      EXPECT_TRUE(r.agreement()) << "variant " << variant << " seed " << seed;
+      if (variant == 1) {
+        EXPECT_EQ(r.two_step, 0u) << "two-step disabled but fired";
+      }
+    }
+  }
+}
+
+// Slow-quorum schedule: t correct processes are an order of magnitude slower,
+// so early views at fast processes exclude them entirely.
+TEST(SafetyTargeted, SlowCorrectProcessesDoNotBreakAgreement) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    ExperimentConfig cfg;
+    cfg.algorithm = Algorithm::kDexFreq;
+    cfg.n = 13;
+    cfg.t = 2;
+    cfg.input = split_input(13, 1, 9, 2);
+    cfg.faults.count = 2;
+    cfg.faults.kind = FaultKind::kEquivocate;
+    cfg.seed = seed;
+    cfg.delay = std::make_shared<sim::SkewedDelay>(
+        sim::default_delay_model(), std::set<ProcessId>{0, 1}, 20.0);
+    const auto r = run_experiment(cfg);
+    EXPECT_TRUE(r.all_decided()) << "seed " << seed;
+    EXPECT_TRUE(r.agreement()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace dex

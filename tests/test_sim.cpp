@@ -1,0 +1,244 @@
+// Tests for the discrete-event simulator: determinism, delay models, event
+// ordering, stats, and the experiment harness plumbing.
+#include <gtest/gtest.h>
+
+#include "consensus/condition/input_gen.hpp"
+#include "harness/experiment.hpp"
+#include "sim/delay_model.hpp"
+#include "sim/simulation.hpp"
+
+namespace dex {
+namespace {
+
+using harness::ExperimentConfig;
+using harness::FaultKind;
+using harness::run_experiment;
+
+TEST(DelayModels, ConstantIsConstant) {
+  sim::ConstantDelay d(5);
+  Rng rng(1);
+  Message m;
+  EXPECT_EQ(d.delay(0, 0, 1, m, rng), 5u);
+  EXPECT_EQ(d.delay(0, 3, 2, m, rng), 5u);
+}
+
+TEST(DelayModels, UniformWithinBounds) {
+  sim::UniformDelay d(10, 20);
+  Rng rng(2);
+  Message m;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = d.delay(0, 0, 1, m, rng);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(DelayModels, ExponentialAboveMin) {
+  sim::ExponentialDelay d(100, 50.0);
+  Rng rng(3);
+  Message m;
+  for (int i = 0; i < 100; ++i) EXPECT_GE(d.delay(0, 0, 1, m, rng), 100u);
+}
+
+TEST(DelayModels, GstClampsPreGstChaos) {
+  auto pre = std::make_shared<sim::ConstantDelay>(1'000'000'000);  // 1s chaos
+  auto post = std::make_shared<sim::ConstantDelay>(1'000'000);     // 1ms
+  sim::GstDelay d(pre, post, /*gst=*/100'000'000);  // GST at 100ms
+  Rng rng(5);
+  Message m;
+  // Sent at t=0 (pre-GST): clamped to GST - now + post = 101ms, not 1s.
+  EXPECT_EQ(d.delay(0, 0, 1, m, rng), 101'000'000u);
+  // Sent at t=99ms: clamp is 1ms + 1ms.
+  EXPECT_EQ(d.delay(99'000'000, 0, 1, m, rng), 2'000'000u);
+  // Sent after GST: post model only.
+  EXPECT_EQ(d.delay(200'000'000, 0, 1, m, rng), 1'000'000u);
+}
+
+TEST(DelayModels, GstConsensusTerminatesThroughChaoticStart) {
+  // A chaotic first 50ms (heavy random delays) followed by stability: DEX
+  // must still decide — asynchronous safety plus post-GST liveness.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    ExperimentConfig cfg;
+    cfg.algorithm = Algorithm::kDexFreq;
+    cfg.n = 13;
+    cfg.t = 2;
+    cfg.input = split_input(13, 1, 7, 2);
+    cfg.seed = seed;
+    cfg.faults.count = 2;
+    cfg.faults.kind = FaultKind::kEquivocate;
+    cfg.delay = std::make_shared<sim::GstDelay>(
+        std::make_shared<sim::UniformDelay>(1'000'000, 500'000'000),
+        std::make_shared<sim::UniformDelay>(1'000'000, 5'000'000),
+        /*gst=*/50'000'000);
+    const auto r = run_experiment(cfg);
+    EXPECT_TRUE(r.all_decided()) << "seed " << seed;
+    EXPECT_TRUE(r.agreement()) << "seed " << seed;
+  }
+}
+
+TEST(DelayModels, SkewedMultipliesSelectedSources) {
+  auto base = std::make_shared<sim::ConstantDelay>(10);
+  sim::SkewedDelay d(base, {2}, 5.0);
+  Rng rng(4);
+  Message m;
+  EXPECT_EQ(d.delay(0, 0, 1, m, rng), 10u);
+  EXPECT_EQ(d.delay(0, 2, 1, m, rng), 50u);
+}
+
+// A probe actor that records delivery order.
+class ProbeActor final : public sim::Actor {
+ public:
+  explicit ProbeActor(std::vector<std::pair<ProcessId, std::uint64_t>>* log)
+      : log_(log) {}
+  void on_packet(ProcessId src, const Message& msg) override {
+    log_->push_back({src, msg.tag});
+  }
+  std::vector<Outgoing> drain() override { return {}; }
+
+ private:
+  std::vector<std::pair<ProcessId, std::uint64_t>>* log_;
+};
+
+TEST(Simulation, InjectedPacketsArriveInTimeOrder) {
+  sim::SimOptions opts;
+  sim::Simulation s(2, opts);
+  std::vector<std::pair<ProcessId, std::uint64_t>> log;
+  s.attach(0, std::make_unique<ProbeActor>(&log));
+  s.attach(1, std::make_unique<ProbeActor>(&log));
+  Message m;
+  m.tag = 30;
+  s.inject(1, 0, m, 300);
+  m.tag = 10;
+  s.inject(1, 0, m, 100);
+  m.tag = 20;
+  s.inject(1, 0, m, 200);
+  const auto stats = s.run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].second, 10u);
+  EXPECT_EQ(log[1].second, 20u);
+  EXPECT_EQ(log[2].second, 30u);
+  EXPECT_EQ(stats.packets_delivered, 3u);
+  EXPECT_EQ(stats.end_time, 300u);
+}
+
+TEST(Simulation, TiesBreakByInsertionOrder) {
+  sim::SimOptions opts;
+  sim::Simulation s(2, opts);
+  std::vector<std::pair<ProcessId, std::uint64_t>> log;
+  s.attach(0, std::make_unique<ProbeActor>(&log));
+  s.attach(1, std::make_unique<ProbeActor>(&log));
+  Message m;
+  for (std::uint64_t tag = 0; tag < 5; ++tag) {
+    m.tag = tag;
+    s.inject(1, 0, m, 100);
+  }
+  s.run();
+  for (std::uint64_t tag = 0; tag < 5; ++tag) EXPECT_EQ(log[tag].second, tag);
+}
+
+TEST(Simulation, ScheduleAtRunsCallback) {
+  sim::Simulation s(1, {});
+  std::vector<std::pair<ProcessId, std::uint64_t>> log;
+  s.attach(0, std::make_unique<ProbeActor>(&log));
+  bool ran = false;
+  s.schedule_at(50, [&] { ran = true; });
+  s.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulation, IdenticalSeedsGiveIdenticalRuns) {
+  auto once = [](std::uint64_t seed) {
+    ExperimentConfig cfg;
+    cfg.algorithm = Algorithm::kDexFreq;
+    cfg.n = 13;
+    cfg.t = 2;
+    Rng rng(99);
+    cfg.input = random_input(13, rng, {.domain = 3});
+    cfg.seed = seed;
+    cfg.faults.count = 2;
+    cfg.faults.kind = FaultKind::kEquivocate;
+    return run_experiment(cfg);
+  };
+  const auto a = once(7), b = once(7), c = once(8);
+  EXPECT_EQ(a.stats.events, b.stats.events);
+  EXPECT_EQ(a.stats.end_time, b.stats.end_time);
+  EXPECT_EQ(a.stats.packets_delivered, b.stats.packets_delivered);
+  for (std::size_t i = 0; i < 13; ++i) {
+    EXPECT_EQ(a.stats.decisions[i].has_value(), b.stats.decisions[i].has_value());
+    if (a.stats.decisions[i]) {
+      EXPECT_EQ(a.stats.decisions[i]->at, b.stats.decisions[i]->at);
+      EXPECT_EQ(a.stats.decisions[i]->decision, b.stats.decisions[i]->decision);
+    }
+  }
+  // A different seed almost surely differs somewhere.
+  EXPECT_NE(a.stats.events, c.stats.events);
+}
+
+TEST(Simulation, EventLimitStopsRunaway) {
+  ExperimentConfig cfg;
+  cfg.algorithm = Algorithm::kDexFreq;
+  cfg.n = 13;
+  cfg.t = 2;
+  cfg.input = unanimous_input(13, 1);
+  cfg.seed = 1;
+  cfg.max_events = 50;  // far below what a full run needs
+  const auto r = run_experiment(cfg);
+  EXPECT_TRUE(r.stats.hit_event_limit);
+}
+
+TEST(Simulation, AttachTwiceThrows) {
+  sim::Simulation s(2, {});
+  std::vector<std::pair<ProcessId, std::uint64_t>> log;
+  s.attach(0, std::make_unique<ProbeActor>(&log));
+  EXPECT_THROW(s.attach(0, std::make_unique<ProbeActor>(&log)),
+               ContractViolation);
+}
+
+TEST(Simulation, MissingActorThrowsOnRun) {
+  sim::Simulation s(2, {});
+  std::vector<std::pair<ProcessId, std::uint64_t>> log;
+  s.attach(0, std::make_unique<ProbeActor>(&log));
+  EXPECT_THROW(s.run(), ContractViolation);
+}
+
+TEST(Harness, FaultCountAboveTRejected) {
+  ExperimentConfig cfg;
+  cfg.algorithm = Algorithm::kDexFreq;
+  cfg.n = 13;
+  cfg.t = 2;
+  cfg.input = unanimous_input(13, 1);
+  cfg.faults.count = 3;
+  EXPECT_THROW(run_experiment(cfg), ContractViolation);
+}
+
+TEST(Harness, TooSmallNRejected) {
+  ExperimentConfig cfg;
+  cfg.algorithm = Algorithm::kDexFreq;  // needs 6t+1 = 13
+  cfg.n = 12;
+  cfg.t = 2;
+  cfg.input = unanimous_input(12, 1);
+  EXPECT_THROW(run_experiment(cfg), ContractViolation);
+}
+
+TEST(Harness, RandomPlacementRespectsCount) {
+  ExperimentConfig cfg;
+  cfg.algorithm = Algorithm::kDexFreq;
+  cfg.n = 13;
+  cfg.t = 2;
+  cfg.input = unanimous_input(13, 1);
+  cfg.faults.count = 2;
+  cfg.faults.random_placement = true;
+  cfg.seed = 31;
+  const auto r = run_experiment(cfg);
+  EXPECT_EQ(r.faulty.size(), 2u);
+  EXPECT_EQ(r.correct, 11u);
+}
+
+TEST(Harness, UnanimousCorrectValueHelper) {
+  const auto input = split_input(5, 1, 3, 2);  // [1,1,1,2,2]
+  EXPECT_FALSE(harness::unanimous_correct_value(input, {}).has_value());
+  EXPECT_EQ(harness::unanimous_correct_value(input, {3, 4}), 1);
+}
+
+}  // namespace
+}  // namespace dex

@@ -1,0 +1,182 @@
+// Tests for the replicated-state-machine substrate (§1.1's motivating
+// application): identical logs, contention handling, no-op participation,
+// fault tolerance and the one-step fast path on contention-free slots.
+#include <gtest/gtest.h>
+
+#include "byz/strategies.hpp"
+#include "byz/strategy.hpp"
+#include "sim/delay_model.hpp"
+#include "sim/simulation.hpp"
+#include "smr/replica.hpp"
+
+namespace dex {
+namespace {
+
+using smr::Command;
+using smr::Replica;
+using smr::ReplicaConfig;
+
+struct Cluster {
+  static constexpr std::size_t kN = 13, kT = 2;
+  sim::Simulation simulation;
+  std::vector<Replica*> replicas;
+
+  explicit Cluster(std::uint64_t seed, std::size_t byzantine = 0,
+                   std::shared_ptr<sim::DelayModel> delay = nullptr)
+      : simulation(kN, make_options(seed, std::move(delay))) {
+    auto pair = make_frequency_pair(kN, kT);
+    for (std::size_t i = 0; i < kN - byzantine; ++i) {
+      ReplicaConfig rc;
+      rc.n = kN;
+      rc.t = kT;
+      rc.self = static_cast<ProcessId>(i);
+      auto replica = std::make_unique<Replica>(rc, pair);
+      replicas.push_back(replica.get());
+      simulation.attach(static_cast<ProcessId>(i), std::move(replica));
+    }
+    for (std::size_t i = kN - byzantine; i < kN; ++i) {
+      simulation.attach(static_cast<ProcessId>(i),
+                        std::make_unique<byz::ByzantineActor>(
+                            kN, kT, static_cast<ProcessId>(i), 0, seed + i, 0,
+                            std::make_unique<byz::SilentStrategy>()));
+    }
+  }
+
+  static sim::SimOptions make_options(std::uint64_t seed,
+                                      std::shared_ptr<sim::DelayModel> delay) {
+    sim::SimOptions opts;
+    opts.seed = seed;
+    opts.delay = std::move(delay);
+    return opts;
+  }
+
+  /// Schedule a client broadcast: the command reaches replica r at
+  /// base + r * skew.
+  void client_submit(const Command& cmd, SimTime base, SimTime skew = 0) {
+    for (std::size_t r = 0; r < replicas.size(); ++r) {
+      Replica* rep = replicas[r];
+      simulation.schedule_at(base + r * skew, [rep, cmd] { rep->submit(cmd); });
+    }
+  }
+};
+
+std::vector<Value> committed_digests(const Replica& r) {
+  std::vector<Value> out;
+  for (const auto& e : r.log()) out.push_back(e.digest);
+  return out;
+}
+
+TEST(Command, DigestStableAndDistinct) {
+  const Command a{1, 1, "SET x 1"};
+  const Command b{1, 2, "SET x 1"};
+  const Command a2{1, 1, "SET x 1"};
+  EXPECT_EQ(a.digest(), a2.digest());
+  EXPECT_NE(a.digest(), b.digest());
+  EXPECT_NE(a.digest(), smr::kNoopDigest);
+}
+
+TEST(Command, RoundTrip) {
+  const Command c{7, 42, "APPEND log hello world"};
+  EXPECT_EQ(Command::from_bytes(c.to_bytes()), c);
+}
+
+TEST(Smr, SingleCommandCommitsEverywhere) {
+  Cluster cluster(1);
+  const Command cmd{1, 1, "SET a 1"};
+  cluster.client_submit(cmd, 0);
+  cluster.simulation.run();
+  for (Replica* r : cluster.replicas) {
+    ASSERT_GE(r->log().size(), 1u);
+    EXPECT_EQ(r->log()[0].digest, cmd.digest());
+    ASSERT_TRUE(r->log()[0].command.has_value());
+    EXPECT_EQ(r->log()[0].command->op, "SET a 1");
+  }
+}
+
+TEST(Smr, ContentionFreeSlotDecidesOneStep) {
+  // All replicas see the command at the same instant and propose the same
+  // digest — the paper's §1.1 story: the slot commits on the fast path.
+  Cluster cluster(2, 0, std::make_shared<sim::ConstantDelay>(1'000'000));
+  const Command cmd{1, 1, "SET a 1"};
+  cluster.client_submit(cmd, 0, /*skew=*/0);
+  cluster.simulation.run();
+  for (Replica* r : cluster.replicas) {
+    ASSERT_GE(r->log().size(), 1u);
+    EXPECT_EQ(r->log()[0].path, DecisionPath::kOneStep);
+  }
+}
+
+TEST(Smr, SequentialCommandsKeepLogsIdentical) {
+  Cluster cluster(3);
+  for (std::uint64_t s = 1; s <= 5; ++s) {
+    cluster.client_submit(Command{1, s, "OP " + std::to_string(s)},
+                          s * 40'000'000);  // 40ms apart: no contention
+  }
+  cluster.simulation.run();
+  const auto reference = committed_digests(*cluster.replicas[0]);
+  EXPECT_EQ(reference.size(), 5u);
+  for (Replica* r : cluster.replicas) {
+    EXPECT_EQ(committed_digests(*r), reference);
+  }
+}
+
+TEST(Smr, ContendingClientsSerializeBothCommands) {
+  // Two commands race: replicas see them in different orders. Both must end
+  // up committed, in the same order everywhere.
+  Cluster cluster(4);
+  const Command a{1, 1, "SET x A"};
+  const Command b{2, 1, "SET x B"};
+  cluster.client_submit(a, 0, /*skew=*/2'000'000);
+  // b arrives in reverse order: last replica first.
+  for (std::size_t r = 0; r < cluster.replicas.size(); ++r) {
+    Replica* rep = cluster.replicas[r];
+    const SimTime at = (cluster.replicas.size() - r) * 2'000'000;
+    cluster.simulation.schedule_at(at, [rep, b] { rep->submit(b); });
+  }
+  cluster.simulation.run();
+
+  const auto reference = committed_digests(*cluster.replicas[0]);
+  for (Replica* r : cluster.replicas) {
+    EXPECT_EQ(committed_digests(*r), reference);
+  }
+  // Both commands are in the log (possibly with interleaved no-ops).
+  std::set<Value> committed(reference.begin(), reference.end());
+  EXPECT_TRUE(committed.count(a.digest()) == 1);
+  EXPECT_TRUE(committed.count(b.digest()) == 1);
+}
+
+TEST(Smr, ToleratesSilentByzantineReplicas) {
+  Cluster cluster(5, /*byzantine=*/2);
+  const Command cmd{1, 1, "SET a 1"};
+  cluster.client_submit(cmd, 0, 1'000'000);
+  cluster.simulation.run();
+  for (Replica* r : cluster.replicas) {
+    ASSERT_GE(r->log().size(), 1u) << "replica " << r->next_slot();
+    EXPECT_EQ(r->log()[0].digest, cmd.digest());
+  }
+}
+
+TEST(Smr, DuplicateSubmitCommitsOnce) {
+  Cluster cluster(6);
+  const Command cmd{1, 1, "SET a 1"};
+  cluster.client_submit(cmd, 0);
+  cluster.client_submit(cmd, 10'000'000);  // client retry
+  cluster.simulation.run();
+  for (Replica* r : cluster.replicas) {
+    std::size_t hits = 0;
+    for (const auto& e : r->log()) {
+      if (e.digest == cmd.digest()) ++hits;
+    }
+    EXPECT_EQ(hits, 1u);
+  }
+}
+
+TEST(Smr, IdleClusterStaysQuiet) {
+  Cluster cluster(7);
+  const auto stats = cluster.simulation.run();
+  EXPECT_EQ(stats.packets_delivered, 0u);
+  for (Replica* r : cluster.replicas) EXPECT_TRUE(r->log().empty());
+}
+
+}  // namespace
+}  // namespace dex

@@ -1,0 +1,97 @@
+// Tests for the simulation trace recorder.
+#include <gtest/gtest.h>
+
+#include "consensus/condition/input_gen.hpp"
+#include "harness/experiment.hpp"
+#include "sim/trace.hpp"
+
+namespace dex {
+namespace {
+
+using harness::ExperimentConfig;
+
+sim::TraceRecorder traced_run(std::uint64_t seed) {
+  sim::TraceRecorder trace;
+  ExperimentConfig cfg;
+  cfg.algorithm = Algorithm::kDexFreq;
+  cfg.n = 13;
+  cfg.t = 2;
+  cfg.input = unanimous_input(13, 7);
+  cfg.seed = seed;
+  cfg.trace = &trace;
+  const auto r = harness::run_experiment(cfg);
+  EXPECT_TRUE(r.all_decided());
+  return trace;
+}
+
+TEST(Trace, RecordsStartsDeliveriesAndDecisions) {
+  const auto trace = traced_run(5);
+  EXPECT_EQ(trace.count(sim::TraceKind::kStart), 13u);
+  EXPECT_EQ(trace.count(sim::TraceKind::kDecide), 13u);
+  EXPECT_GT(trace.count(sim::TraceKind::kDeliver), 100u);
+}
+
+TEST(Trace, EventsAreTimeOrdered) {
+  const auto trace = traced_run(6);
+  SimTime last = 0;
+  for (const auto& e : trace.events()) {
+    EXPECT_GE(e.at, last);
+    last = e.at;
+  }
+}
+
+TEST(Trace, DeterministicAcrossIdenticalRuns) {
+  const auto a = traced_run(7);
+  const auto b = traced_run(7);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  EXPECT_EQ(a.events(), b.events());
+}
+
+TEST(Trace, DifferentSeedsProduceDifferentTraces) {
+  const auto a = traced_run(8);
+  const auto b = traced_run(9);
+  EXPECT_NE(a.events(), b.events());
+}
+
+TEST(Trace, ForProcessFiltersByDestination) {
+  const auto trace = traced_run(10);
+  const auto mine = trace.for_process(3);
+  EXPECT_FALSE(mine.empty());
+  for (const auto& e : mine) EXPECT_EQ(e.dst, 3);
+}
+
+TEST(Trace, TextDumpContainsDecisions) {
+  const auto trace = traced_run(11);
+  const auto text = trace.to_text();
+  EXPECT_NE(text.find("DECIDE 7"), std::string::npos);
+  EXPECT_NE(text.find("start"), std::string::npos);
+}
+
+TEST(Trace, TextDumpHonorsLimit) {
+  const auto trace = traced_run(12);
+  const auto text = trace.to_text(5);
+  // 5 event lines plus the elision marker.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(text.begin(), text.end(), '\n')),
+            6u);
+  EXPECT_NE(text.find("more events"), std::string::npos);
+}
+
+TEST(Trace, CsvHasHeaderAndRows) {
+  const auto trace = traced_run(13);
+  const auto csv = trace.to_csv();
+  EXPECT_EQ(csv.find("at_ns,kind,"), 0u);
+  EXPECT_EQ(static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n')),
+            trace.events().size() + 1);
+}
+
+TEST(Trace, ClearEmptiesRecorder) {
+  auto trace = traced_run(14);
+  EXPECT_FALSE(trace.events().empty());
+  trace.clear();
+  EXPECT_TRUE(trace.events().empty());
+  EXPECT_EQ(trace.count(sim::TraceKind::kDeliver), 0u);
+}
+
+}  // namespace
+}  // namespace dex

@@ -1,0 +1,188 @@
+// Tests for the real runtimes: in-process threaded cluster and the TCP mesh.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "consensus/condition/input_gen.hpp"
+#include "consensus/factory.hpp"
+#include "transport/inproc.hpp"
+#include "transport/runner.hpp"
+#include "transport/tcp.hpp"
+
+namespace dex {
+namespace {
+
+TEST(Mailbox, PushPopOrder) {
+  transport::Mailbox mb;
+  Message m;
+  m.tag = 1;
+  mb.push({0, m});
+  m.tag = 2;
+  mb.push({1, m});
+  const auto a = mb.pop(std::chrono::milliseconds(10));
+  const auto b = mb.pop(std::chrono::milliseconds(10));
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->msg.tag, 1u);
+  EXPECT_EQ(b->msg.tag, 2u);
+}
+
+TEST(Mailbox, PopTimesOutWhenEmpty) {
+  transport::Mailbox mb;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(mb.pop(std::chrono::milliseconds(30)).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(25));
+}
+
+TEST(Mailbox, CloseUnblocksWaiter) {
+  transport::Mailbox mb;
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    mb.close();
+  });
+  EXPECT_FALSE(mb.pop(std::chrono::seconds(5)).has_value());
+  closer.join();
+}
+
+TEST(Mailbox, PushAfterCloseDropped) {
+  transport::Mailbox mb;
+  mb.close();
+  mb.push({0, Message{}});
+  EXPECT_FALSE(mb.pop(std::chrono::milliseconds(5)).has_value());
+}
+
+std::vector<std::unique_ptr<ConsensusProcess>> make_cluster(Algorithm algo,
+                                                            std::size_t n,
+                                                            std::size_t t) {
+  std::vector<std::unique_ptr<ConsensusProcess>> procs;
+  for (std::size_t i = 0; i < n; ++i) {
+    StackConfig sc;
+    sc.n = n;
+    sc.t = t;
+    sc.self = static_cast<ProcessId>(i);
+    sc.coin_seed = 0xfeed;
+    procs.push_back(make_stack(algo, sc));
+  }
+  return procs;
+}
+
+TEST(InProcCluster, UnanimousConsensusAcrossThreads) {
+  constexpr std::size_t kN = 7, kT = 1;
+  transport::InProcNetwork net(kN);
+  auto procs = make_cluster(Algorithm::kDexFreq, kN, kT);
+  std::vector<std::unique_ptr<transport::Transport>> transports;
+  for (std::size_t i = 0; i < kN; ++i) {
+    transports.push_back(net.endpoint(static_cast<ProcessId>(i)));
+  }
+  const std::vector<Value> proposals(kN, 9);
+  const auto result = transport::run_cluster(procs, transports, proposals);
+  EXPECT_TRUE(result.all_decided());
+  EXPECT_TRUE(result.agreement());
+  ASSERT_TRUE(result.decisions[0].has_value());
+  EXPECT_EQ(result.decisions[0]->value, 9);
+}
+
+TEST(InProcCluster, MixedProposalsStillAgree) {
+  constexpr std::size_t kN = 7, kT = 1;
+  transport::InProcNetwork net(kN);
+  auto procs = make_cluster(Algorithm::kDexFreq, kN, kT);
+  std::vector<std::unique_ptr<transport::Transport>> transports;
+  for (std::size_t i = 0; i < kN; ++i) {
+    transports.push_back(net.endpoint(static_cast<ProcessId>(i)));
+  }
+  const std::vector<Value> proposals{1, 2, 1, 2, 1, 2, 1};
+  const auto result = transport::run_cluster(procs, transports, proposals);
+  EXPECT_TRUE(result.all_decided());
+  EXPECT_TRUE(result.agreement());
+}
+
+TEST(InProcCluster, CrashedProcessTolerated) {
+  // One endpoint never runs (its mailbox fills silently): the other n−1 must
+  // still decide since n−t are enough.
+  constexpr std::size_t kN = 7, kT = 1;
+  transport::InProcNetwork net(kN);
+  auto procs = make_cluster(Algorithm::kDexFreq, kN, kT);
+  std::vector<std::unique_ptr<transport::Transport>> transports;
+  for (std::size_t i = 0; i < kN; ++i) {
+    transports.push_back(net.endpoint(static_cast<ProcessId>(i)));
+  }
+  transport::RunnerOptions opts;
+  opts.deadline = std::chrono::milliseconds(8000);
+
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i + 1 < kN; ++i) {  // skip the last process
+    threads.emplace_back([&, i] {
+      transport::drive_process(*procs[i], *transports[i], 4, opts);
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (std::size_t i = 0; i + 1 < kN; ++i) {
+    ASSERT_TRUE(procs[i]->decision().has_value()) << "process " << i;
+    EXPECT_EQ(procs[i]->decision()->value, 4);
+  }
+}
+
+TEST(TcpTransport, FramedMessagesAcrossLoopback) {
+  constexpr std::size_t kN = 3;
+  std::vector<std::unique_ptr<transport::TcpTransport>> nodes;
+  for (std::size_t i = 0; i < kN; ++i) {
+    transport::TcpConfig cfg;
+    cfg.n = kN;
+    cfg.self = static_cast<ProcessId>(i);
+    cfg.base_port = 19500;
+    nodes.push_back(std::make_unique<transport::TcpTransport>(cfg));
+  }
+  std::vector<std::thread> starters;
+  for (auto& node : nodes) starters.emplace_back([&node] { node->start(); });
+  for (auto& th : starters) th.join();
+
+  Message m;
+  m.kind = MsgKind::kPlain;
+  m.tag = chan::kBoscoVote;
+  m.payload = ValuePayload{77}.to_bytes();
+  nodes[0]->send(1, m);
+  nodes[0]->send(0, m);  // self-delivery path
+
+  const auto got = nodes[1]->recv(std::chrono::seconds(5));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->src, 0);
+  EXPECT_EQ(got->msg, m);
+
+  const auto self_got = nodes[0]->recv(std::chrono::seconds(1));
+  ASSERT_TRUE(self_got.has_value());
+  EXPECT_EQ(self_got->src, 0);
+
+  for (auto& node : nodes) node->shutdown();
+}
+
+TEST(TcpCluster, EndToEndConsensusOverSockets) {
+  constexpr std::size_t kN = 6, kT = 1;
+  std::vector<std::unique_ptr<transport::Transport>> transports;
+  std::vector<transport::TcpTransport*> raw;
+  for (std::size_t i = 0; i < kN; ++i) {
+    transport::TcpConfig cfg;
+    cfg.n = kN;
+    cfg.self = static_cast<ProcessId>(i);
+    cfg.base_port = 19600;
+    auto node = std::make_unique<transport::TcpTransport>(cfg);
+    raw.push_back(node.get());
+    transports.push_back(std::move(node));
+  }
+  std::vector<std::thread> starters;
+  for (auto* node : raw) starters.emplace_back([node] { node->start(); });
+  for (auto& th : starters) th.join();
+
+  auto procs = make_cluster(Algorithm::kDexPrv, kN, kT);
+  const std::vector<Value> proposals(kN, 0);  // the privileged value
+  transport::RunnerOptions opts;
+  opts.deadline = std::chrono::milliseconds(15'000);
+  const auto result = transport::run_cluster(procs, transports, proposals, opts);
+  EXPECT_TRUE(result.all_decided());
+  EXPECT_TRUE(result.agreement());
+  ASSERT_TRUE(result.decisions[0].has_value());
+  EXPECT_EQ(result.decisions[0]->value, 0);
+  for (auto* node : raw) node->shutdown();
+}
+
+}  // namespace
+}  // namespace dex

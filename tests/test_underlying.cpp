@@ -1,0 +1,160 @@
+// Tests for the underlying consensus primitives: the randomized Ben-Or-style
+// protocol over IDB (Termination, Agreement, Unanimity — §2.2's contract) and
+// the oracle test double.
+#include <gtest/gtest.h>
+
+#include "consensus/condition/input_gen.hpp"
+#include "consensus/factory.hpp"
+#include "consensus/underlying/oracle.hpp"
+#include "harness/experiment.hpp"
+
+namespace dex {
+namespace {
+
+using harness::ExperimentConfig;
+using harness::FaultKind;
+using harness::run_experiment;
+
+ExperimentConfig base_config(std::size_t n, std::size_t t) {
+  ExperimentConfig cfg;
+  cfg.algorithm = Algorithm::kUnderlyingOnly;
+  cfg.n = n;
+  cfg.t = t;
+  return cfg;
+}
+
+TEST(OracleHub, FixesMostFrequentProposal) {
+  OracleHub hub(3);
+  std::vector<Value> seen;
+  hub.on_decision([&](Value v) { seen.push_back(v); });
+  hub.submit(0, 5);
+  hub.submit(1, 7);
+  EXPECT_FALSE(hub.fixed().has_value());
+  hub.submit(2, 5);
+  ASSERT_TRUE(hub.fixed().has_value());
+  EXPECT_EQ(*hub.fixed(), 5);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], 5);
+  // Further submissions are ignored.
+  hub.submit(3, 7);
+  EXPECT_EQ(*hub.fixed(), 5);
+}
+
+TEST(OracleHub, DuplicateSubmitterCountsOnce) {
+  OracleHub hub(2);
+  hub.submit(0, 1);
+  hub.submit(0, 1);
+  EXPECT_FALSE(hub.fixed().has_value());
+  hub.submit(1, 1);
+  EXPECT_TRUE(hub.fixed().has_value());
+}
+
+TEST(RandomizedUc, RequiresFiveTPlusOne) {
+  RandomizedConsensusConfig cfg;
+  cfg.n = 10;
+  cfg.t = 2;
+  cfg.self = 0;
+  Outbox ob;
+  IdbEngine idb(11, 2, 0, 0, &ob);
+  EXPECT_THROW(
+      RandomizedConsensus(cfg, make_common_coin(1, 10), &idb, &ob),
+      ContractViolation);
+}
+
+TEST(RandomizedUc, UnanimousDecidesRoundOneNoFaults) {
+  auto cfg = base_config(11, 2);
+  cfg.input = unanimous_input(11, 9);
+  cfg.seed = 5;
+  const auto r = run_experiment(cfg);
+  EXPECT_TRUE(r.all_decided());
+  EXPECT_TRUE(r.agreement());
+  EXPECT_EQ(r.decided_value(), 9);
+  // Every correct process decided inside the randomized protocol's round 1.
+  for (std::size_t i = 0; i < cfg.n; ++i) {
+    const auto& rec = r.stats.decisions[i];
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_LE(rec->decision.uc_rounds, 1u);
+  }
+}
+
+struct UcCase {
+  std::string label;
+  std::size_t n;
+  std::size_t t;
+  std::size_t faults;
+  FaultKind kind;
+  std::uint64_t seed;
+};
+
+class RandomizedUcProperty : public ::testing::TestWithParam<UcCase> {};
+
+TEST_P(RandomizedUcProperty, SafetyAndTermination) {
+  const auto& p = GetParam();
+  auto cfg = base_config(p.n, p.t);
+  Rng rng(p.seed);
+  cfg.input = random_input(p.n, rng, {.domain = 3});
+  cfg.seed = p.seed;
+  cfg.faults.kind = p.kind;
+  cfg.faults.count = p.faults;
+  cfg.start_jitter = 2'000'000;  // 2ms proposal skew
+  const auto r = run_experiment(cfg);
+  EXPECT_TRUE(r.all_decided()) << "undecided correct processes";
+  EXPECT_TRUE(r.agreement());
+  // Unanimity: if all correct proposed the same value, that must be it.
+  if (const auto u = harness::unanimous_correct_value(cfg.input, r.faulty)) {
+    EXPECT_EQ(r.decided_value(), *u);
+  }
+}
+
+std::vector<UcCase> uc_cases() {
+  std::vector<UcCase> cases;
+  std::uint64_t seed = 100;
+  for (const auto kind :
+       {FaultKind::kSilent, FaultKind::kEquivocate, FaultKind::kNoise}) {
+    for (std::size_t rep = 0; rep < 4; ++rep) {
+      cases.push_back({"n11t2f2_k" + std::to_string(static_cast<int>(kind)) + "_r" +
+                           std::to_string(rep),
+                       11, 2, 2, kind, seed++});
+      cases.push_back({"n6t1f1_k" + std::to_string(static_cast<int>(kind)) + "_r" +
+                           std::to_string(rep),
+                       6, 1, 1, kind, seed++});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, RandomizedUcProperty,
+                         ::testing::ValuesIn(uc_cases()),
+                         [](const ::testing::TestParamInfo<UcCase>& info) {
+                           return info.param.label;
+                         });
+
+TEST(RandomizedUc, SplitVotesStillTerminate) {
+  // Perfectly split inputs force the coin path.
+  auto cfg = base_config(12, 2);
+  cfg.input = split_input(12, 1, 6, 2);
+  cfg.seed = 77;
+  cfg.start_jitter = 5'000'000;
+  const auto r = run_experiment(cfg);
+  EXPECT_TRUE(r.all_decided());
+  EXPECT_TRUE(r.agreement());
+  const auto v = r.decided_value();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(*v == 1 || *v == 2);
+}
+
+TEST(RandomizedUc, ManySeedsSplitInputsAgree) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    auto cfg = base_config(11, 2);
+    cfg.input = split_input(11, 4, 5, 9);
+    cfg.seed = seed;
+    cfg.faults.count = 2;
+    cfg.faults.kind = FaultKind::kSilent;
+    const auto r = run_experiment(cfg);
+    EXPECT_TRUE(r.all_decided()) << "seed " << seed;
+    EXPECT_TRUE(r.agreement()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace dex

@@ -1,0 +1,160 @@
+// Unit tests for views, input vectors and frequency statistics (§3.1).
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "consensus/view.hpp"
+
+namespace dex {
+namespace {
+
+TEST(InputVector, UniformAndIndexing) {
+  const auto v = InputVector::uniform(5, 7);
+  EXPECT_EQ(v.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(v[i], 7);
+}
+
+TEST(InputVector, AsViewIsFull) {
+  const InputVector v({1, 2, 3});
+  const View j = v.as_view();
+  EXPECT_EQ(j.known_count(), 3u);
+  EXPECT_EQ(j.get(1), 2);
+}
+
+TEST(View, StartsAllBottom) {
+  const View j(4);
+  EXPECT_EQ(j.size(), 4u);
+  EXPECT_EQ(j.known_count(), 0u);
+  EXPECT_EQ(j.bottom_count(), 4u);
+  EXPECT_FALSE(j.has(0));
+}
+
+TEST(View, SetAndClearMaintainCounts) {
+  View j(3);
+  j.set(0, 5);
+  j.set(2, 9);
+  EXPECT_EQ(j.known_count(), 2u);
+  j.set(0, 6);  // overwrite does not change the count
+  EXPECT_EQ(j.known_count(), 2u);
+  EXPECT_EQ(j.get(0), 6);
+  j.clear(0);
+  EXPECT_EQ(j.known_count(), 1u);
+  j.clear(0);  // idempotent
+  EXPECT_EQ(j.known_count(), 1u);
+}
+
+TEST(View, OutOfRangeSetThrows) {
+  View j(2);
+  EXPECT_THROW(j.set(2, 1), ContractViolation);
+}
+
+TEST(View, CountOf) {
+  View j(5);
+  j.set(0, 1);
+  j.set(1, 1);
+  j.set(2, 2);
+  EXPECT_EQ(j.count_of(1), 2u);
+  EXPECT_EQ(j.count_of(2), 1u);
+  EXPECT_EQ(j.count_of(99), 0u);
+}
+
+TEST(FreqStats, FirstSecondAndMargin) {
+  View j(7);
+  j.set(0, 5);
+  j.set(1, 5);
+  j.set(2, 5);
+  j.set(3, 2);
+  j.set(4, 2);
+  j.set(5, 9);
+  const FreqStats s = j.freq();
+  EXPECT_EQ(s.first(), 5);
+  EXPECT_EQ(s.first_count(), 3u);
+  EXPECT_EQ(s.second(), 2);
+  EXPECT_EQ(s.second_count(), 2u);
+  EXPECT_EQ(s.margin(), 1u);
+  EXPECT_EQ(s.count_of(9), 1u);
+  EXPECT_EQ(s.distinct_values(), 3u);
+}
+
+TEST(FreqStats, TieBreaksTowardLargerValue) {
+  // "If two or more values appear most often, the largest one is selected."
+  View j(4);
+  j.set(0, 3);
+  j.set(1, 3);
+  j.set(2, 8);
+  j.set(3, 8);
+  const FreqStats s = j.freq();
+  EXPECT_EQ(s.first(), 8);
+  EXPECT_EQ(s.second(), 3);
+  EXPECT_EQ(s.margin(), 0u);
+}
+
+TEST(FreqStats, SingleValueHasNoSecond) {
+  View j(3);
+  j.set(0, 4);
+  j.set(1, 4);
+  const FreqStats s = j.freq();
+  EXPECT_EQ(s.first(), 4);
+  EXPECT_FALSE(s.second().has_value());
+  EXPECT_EQ(s.second_count(), 0u);
+  EXPECT_EQ(s.margin(), 2u);  // degenerates to first_count
+}
+
+TEST(FreqStats, EmptyView) {
+  const View j(3);
+  const FreqStats s = j.freq();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.margin(), 0u);
+}
+
+TEST(View, ContainmentHoldsForSubview) {
+  View big(4);
+  big.set(0, 1);
+  big.set(1, 2);
+  big.set(2, 3);
+  View small(4);
+  small.set(1, 2);
+  EXPECT_TRUE(small.contained_in(big));
+  EXPECT_FALSE(big.contained_in(small));
+  small.set(3, 9);
+  EXPECT_FALSE(small.contained_in(big));  // big[3] is ⊥
+}
+
+TEST(View, ContainmentRequiresEqualValues) {
+  View a(2), b(2);
+  a.set(0, 1);
+  b.set(0, 2);
+  EXPECT_FALSE(a.contained_in(b));
+}
+
+TEST(View, DistBetweenViews) {
+  View a(4), b(4);
+  a.set(0, 1);
+  b.set(0, 1);
+  a.set(1, 2);   // b[1] = ⊥ → differs
+  b.set(2, 3);   // a[2] = ⊥ → differs
+  EXPECT_EQ(View::dist(a, b), 2u);
+  EXPECT_EQ(View::dist(a, a), 0u);
+}
+
+TEST(View, DistToInputVectorCountsBottoms) {
+  const InputVector i({1, 2, 3, 4});
+  View j(4);
+  j.set(0, 1);
+  j.set(1, 9);  // wrong value
+  // j[2], j[3] are ⊥ → mismatches
+  EXPECT_EQ(View::dist(j, i), 3u);
+}
+
+TEST(View, DimensionMismatchThrows) {
+  View a(2), b(3);
+  EXPECT_THROW(View::dist(a, b), ContractViolation);
+}
+
+TEST(View, ToStringShowsBottom) {
+  View j(2);
+  j.set(0, 7);
+  EXPECT_EQ(j.to_string(), "[7, ⊥]");
+}
+
+}  // namespace
+}  // namespace dex

@@ -1,0 +1,196 @@
+// dexsim — command-line experiment runner.
+//
+// Runs repeated consensus executions for a chosen algorithm, input shape,
+// fault plan and network model, and prints a statistical report: decision
+// paths, logical steps, latency quantiles, message counts and safety checks.
+//
+//   $ dexsim --algo dex-freq --n 13 --t 2 --input margin --margin 9
+//            --faults 2 --fault-kind equivocate --trials 50 --seed 7
+//
+//   $ dexsim --algo bosco-weak --input unanimous --trials 100 --oracle-uc
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/cli.hpp"
+#include "sim/trace.hpp"
+#include "common/histogram.hpp"
+#include "consensus/condition/input_gen.hpp"
+#include "harness/experiment.hpp"
+#include "sim/delay_model.hpp"
+
+namespace {
+
+using namespace dex;
+
+std::optional<Algorithm> parse_algo(const std::string& s) {
+  if (s == "dex-freq") return Algorithm::kDexFreq;
+  if (s == "dex-prv") return Algorithm::kDexPrv;
+  if (s == "bosco-weak") return Algorithm::kBoscoWeak;
+  if (s == "bosco-strong") return Algorithm::kBoscoStrong;
+  if (s == "crash") return Algorithm::kCrashOneStep;
+  if (s == "underlying") return Algorithm::kUnderlyingOnly;
+  return std::nullopt;
+}
+
+std::optional<harness::FaultKind> parse_fault(const std::string& s) {
+  using harness::FaultKind;
+  if (s == "silent") return FaultKind::kSilent;
+  if (s == "crash-mid") return FaultKind::kCrashMid;
+  if (s == "equivocate") return FaultKind::kEquivocate;
+  if (s == "fixed") return FaultKind::kFixedValue;
+  if (s == "noise") return FaultKind::kNoise;
+  if (s == "uc-saboteur") return FaultKind::kUcSaboteur;
+  return std::nullopt;
+}
+
+InputVector make_input(const std::string& shape, std::size_t n, std::size_t margin,
+                       std::size_t count, double p_common, Rng& rng) {
+  if (shape == "unanimous") return unanimous_input(n, 0);
+  if (shape == "margin") return margin_input(n, margin, 0, rng);
+  if (shape == "privileged") return privileged_input(n, 0, count, rng);
+  if (shape == "split") return split_input(n, 0, count, 1);
+  if (shape == "random") return random_input(n, rng, {.domain = 4});
+  if (shape == "skewed") {
+    std::vector<Value> v(n);
+    for (auto& e : v) {
+      e = rng.next_bool(p_common) ? 0 : static_cast<Value>(rng.next_below(4));
+    }
+    return InputVector(std::move(v));
+  }
+  throw CliError("unknown --input shape '" + shape + "'");
+}
+
+std::shared_ptr<sim::DelayModel> make_delay(const std::string& model) {
+  if (model == "uniform") {
+    return std::make_shared<sim::UniformDelay>(1'000'000, 10'000'000);
+  }
+  if (model == "constant") return std::make_shared<sim::ConstantDelay>(1'000'000);
+  if (model == "exponential") {
+    return std::make_shared<sim::ExponentialDelay>(500'000, 4'000'000.0);
+  }
+  if (model == "heavytail") {
+    return std::make_shared<sim::LogNormalDelay>(500'000, 14.5, 1.0);
+  }
+  throw CliError("unknown --delay model '" + model + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.option("algo", "dex-freq | dex-prv | bosco-weak | bosco-strong | crash | underlying", "name")
+      .option("n", "number of processes (default: algorithm minimum)", "int")
+      .option("t", "resilience bound (default 2)", "int")
+      .option("input", "unanimous | margin | privileged | split | random | skewed", "shape")
+      .option("margin", "frequency margin for --input margin (default 2t+1)", "int")
+      .option("count", "count for --input privileged/split (default 3t+1)", "int")
+      .option("p-common", "common-value probability for --input skewed", "0..1")
+      .option("faults", "number of faulty processes (default 0)", "int")
+      .option("fault-kind",
+              "silent | crash-mid | equivocate | fixed | noise | uc-saboteur",
+              "kind")
+      .option("trials", "number of runs (default 50)", "int")
+      .option("seed", "base RNG seed (default 1)", "int")
+      .option("delay", "uniform | constant | exponential | heavytail", "model")
+      .option("jitter-ms", "proposal start jitter in ms (default 2)", "ms")
+      .option("oracle-uc", "use the idealized zero-degrading underlying consensus")
+      .option("no-reeval", "ablation: evaluate fast paths once at n-t")
+      .option("no-two-step", "ablation: disable the two-step scheme")
+      .option("trace", "dump the first run's event trace (text)")
+      .option("trace-csv", "dump the first run's event trace as CSV")
+      .option("help", "show this help");
+  try {
+    cli.parse(argc, argv);
+  } catch (const CliError& e) {
+    std::fprintf(stderr, "%s\n%s", e.what(), cli.usage("dexsim").c_str());
+    return 2;
+  }
+  if (cli.flag("help")) {
+    std::printf("%s", cli.usage("dexsim").c_str());
+    return 0;
+  }
+
+  try {
+    const auto algo_name = cli.str("algo", "dex-freq");
+    const auto algo = parse_algo(algo_name);
+    if (!algo) throw CliError("unknown --algo '" + algo_name + "'");
+    const auto t = cli.unsigned_num("t", 2);
+    const auto n = cli.unsigned_num("n", algorithm_min_n(*algo, t));
+    const auto trials = cli.unsigned_num("trials", 50);
+    const auto base_seed = cli.unsigned_num("seed", 1);
+    const auto shape = cli.str("input", "unanimous");
+    const auto margin = cli.unsigned_num("margin", 2 * t + 1);
+    const auto count = cli.unsigned_num("count", 3 * t + 1);
+    const double p_common = cli.real("p-common", 0.9);
+    const auto fault_kind = parse_fault(cli.str("fault-kind", "silent"));
+    if (!fault_kind) throw CliError("unknown --fault-kind");
+
+    Histogram steps, latency_ms;
+    Counter paths;
+    std::size_t safety_failures = 0, undecided_runs = 0;
+    double packets = 0;
+
+    for (std::uint64_t trial = 0; trial < trials; ++trial) {
+      Rng rng(mix64(base_seed + trial * 1013));
+      harness::ExperimentConfig cfg;
+      cfg.algorithm = *algo;
+      cfg.n = n;
+      cfg.t = t;
+      cfg.input = make_input(shape, n, margin, count, p_common, rng);
+      cfg.faults.count = cli.unsigned_num("faults", 0);
+      cfg.faults.kind = *fault_kind;
+      cfg.seed = base_seed + trial;
+      cfg.delay = make_delay(cli.str("delay", "uniform"));
+      cfg.start_jitter = cli.unsigned_num("jitter-ms", 2) * 1'000'000;
+      cfg.use_oracle_uc = cli.flag("oracle-uc");
+      cfg.dex_continuous_reevaluation = !cli.flag("no-reeval");
+      cfg.dex_enable_two_step = !cli.flag("no-two-step");
+      sim::TraceRecorder trace;
+      const bool want_trace = cli.flag("trace") || cli.flag("trace-csv");
+      if (trial == 0 && want_trace) cfg.trace = &trace;
+
+      const auto r = harness::run_experiment(cfg);
+      if (trial == 0 && want_trace) {
+        if (cli.flag("trace-csv")) {
+          std::printf("%s", trace.to_csv().c_str());
+        } else {
+          std::printf("%s", trace.to_text(200).c_str());
+        }
+      }
+      if (!r.agreement()) ++safety_failures;
+      if (!r.all_decided()) ++undecided_runs;
+      packets += static_cast<double>(r.stats.packets_delivered);
+      for (const auto& rec : r.stats.decisions) {
+        if (!rec.has_value()) continue;
+        steps.add(rec->steps);
+        latency_ms.add(static_cast<double>(rec->at) / 1e6);
+        paths.add(decision_path_name(rec->decision.path));
+      }
+    }
+
+    std::printf("dexsim: %s  n=%zu t=%zu  input=%s  faults=%zu(%s)  trials=%llu\n",
+                algorithm_name(*algo), static_cast<std::size_t>(n),
+                static_cast<std::size_t>(t), shape.c_str(),
+                static_cast<std::size_t>(cli.unsigned_num("faults", 0)),
+                cli.str("fault-kind", "silent").c_str(),
+                static_cast<unsigned long long>(trials));
+    std::printf("decisions: %zu  (paths:", steps.count());
+    for (const auto& [k, v] : paths.entries()) {
+      std::printf(" %s=%.0f%%", k.c_str(), 100 * paths.fraction(k));
+    }
+    std::printf(")\n");
+    if (steps.count() > 0) {
+      std::printf("steps:   %s\n", steps.summary().c_str());
+      std::printf("latency: %s (ms)\n", latency_ms.summary().c_str());
+    }
+    std::printf("packets/run: %.0f\n", packets / static_cast<double>(trials));
+    std::printf("safety: %s (%zu agreement failures, %zu undecided runs)\n",
+                safety_failures == 0 && undecided_runs == 0 ? "OK" : "VIOLATED",
+                safety_failures, undecided_runs);
+    return safety_failures == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dexsim: %s\n", e.what());
+    return 2;
+  }
+}
