@@ -11,6 +11,7 @@
 #include "consensus/condition/analytics.hpp"
 #include "consensus/condition/input_gen.hpp"
 #include "harness/experiment.hpp"
+#include "metrics/metrics.hpp"
 #include "sim/delay_model.hpp"
 
 namespace {
@@ -70,8 +71,8 @@ void execution_part() {
   constexpr int kTrials = 30;
   std::printf("\n--- executed fast-path rate vs actual silent faults f ---\n");
   std::printf("DEX(freq), n=%zu t=%zu; inputs with exact margin m; %d runs per "
-              "cell\ncell: %%runs all-correct one-step / %%runs all-correct "
-              "within two steps\n\n", n, t, kTrials);
+              "cell\ncell: %%decisions one-step / %%decisions within two steps "
+              "(from dex_decisions_total)\n\n", n, t, kTrials);
   const std::size_t margins[] = {2 * t + 1, 2 * t + 3, 4 * t + 1, 4 * t + 3, n};
   std::printf("%-12s", "margin");
   for (std::size_t f = 0; f <= t; ++f) std::printf(" | f=%zu          ", f);
@@ -80,7 +81,10 @@ void execution_part() {
   for (const std::size_t m : margins) {
     std::printf("%-12zu", m);
     for (std::size_t f = 0; f <= t; ++f) {
-      int one = 0, two = 0;
+      // The cell is computed purely from exported metrics: the per-cell
+      // registry accumulates dex_decisions_total{path} over every trial's
+      // correct processes.
+      metrics::MetricsRegistry registry;
       for (int trial = 0; trial < kTrials; ++trial) {
         Rng rng(0xada + static_cast<std::uint64_t>(trial) * 31 + m * 7 + f);
         harness::ExperimentConfig cfg;
@@ -92,11 +96,18 @@ void execution_part() {
         cfg.faults.kind = harness::FaultKind::kSilent;
         cfg.seed = 0x90 + static_cast<std::uint64_t>(trial);
         cfg.delay = std::make_shared<sim::ConstantDelay>(1'000'000);
-        const auto r = harness::run_experiment(cfg);
-        if (r.all_one_step()) ++one;
-        if (r.all_within_two_steps()) ++two;
+        cfg.metrics = &registry;
+        (void)harness::run_experiment(cfg);
       }
-      std::printf(" | %3d%% / %3d%%  ", 100 * one / kTrials, 100 * two / kTrials);
+      const auto snap = registry.snapshot();
+      const double one =
+          snap.counter_total("dex_decisions_total", {{"path", "one_step"}});
+      const double two =
+          snap.counter_total("dex_decisions_total", {{"path", "two_step"}});
+      const double total = snap.counter_total("dex_decisions_total");
+      const double pct_one = total > 0 ? 100.0 * one / total : 0.0;
+      const double pct_two = total > 0 ? 100.0 * (one + two) / total : 0.0;
+      std::printf(" | %3.0f%% / %3.0f%%  ", pct_one, pct_two);
     }
     std::printf("\n");
   }

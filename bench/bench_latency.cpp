@@ -11,6 +11,7 @@
 #include "common/histogram.hpp"
 #include "consensus/condition/input_gen.hpp"
 #include "harness/experiment.hpp"
+#include "metrics/metrics.hpp"
 #include "sim/delay_model.hpp"
 
 namespace {
@@ -53,7 +54,11 @@ void run_matrix(harness::FaultKind fault_kind, std::size_t fault_count,
     const std::size_t n = algorithm_min_n(algo, kT);
     std::printf("%-16s %-4zu", algorithm_name(algo), n);
     for (const auto& shape : shapes) {
-      Histogram steps, latency;
+      // One registry per cell: every trial's Simulation resolves the same
+      // sim_decision_steps / sim_decision_latency_ms instruments, so the
+      // histograms accumulate across trials and the cell is read straight
+      // from the exported metrics.
+      metrics::MetricsRegistry registry;
       for (int trial = 0; trial < kTrials; ++trial) {
         Rng rng(0x1a7e + static_cast<std::uint64_t>(trial));
         harness::ExperimentConfig cfg;
@@ -67,22 +72,20 @@ void run_matrix(harness::FaultKind fault_kind, std::size_t fault_count,
         cfg.delay = std::make_shared<sim::UniformDelay>(1'000'000, 10'000'000);
         cfg.start_jitter = 2'000'000;
         cfg.use_oracle_uc = oracle_uc;
-        const auto r = harness::run_experiment(cfg);
-        for (std::size_t i = 0; i < cfg.n; ++i) {
-          const auto& rec = r.stats.decisions[i];
-          if (!rec.has_value()) continue;
-          steps.add(rec->steps);
-          latency.add(static_cast<double>(rec->at) / 1e6);
-        }
+        cfg.metrics = &registry;
+        (void)harness::run_experiment(cfg);
       }
-      if (steps.count() == 0) {
+      const auto snap = registry.snapshot();
+      const Histogram* steps = snap.histogram("sim_decision_steps");
+      const Histogram* latency = snap.histogram("sim_decision_latency_ms");
+      if (steps == nullptr || latency == nullptr || steps->count() == 0) {
         std::printf(" | %-26s", "(no decisions)");
         continue;
       }
       char cell[64];
       std::snprintf(cell, sizeof(cell), "%2.0f/%-3.0f  %5.1f/%5.1f",
-                    steps.quantile(0.5), steps.max(), latency.quantile(0.5),
-                    latency.quantile(0.99));
+                    steps->quantile(0.5), steps->max(), latency->quantile(0.5),
+                    latency->quantile(0.99));
       std::printf(" | %-26s", cell);
     }
     std::printf("\n");

@@ -4,8 +4,6 @@
 #include <cmath>
 #include <sstream>
 
-#include "common/assert.hpp"
-
 namespace dex {
 
 void Histogram::add(double sample) {
@@ -31,24 +29,24 @@ void Histogram::ensure_sorted() const {
 }
 
 double Histogram::min() const {
-  DEX_ENSURE(!samples_.empty());
+  if (samples_.empty()) return 0.0;
   ensure_sorted();
   return sorted_.front();
 }
 
 double Histogram::max() const {
-  DEX_ENSURE(!samples_.empty());
+  if (samples_.empty()) return 0.0;
   ensure_sorted();
   return sorted_.back();
 }
 
 double Histogram::mean() const {
-  DEX_ENSURE(!samples_.empty());
+  if (samples_.empty()) return 0.0;
   return sum_ / static_cast<double>(samples_.size());
 }
 
 double Histogram::stddev() const {
-  DEX_ENSURE(!samples_.empty());
+  if (samples_.empty()) return 0.0;
   const double n = static_cast<double>(samples_.size());
   const double m = sum_ / n;
   const double var = std::max(0.0, sum_sq_ / n - m * m);
@@ -56,8 +54,11 @@ double Histogram::stddev() const {
 }
 
 double Histogram::quantile(double q) const {
-  DEX_ENSURE(!samples_.empty());
-  DEX_ENSURE(q >= 0.0 && q <= 1.0);
+  if (samples_.empty()) return 0.0;
+  // Clamp instead of asserting: a NaN or out-of-range q from arithmetic on
+  // degenerate inputs reads as the nearest valid quantile, never UB.
+  if (!(q >= 0.0)) q = 0.0;
+  if (q > 1.0) q = 1.0;
   ensure_sorted();
   const auto idx = static_cast<std::size_t>(
       std::min<double>(static_cast<double>(sorted_.size()) - 1,

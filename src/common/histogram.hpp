@@ -10,17 +10,24 @@ namespace dex {
 
 /// Exact-quantile accumulator. Stores all samples; fine for bench scale
 /// (simulations produce at most a few million samples per run).
+///
+/// Every statistic is total: on an empty histogram min/max/mean/stddev/sum
+/// and quantile all return 0.0 (so exporters and benches never trip on a
+/// series that received no samples), and quantile() clamps q into [0, 1].
 class Histogram {
  public:
   void add(double sample);
   void merge(const Histogram& other);
+  /// Pre-size the sample store (hot bench loops add millions of samples).
+  void reserve(std::size_t n) { samples_.reserve(n); }
 
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double sum() const { return sum_; }
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;
   [[nodiscard]] double mean() const;
   [[nodiscard]] double stddev() const;
-  /// q in [0, 1]; nearest-rank quantile.
+  /// Nearest-rank quantile; q is clamped into [0, 1] (NaN reads as 0).
   [[nodiscard]] double quantile(double q) const;
 
   /// "n=..., mean=..., p50=..., p99=..., max=..." one-liner.

@@ -1,6 +1,8 @@
 #include "common/logging.hpp"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <string>
 
@@ -24,6 +26,28 @@ const char* log_level_name(LogLevel level) {
     case LogLevel::kOff:   return "OFF";
   }
   return "?";
+}
+
+std::optional<LogLevel> log_level_from_name(std::string_view name) {
+  std::string upper;
+  upper.reserve(name.size());
+  for (const char c : name) {
+    upper.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  }
+  for (const LogLevel level :
+       {LogLevel::kTrace, LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+        LogLevel::kError, LogLevel::kOff}) {
+    if (upper == log_level_name(level)) return level;
+  }
+  return std::nullopt;
+}
+
+std::optional<LogLevel> init_log_level_from_env() {
+  const char* value = std::getenv("DEX_LOG_LEVEL");
+  if (value == nullptr) return std::nullopt;
+  const auto level = log_level_from_name(value);
+  if (level.has_value()) set_log_level(*level);
+  return level;
 }
 
 namespace detail {

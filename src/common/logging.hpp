@@ -5,6 +5,7 @@
 #pragma once
 
 #include <atomic>
+#include <optional>
 #include <sstream>
 #include <string_view>
 
@@ -17,6 +18,15 @@ LogLevel log_level();
 void set_log_level(LogLevel level);
 
 const char* log_level_name(LogLevel level);
+
+/// Inverse of log_level_name (case-insensitive); nullopt for unknown names.
+std::optional<LogLevel> log_level_from_name(std::string_view name);
+
+/// Applies the DEX_LOG_LEVEL environment variable (e.g. DEX_LOG_LEVEL=debug)
+/// so tools and tests can raise verbosity without code changes. Returns the
+/// level applied, or nullopt when the variable is unset or unrecognized (the
+/// current level is left untouched).
+std::optional<LogLevel> init_log_level_from_env();
 
 namespace detail {
 void log_emit(LogLevel level, std::string_view component, std::string_view msg);

@@ -27,6 +27,17 @@ inline const char* decision_path_name(DecisionPath p) {
   return "?";
 }
 
+/// Metrics label value for a path (underscored, Prometheus-friendly); the
+/// exported series look like dex_decisions_total{path="one_step"}.
+inline const char* decision_path_metric_label(DecisionPath p) {
+  switch (p) {
+    case DecisionPath::kOneStep: return "one_step";
+    case DecisionPath::kTwoStep: return "two_step";
+    case DecisionPath::kUnderlying: return "underlying";
+  }
+  return "?";
+}
+
 struct Decision {
   Value value = 0;
   DecisionPath path = DecisionPath::kUnderlying;

@@ -20,6 +20,16 @@ DexEngine::DexEngine(DexConfig cfg, std::shared_ptr<const ConditionPair> pair,
                  "condition pair sized for a different (n, t)");
   DEX_ENSURE_MSG(cfg_.n >= pair_->min_processes(cfg_.t),
                  "n below the pair's resilience requirement");
+  if (cfg_.metrics.enabled()) {
+    for (const DecisionPath p :
+         {DecisionPath::kOneStep, DecisionPath::kTwoStep,
+          DecisionPath::kUnderlying}) {
+      m_decisions_[static_cast<std::size_t>(p)] = cfg_.metrics.counter(
+          "dex_decisions_total", {{"path", decision_path_metric_label(p)}});
+    }
+    m_uc_proposals_ = cfg_.metrics.counter("dex_uc_proposals_total");
+    m_steps_ = cfg_.metrics.histogram("dex_steps_to_decision");
+  }
 }
 
 void DexEngine::propose(Value v) {
@@ -67,6 +77,7 @@ void DexEngine::on_idb_proposal(ProcessId origin, Value v) {
   if (j2_.known_count() < cfg_.n - cfg_.t) return;
   if (!proposed_) {
     proposed_ = true;
+    metrics::inc(m_uc_proposals_);
     uc_->propose(pair_->f(j2_));
   }
   if (!cfg_.enable_two_step) return;  // ablation: one-step only
@@ -85,6 +96,15 @@ void DexEngine::on_uc_decided(Value v, std::uint32_t uc_rounds) {
 
 void DexEngine::decide(Value v, DecisionPath path, std::uint32_t uc_rounds) {
   decision_ = Decision{v, path, uc_rounds};
+  metrics::inc(m_decisions_[static_cast<std::size_t>(path)]);
+  if (m_steps_ != nullptr) {
+    // Same accounting as DexStack::logical_steps: one IDB step = two plain
+    // steps; the fallback pays the J2 prefix plus its own steps.
+    std::uint32_t steps = 1;
+    if (path == DecisionPath::kTwoStep) steps = 2;
+    if (path == DecisionPath::kUnderlying) steps = 2 + uc_->logical_steps();
+    m_steps_->observe(steps);
+  }
   DEX_LOG(kDebug, "dex") << "p" << cfg_.self << " decided " << v << " via "
                          << decision_path_name(path);
 }

@@ -24,6 +24,7 @@
 #include "consensus/message.hpp"
 #include "consensus/underlying/underlying.hpp"
 #include "consensus/view.hpp"
+#include "metrics/metrics.hpp"
 
 namespace dex {
 
@@ -42,6 +43,10 @@ struct DexConfig {
   /// When false, the two-step scheme (lines 16-18) is disabled — a plain
   /// one-step algorithm with a UC fallback. Quantifies double expedition.
   bool enable_two_step = true;
+
+  /// Instrumentation sink (dex_* series: decision-path counts and
+  /// steps-to-decision). A disabled scope records nothing.
+  metrics::MetricsScope metrics;
 };
 
 class DexEngine {
@@ -89,6 +94,11 @@ class DexEngine {
   bool j1_evaluated_ = false;  // single-shot ablation bookkeeping
   bool j2_evaluated_ = false;
   std::optional<Decision> decision_;
+
+  // Exported series, indexed by DecisionPath (null when metrics disabled).
+  metrics::Counter* m_decisions_[3] = {nullptr, nullptr, nullptr};
+  metrics::Counter* m_uc_proposals_ = nullptr;
+  metrics::HistogramMetric* m_steps_ = nullptr;
 };
 
 }  // namespace dex

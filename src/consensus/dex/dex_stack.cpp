@@ -10,8 +10,14 @@ DexStack::DexStack(const StackConfig& cfg, std::shared_ptr<const ConditionPair> 
     : StackBase(cfg, std::move(uc_factory)),
       pair_(std::move(pair)),
       evidence_(cfg.n) {
-  DexConfig dc{cfg_.n, cfg_.t, cfg_.self, cfg_.instance,
-               cfg_.dex_continuous_reevaluation, cfg_.dex_enable_two_step};
+  DexConfig dc;
+  dc.n = cfg_.n;
+  dc.t = cfg_.t;
+  dc.self = cfg_.self;
+  dc.instance = cfg_.instance;
+  dc.continuous_reevaluation = cfg_.dex_continuous_reevaluation;
+  dc.enable_two_step = cfg_.dex_enable_two_step;
+  dc.metrics = cfg_.metrics;
   engine_ = std::make_unique<DexEngine>(dc, pair_, &idb_, uc_.get(), &outbox_);
 }
 

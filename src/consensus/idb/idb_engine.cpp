@@ -11,11 +11,18 @@ constexpr std::size_t kMaxPayload = 1u << 20;
 }  // namespace
 
 IdbEngine::IdbEngine(std::size_t n, std::size_t t, ProcessId self,
-                     InstanceId instance, Outbox* outbox)
+                     InstanceId instance, Outbox* outbox,
+                     metrics::MetricsScope metrics)
     : n_(n), t_(t), self_(self), instance_(instance), outbox_(outbox) {
   DEX_ENSURE_MSG(n > 4 * t, "identical broadcast requires n > 4t");
   DEX_ENSURE(self >= 0 && static_cast<std::size_t>(self) < n);
   DEX_ENSURE(outbox != nullptr);
+  if (metrics.enabled()) {
+    m_inits_ = metrics.counter("idb_inits_total");
+    m_echoes_ = metrics.counter("idb_echoes_total");
+    m_amplified_ = metrics.counter("idb_echo_amplifications_total");
+    m_accepts_ = metrics.counter("idb_accepts_total");
+  }
 }
 
 void IdbEngine::id_send(std::uint64_t tag, std::vector<std::byte> payload) {
@@ -26,6 +33,7 @@ void IdbEngine::id_send(std::uint64_t tag, std::vector<std::byte> payload) {
   m.origin = self_;
   m.payload = std::move(payload);
   ++inits_sent_;
+  metrics::inc(m_inits_);
   outbox_->broadcast(std::move(m));
 }
 
@@ -42,6 +50,7 @@ void IdbEngine::send_echo(ProcessId origin, std::uint64_t tag,
   m.origin = origin;
   m.payload = payload;
   ++echoes_sent_;
+  metrics::inc(m_echoes_);
   outbox_->broadcast(std::move(m));
 }
 
@@ -72,12 +81,14 @@ void IdbEngine::on_message(ProcessId src, const Message& msg) {
     // we never saw the init.
     if (num >= n_ - 2 * t_ && !s.echoed) {
       s.echoed = true;
+      metrics::inc(m_amplified_);
       send_echo(origin, msg.tag, msg.payload);
     }
     // Acceptance: n-t matching echoes.
     if (num >= n_ - t_ && !s.accepted) {
       s.accepted = true;
       ++accepted_count_;
+      metrics::inc(m_accepts_);
       deliveries_.push_back(IdbDelivery{origin, msg.tag, msg.payload});
     }
     return;

@@ -23,6 +23,7 @@
 
 #include "common/types.hpp"
 #include "consensus/message.hpp"
+#include "metrics/metrics.hpp"
 
 namespace dex {
 
@@ -38,9 +39,11 @@ struct IdbDelivery {
 /// all outgoing traffic goes through the shared Outbox.
 class IdbEngine {
  public:
-  /// Requires n > 4t (the algorithm's resilience bound).
+  /// Requires n > 4t (the algorithm's resilience bound). `metrics` may be a
+  /// disabled scope; when enabled, init/echo fan-out, amplification and
+  /// acceptance counters are exported (idb_* series, see docs/protocol.md).
   IdbEngine(std::size_t n, std::size_t t, ProcessId self, InstanceId instance,
-            Outbox* outbox);
+            Outbox* outbox, metrics::MetricsScope metrics = {});
 
   IdbEngine(const IdbEngine&) = delete;
   IdbEngine& operator=(const IdbEngine&) = delete;
@@ -91,6 +94,12 @@ class IdbEngine {
   std::uint64_t echoes_sent_ = 0;
   std::uint64_t inits_sent_ = 0;
   std::uint64_t accepted_count_ = 0;
+
+  // Exported series (resolved once at construction; null when disabled).
+  metrics::Counter* m_inits_ = nullptr;
+  metrics::Counter* m_echoes_ = nullptr;
+  metrics::Counter* m_amplified_ = nullptr;  // echoes triggered by echoes alone
+  metrics::Counter* m_accepts_ = nullptr;
 };
 
 }  // namespace dex

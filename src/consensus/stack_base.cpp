@@ -16,7 +16,8 @@ UcFactory default_uc_factory() {
 }
 
 StackBase::StackBase(const StackConfig& cfg, UcFactory uc_factory)
-    : cfg_(cfg), idb_(cfg.n, cfg.t, cfg.self, cfg.instance, &outbox_) {
+    : cfg_(cfg),
+      idb_(cfg.n, cfg.t, cfg.self, cfg.instance, &outbox_, cfg.metrics) {
   uc_ = uc_factory(cfg_, &idb_, &outbox_);
 }
 

@@ -10,6 +10,7 @@
 #include "consensus/process.hpp"
 #include "consensus/underlying/coin.hpp"
 #include "consensus/underlying/randomized.hpp"
+#include "metrics/metrics.hpp"
 
 namespace dex {
 
@@ -25,6 +26,9 @@ struct StackConfig {
   /// DEX ablation switches (see DexConfig); ignored by other stacks.
   bool dex_continuous_reevaluation = true;
   bool dex_enable_two_step = true;
+  /// Instrumentation sink shared by every engine of this stack; a
+  /// default-constructed (disabled) scope costs one branch per event.
+  metrics::MetricsScope metrics;
 };
 
 /// Builds the underlying consensus for a stack. The default factory creates

@@ -42,6 +42,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   opts.stop_when_all_decided = cfg.stop_when_all_decided;
   opts.max_events = cfg.max_events;
   opts.trace = cfg.trace;
+  opts.metrics = cfg.metrics;
   sim::Simulation simulation(cfg.n, opts);
 
   // Choose the faulty set.
@@ -91,6 +92,10 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
       sc.coin_seed = mix64(cfg.seed ^ 0xc0135eedULL);  // shared by all processes
       sc.dex_continuous_reevaluation = cfg.dex_continuous_reevaluation;
       sc.dex_enable_two_step = cfg.dex_enable_two_step;
+      if (cfg.metrics != nullptr) {
+        sc.metrics = metrics::MetricsScope(
+            cfg.metrics, {{"process", "p" + std::to_string(i)}});
+      }
       std::unique_ptr<ConsensusProcess> stack;
       if (cfg.use_oracle_uc) {
         UcFactory factory = [oracle_hub, oracle_targets](const StackConfig& scfg,

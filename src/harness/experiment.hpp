@@ -65,6 +65,10 @@ struct ExperimentConfig {
   SimTime oracle_step_time = 5'000'000;
   /// Optional trace sink (not owned; must outlive the call).
   sim::TraceRecorder* trace = nullptr;
+  /// Optional metrics sink (not owned; must outlive the call). When set, the
+  /// simulator exports sim_* series and every correct process's stack exports
+  /// dex_*/idb_* series under a {"process": "p<i>"} label.
+  metrics::MetricsRegistry* metrics = nullptr;
 };
 
 struct ExperimentResult {

@@ -1,0 +1,373 @@
+#include "metrics/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+namespace dex::metrics {
+
+namespace {
+
+/// Shortest exact rendering: integers without a fraction, everything else
+/// with enough digits (%.17g) that strtod() round-trips bit-for-bit.
+std::string fmt_num(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// `name` or `name{k="v",k2="v2"}` with labels in sorted (map) order — the
+/// flat-map key and the Prometheus sample name are the same string.
+std::string flat_name(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  std::string out = name;
+  out.push_back('{');
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append(k);
+    out.append("=\"");
+    out.append(v);
+    out.push_back('"');
+  }
+  out.push_back('}');
+  return out;
+}
+
+constexpr double kQuantiles[] = {0.5, 0.9, 0.99};
+
+const char* quantile_name(double q) {
+  if (q == 0.5) return "0.5";
+  if (q == 0.9) return "0.9";
+  return "0.99";
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader — only what flatten_json() needs to re-read our own
+// exporter output (objects, arrays, strings, numbers, bool, null).
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::map<std::string, JsonValue> obj;
+
+  [[nodiscard]] const JsonValue& at(const std::string& key) const {
+    const auto it = obj.find(key);
+    if (type != Type::kObject || it == obj.end()) {
+      throw std::runtime_error("metrics json: missing key '" + key + "'");
+    }
+    return it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing data");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("metrics json: " + why + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      JsonValue v;
+      v.type = JsonValue::Type::kString;
+      v.str = parse_string();
+      return v;
+    }
+    if (consume_literal("true")) {
+      JsonValue v;
+      v.type = JsonValue::Type::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      JsonValue v;
+      v.type = JsonValue::Type::kBool;
+      return v;
+    }
+    if (consume_literal("null")) return JsonValue{};
+    return parse_number();
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("bad escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          default: fail("unsupported escape");
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                           nullptr);
+    return v;
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.arr.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      std::string key = parse_string();
+      expect(':');
+      v.obj.emplace(std::move(key), parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Labels labels_from_json(const JsonValue& obj) {
+  Labels out;
+  for (const auto& [k, v] : obj.obj) out[k] = v.str;
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"schema\": \"dex-metrics/v1\",\n  \"metrics\": [";
+  bool first = true;
+  for (const MetricSample& s : snapshot.samples()) {
+    out.append(first ? "\n    {" : ",\n    {");
+    first = false;
+    out.append("\"name\":\"").append(s.name).append("\",");
+    out.append("\"type\":\"").append(metric_kind_name(s.kind)).append("\",");
+    out.append("\"labels\":{");
+    bool first_label = true;
+    for (const auto& [k, v] : s.labels) {
+      if (!first_label) out.push_back(',');
+      first_label = false;
+      out.append("\"").append(k).append("\":\"").append(v).append("\"");
+    }
+    out.append("}");
+    if (s.kind == MetricKind::kHistogram) {
+      const auto n = static_cast<double>(s.hist.count());
+      out.append(",\"count\":").append(fmt_num(n));
+      out.append(",\"sum\":").append(fmt_num(s.hist.sum()));
+      out.append(",\"min\":").append(fmt_num(s.hist.min()));
+      out.append(",\"max\":").append(fmt_num(s.hist.max()));
+      out.append(",\"mean\":").append(fmt_num(s.hist.mean()));
+      out.append(",\"quantiles\":{");
+      bool first_q = true;
+      for (const double q : kQuantiles) {
+        if (!first_q) out.push_back(',');
+        first_q = false;
+        out.append("\"").append(quantile_name(q)).append("\":");
+        out.append(fmt_num(s.hist.quantile(q)));
+      }
+      out.append("}");
+    } else {
+      out.append(",\"value\":").append(fmt_num(s.value));
+    }
+    out.append("}");
+  }
+  out.append("\n  ]\n}\n");
+  return out;
+}
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::string last_family;
+  for (const MetricSample& s : snapshot.samples()) {
+    if (s.name != last_family) {
+      last_family = s.name;
+      out.append("# TYPE ").append(s.name).append(" ");
+      out.append(s.kind == MetricKind::kHistogram ? "summary"
+                                                  : metric_kind_name(s.kind));
+      out.push_back('\n');
+    }
+    if (s.kind == MetricKind::kHistogram) {
+      if (s.hist.count() > 0) {
+        for (const double q : kQuantiles) {
+          Labels with_q = s.labels;
+          with_q["quantile"] = quantile_name(q);
+          out.append(flat_name(s.name, with_q)).append(" ");
+          out.append(fmt_num(s.hist.quantile(q))).push_back('\n');
+        }
+      }
+      out.append(flat_name(s.name + "_sum", s.labels)).append(" ");
+      out.append(fmt_num(s.hist.sum())).push_back('\n');
+      out.append(flat_name(s.name + "_count", s.labels)).append(" ");
+      out.append(fmt_num(static_cast<double>(s.hist.count()))).push_back('\n');
+    } else {
+      out.append(flat_name(s.name, s.labels)).append(" ");
+      out.append(fmt_num(s.value)).push_back('\n');
+    }
+  }
+  return out;
+}
+
+std::map<std::string, double> flatten(const MetricsSnapshot& snapshot) {
+  std::map<std::string, double> out;
+  for (const MetricSample& s : snapshot.samples()) {
+    if (s.kind == MetricKind::kHistogram) {
+      out[flat_name(s.name + "_count", s.labels)] =
+          static_cast<double>(s.hist.count());
+      out[flat_name(s.name + "_sum", s.labels)] = s.hist.sum();
+      if (s.hist.count() > 0) {
+        for (const double q : kQuantiles) {
+          Labels with_q = s.labels;
+          with_q["quantile"] = quantile_name(q);
+          out[flat_name(s.name, with_q)] = s.hist.quantile(q);
+        }
+      }
+    } else {
+      out[flat_name(s.name, s.labels)] = s.value;
+    }
+  }
+  return out;
+}
+
+std::map<std::string, double> flatten_json(const std::string& json) {
+  const JsonValue doc = JsonParser(json).parse();
+  std::map<std::string, double> out;
+  for (const JsonValue& m : doc.at("metrics").arr) {
+    const std::string& name = m.at("name").str;
+    const std::string& type = m.at("type").str;
+    const Labels labels = labels_from_json(m.at("labels"));
+    if (type == "histogram") {
+      out[flat_name(name + "_count", labels)] = m.at("count").number;
+      out[flat_name(name + "_sum", labels)] = m.at("sum").number;
+      if (m.at("count").number > 0) {
+        for (const auto& [q, v] : m.at("quantiles").obj) {
+          Labels with_q = labels;
+          with_q["quantile"] = q;
+          out[flat_name(name, with_q)] = v.number;
+        }
+      }
+    } else {
+      out[flat_name(name, labels)] = m.at("value").number;
+    }
+  }
+  return out;
+}
+
+std::map<std::string, double> flatten_prometheus(const std::string& text) {
+  std::map<std::string, double> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string_view line(text.data() + pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line.front() == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string_view::npos) {
+      throw std::runtime_error("metrics prometheus: malformed sample line");
+    }
+    const std::string key(line.substr(0, space));
+    out[key] = std::strtod(std::string(line.substr(space + 1)).c_str(), nullptr);
+  }
+  return out;
+}
+
+}  // namespace dex::metrics

@@ -1,0 +1,39 @@
+// Snapshot exporters: JSON (machine-readable, consumed by benches and
+// tools/check_metrics.sh) and Prometheus text format (live deployments).
+//
+// Both formats render the same canonical scalar view of a snapshot, the
+// "flat map": `name{k="v",...}` → value, with histogram series expanded into
+// `_count`, `_sum` and `quantile="..."` entries. flatten_json() and
+// flatten_prometheus() parse exporter output back into that map, so
+// round-tripping is testable:
+//
+//   flatten(s) == flatten_json(to_json(s)) == flatten_prometheus(to_prometheus(s))
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "metrics/metrics.hpp"
+
+namespace dex::metrics {
+
+/// {"schema":"dex-metrics/v1","metrics":[{name,type,labels,...}, ...]}
+/// Histograms carry count/sum/min/max/mean plus a quantiles object.
+[[nodiscard]] std::string to_json(const MetricsSnapshot& snapshot);
+
+/// Prometheus text exposition format (one `# TYPE` comment per family;
+/// histograms render as summaries with quantile labels).
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+/// Canonical scalar view (see file comment). Quantiles are emitted only for
+/// non-empty histograms; `_count` and `_sum` always.
+[[nodiscard]] std::map<std::string, double> flatten(const MetricsSnapshot& snapshot);
+
+/// Parses to_json() output back into the flat map. Throws std::runtime_error
+/// on malformed input.
+[[nodiscard]] std::map<std::string, double> flatten_json(const std::string& json);
+
+/// Parses to_prometheus() output back into the flat map.
+[[nodiscard]] std::map<std::string, double> flatten_prometheus(const std::string& text);
+
+}  // namespace dex::metrics

@@ -1,0 +1,230 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace dex::metrics {
+
+std::string label_key(const Labels& labels) {
+  std::string key;
+  for (const auto& [k, v] : labels) {
+    if (!key.empty()) key.push_back(',');
+    key.append(k);
+    key.push_back('=');
+    key.append(v);
+  }
+  return key;
+}
+
+const char* metric_kind_name(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot
+// ---------------------------------------------------------------------------
+
+void MetricsSnapshot::sort() {
+  std::sort(samples_.begin(), samples_.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return label_key(a.labels) < label_key(b.labels);
+            });
+}
+
+void MetricsSnapshot::add_sample(MetricSample sample) {
+  samples_.push_back(std::move(sample));
+  sort();
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const MetricSample& incoming : other.samples_) {
+    auto it = std::find_if(samples_.begin(), samples_.end(),
+                           [&](const MetricSample& s) {
+                             return s.name == incoming.name &&
+                                    s.labels == incoming.labels;
+                           });
+    if (it == samples_.end()) {
+      samples_.push_back(incoming);
+      continue;
+    }
+    DEX_ENSURE_MSG(it->kind == incoming.kind,
+                   "snapshot merge: series '" + incoming.name +
+                       "' has conflicting kinds");
+    switch (incoming.kind) {
+      case MetricKind::kCounter: it->value += incoming.value; break;
+      case MetricKind::kGauge: it->value = incoming.value; break;
+      case MetricKind::kHistogram: it->hist.merge(incoming.hist); break;
+    }
+  }
+  sort();
+}
+
+const MetricSample* MetricsSnapshot::find(const std::string& name,
+                                          const Labels& labels) const {
+  for (const MetricSample& s : samples_) {
+    if (s.name == name && s.labels == labels) return &s;
+  }
+  return nullptr;
+}
+
+double MetricsSnapshot::value(const std::string& name,
+                              const Labels& labels) const {
+  const MetricSample* s = find(name, labels);
+  return s == nullptr ? 0.0 : s->value;
+}
+
+double MetricsSnapshot::counter_total(const std::string& name,
+                                      const Labels& subset) const {
+  double total = 0.0;
+  for (const MetricSample& s : samples_) {
+    if (s.name != name || s.kind != MetricKind::kCounter) continue;
+    bool match = true;
+    for (const auto& [k, v] : subset) {
+      const auto it = s.labels.find(k);
+      if (it == s.labels.end() || it->second != v) {
+        match = false;
+        break;
+      }
+    }
+    if (match) total += s.value;
+  }
+  return total;
+}
+
+const dex::Histogram* MetricsSnapshot::histogram(const std::string& name,
+                                                 const Labels& labels) const {
+  const MetricSample* s = find(name, labels);
+  if (s == nullptr || s->kind != MetricKind::kHistogram) return nullptr;
+  return &s->hist;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+void MetricsRegistry::bind_kind(const std::string& name, MetricKind kind) {
+  DEX_ENSURE_MSG(!name.empty(), "metric name must be non-empty");
+  const auto [it, inserted] = kinds_.emplace(name, kind);
+  DEX_ENSURE_MSG(it->second == kind,
+                 "metric '" + name + "' already registered as " +
+                     metric_kind_name(it->second));
+  (void)inserted;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const Labels& labels) {
+  const std::scoped_lock lock(mu_);
+  bind_kind(name, MetricKind::kCounter);
+  auto& entry = counters_[{name, label_key(labels)}];
+  if (!entry.metric) {
+    entry.labels = labels;
+    entry.metric = std::make_unique<Counter>();
+  }
+  return *entry.metric;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  const std::scoped_lock lock(mu_);
+  bind_kind(name, MetricKind::kGauge);
+  auto& entry = gauges_[{name, label_key(labels)}];
+  if (!entry.metric) {
+    entry.labels = labels;
+    entry.metric = std::make_unique<Gauge>();
+  }
+  return *entry.metric;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name,
+                                            const Labels& labels) {
+  const std::scoped_lock lock(mu_);
+  bind_kind(name, MetricKind::kHistogram);
+  auto& entry = histograms_[{name, label_key(labels)}];
+  if (!entry.metric) {
+    entry.labels = labels;
+    entry.metric = std::make_unique<HistogramMetric>();
+  }
+  return *entry.metric;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::scoped_lock lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [key, entry] : counters_) {
+    MetricSample s;
+    s.name = key.first;
+    s.labels = entry.labels;
+    s.kind = MetricKind::kCounter;
+    s.value = static_cast<double>(entry.metric->value());
+    snap.add_sample(std::move(s));
+  }
+  for (const auto& [key, entry] : gauges_) {
+    MetricSample s;
+    s.name = key.first;
+    s.labels = entry.labels;
+    s.kind = MetricKind::kGauge;
+    s.value = entry.metric->value();
+    snap.add_sample(std::move(s));
+  }
+  for (const auto& [key, entry] : histograms_) {
+    MetricSample s;
+    s.name = key.first;
+    s.labels = entry.labels;
+    s.kind = MetricKind::kHistogram;
+    s.hist = entry.metric->snapshot();
+    snap.add_sample(std::move(s));
+  }
+  return snap;
+}
+
+void MetricsRegistry::clear() {
+  const std::scoped_lock lock(mu_);
+  kinds_.clear();
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsScope
+// ---------------------------------------------------------------------------
+
+Labels MetricsScope::merged(const Labels& extra) const {
+  if (extra.empty()) return base_;
+  Labels out = base_;
+  for (const auto& [k, v] : extra) out[k] = v;  // extra wins on collision
+  return out;
+}
+
+MetricsScope MetricsScope::with(const Labels& extra) const {
+  return MetricsScope(registry_, merged(extra));
+}
+
+Counter* MetricsScope::counter(const std::string& name,
+                               const Labels& extra) const {
+  if (registry_ == nullptr) return nullptr;
+  return &registry_->counter(name, merged(extra));
+}
+
+Gauge* MetricsScope::gauge(const std::string& name, const Labels& extra) const {
+  if (registry_ == nullptr) return nullptr;
+  return &registry_->gauge(name, merged(extra));
+}
+
+HistogramMetric* MetricsScope::histogram(const std::string& name,
+                                         const Labels& extra) const {
+  if (registry_ == nullptr) return nullptr;
+  return &registry_->histogram(name, merged(extra));
+}
+
+}  // namespace dex::metrics

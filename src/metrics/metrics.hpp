@@ -1,0 +1,226 @@
+// Metrics & instrumentation subsystem.
+//
+// A MetricsRegistry is a named collection of Counter / Gauge /
+// HistogramMetric instruments, each identified by (name, labels). Hot paths
+// resolve an instrument pointer once (one registry lock at construction) and
+// then update it lock-free (counters, gauges) or under a per-instrument
+// mutex (histograms). Registries are snapshot-able; snapshots merge across
+// processes/trials and export to JSON and Prometheus text (export.hpp).
+//
+// The quantities worth measuring come straight from the paper: which decision
+// path fired (one-step / two-step / underlying fallback), how many logical
+// steps a decision took, and the per-kind message cost of getting there —
+// the fast-path/fallback split of "Byzantine Consensus in the Common Case"
+// and the per-step message complexity of "Revisiting Lower Bounds for
+// Two-Step Consensus". See docs/protocol.md §6 for the full metric catalog.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/histogram.hpp"
+
+namespace dex::metrics {
+
+/// Label set of one time series. std::map keeps keys sorted, so the derived
+/// series key is canonical. Keys and values must not contain '=', ',', '"'
+/// or newlines (they flow into exporter output verbatim).
+using Labels = std::map<std::string, std::string>;
+
+/// Canonical "k1=v1,k2=v2" form; empty string for no labels.
+[[nodiscard]] std::string label_key(const Labels& labels);
+
+/// Monotonically increasing event count. Lock-free.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written instantaneous value. Lock-free.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Sample distribution with exact quantiles, reusing dex::Histogram.
+/// Thread-safe via a per-instrument mutex (observe() is a push_back + three
+/// adds under an uncontended lock; fine for consensus-rate events).
+class HistogramMetric {
+ public:
+  void observe(double v) {
+    const std::scoped_lock lock(mu_);
+    hist_.add(v);
+  }
+  /// Pre-size the backing store (hot bench loops).
+  void reserve(std::size_t n) {
+    const std::scoped_lock lock(mu_);
+    hist_.reserve(n);
+  }
+  [[nodiscard]] dex::Histogram snapshot() const {
+    const std::scoped_lock lock(mu_);
+    return hist_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  dex::Histogram hist_;
+};
+
+enum class MetricKind : std::uint8_t { kCounter = 0, kGauge, kHistogram };
+
+const char* metric_kind_name(MetricKind k);
+
+/// One series in a snapshot. `value` holds the counter/gauge reading;
+/// `hist` is populated for histogram series only.
+struct MetricSample {
+  std::string name;
+  Labels labels;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;
+  dex::Histogram hist;
+};
+
+/// A point-in-time copy of a registry, mergeable across processes/trials:
+/// counters add, histograms concatenate samples, gauges keep the incoming
+/// (last-writer) value.
+class MetricsSnapshot {
+ public:
+  void merge(const MetricsSnapshot& other);
+
+  [[nodiscard]] const MetricSample* find(const std::string& name,
+                                         const Labels& labels = {}) const;
+  /// Counter/gauge reading of an exact series; 0 if absent.
+  [[nodiscard]] double value(const std::string& name,
+                             const Labels& labels = {}) const;
+  /// Sum of all counter series named `name` whose labels contain `subset`
+  /// (aggregation across e.g. the `process` label).
+  [[nodiscard]] double counter_total(const std::string& name,
+                                     const Labels& subset = {}) const;
+  /// Histogram of an exact series; nullptr if absent.
+  [[nodiscard]] const dex::Histogram* histogram(const std::string& name,
+                                                const Labels& labels = {}) const;
+
+  [[nodiscard]] const std::vector<MetricSample>& samples() const {
+    return samples_;
+  }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  /// Registry/export plumbing: append + restore (name, label_key) order.
+  void add_sample(MetricSample sample);
+
+ private:
+  void sort();
+
+  std::vector<MetricSample> samples_;  // sorted by (name, label_key)
+};
+
+/// Named instrument registry. Instrument resolution locks; the returned
+/// references stay valid and lock-free for the registry's lifetime. A name
+/// is bound to one kind: re-requesting it as a different kind throws
+/// ContractViolation (catches "dex_decisions_total" as both counter & gauge).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  HistogramMetric& histogram(const std::string& name, const Labels& labels = {});
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  /// Drops every instrument (outstanding references become dangling; only
+  /// for teardown between independent runs that re-resolve).
+  void clear();
+
+  /// Process-wide default registry for hosts that don't thread their own.
+  static MetricsRegistry& global();
+
+ private:
+  template <typename T>
+  struct Entry {
+    Labels labels;
+    std::unique_ptr<T> metric;
+  };
+  template <typename T>
+  using Family = std::map<std::pair<std::string, std::string>, Entry<T>>;
+
+  void bind_kind(const std::string& name, MetricKind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, MetricKind> kinds_;
+  Family<Counter> counters_;
+  Family<Gauge> gauges_;
+  Family<HistogramMetric> histograms_;
+};
+
+/// A registry handle carrying inherited labels — the hierarchical layer.
+/// Hosts build nested scopes (process → instance → ...) and hand them to
+/// engines; a default-constructed scope is disabled and resolves to nullptr,
+/// so instrumented code pairs with the null-safe helpers below and costs a
+/// single branch when metrics are off.
+class MetricsScope {
+ public:
+  MetricsScope() = default;
+  explicit MetricsScope(MetricsRegistry* registry, Labels base = {})
+      : registry_(registry), base_(std::move(base)) {}
+
+  [[nodiscard]] bool enabled() const { return registry_ != nullptr; }
+  /// Child scope with `extra` merged over the inherited labels.
+  [[nodiscard]] MetricsScope with(const Labels& extra) const;
+
+  [[nodiscard]] Counter* counter(const std::string& name,
+                                 const Labels& extra = {}) const;
+  [[nodiscard]] Gauge* gauge(const std::string& name,
+                             const Labels& extra = {}) const;
+  [[nodiscard]] HistogramMetric* histogram(const std::string& name,
+                                           const Labels& extra = {}) const;
+
+  [[nodiscard]] MetricsRegistry* registry() const { return registry_; }
+  [[nodiscard]] const Labels& base_labels() const { return base_; }
+
+ private:
+  [[nodiscard]] Labels merged(const Labels& extra) const;
+
+  MetricsRegistry* registry_ = nullptr;
+  Labels base_;
+};
+
+// Null-safe update helpers so instrumented hot paths stay one-liners even
+// when the host attached no registry.
+inline void inc(Counter* c, std::uint64_t delta = 1) {
+  if (c != nullptr) c->inc(delta);
+}
+inline void observe(HistogramMetric* h, double v) {
+  if (h != nullptr) h->observe(v);
+}
+inline void set(Gauge* g, double v) {
+  if (g != nullptr) g->set(v);
+}
+
+}  // namespace dex::metrics

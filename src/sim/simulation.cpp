@@ -67,6 +67,25 @@ Simulation::Simulation(std::size_t n, SimOptions opts)
     : n_(n), opts_(std::move(opts)), rng_(opts_.seed), actors_(n), started_(n, false) {
   DEX_ENSURE(n > 0);
   if (!opts_.delay) opts_.delay = default_delay_model();
+  if (opts_.metrics != nullptr) {
+    metrics::MetricsRegistry& reg = *opts_.metrics;
+    for (const MsgKind k : {MsgKind::kPlain, MsgKind::kIdbInit, MsgKind::kIdbEcho}) {
+      const metrics::Labels labels{{"msg_kind", msg_kind_name(k)}};
+      m_packets_[static_cast<std::size_t>(k)] =
+          &reg.counter("sim_packets_total", labels);
+      m_bytes_[static_cast<std::size_t>(k)] =
+          &reg.counter("sim_packet_bytes_total", labels);
+    }
+    for (const DecisionPath p : {DecisionPath::kOneStep, DecisionPath::kTwoStep,
+                                 DecisionPath::kUnderlying}) {
+      m_decisions_[static_cast<std::size_t>(p)] = &reg.counter(
+          "sim_decisions_total", {{"path", decision_path_metric_label(p)}});
+    }
+    m_events_ = &reg.counter("sim_events_total");
+    m_latency_ = &reg.histogram("sim_decision_latency_ms");
+    m_steps_ = &reg.histogram("sim_decision_steps");
+    m_end_time_ = &reg.gauge("sim_end_time_ms");
+  }
 }
 
 void Simulation::attach(ProcessId i, std::unique_ptr<Actor> actor) {
@@ -105,6 +124,9 @@ void Simulation::record_decision(ProcessId i, RunStats& stats) {
   if (const auto& d = proc->decision()) {
     slot = DecisionRecord{*d, now_, proc->logical_steps()};
     if (opts_.trace) opts_.trace->record_decide(now_, i, *d);
+    metrics::inc(m_decisions_[static_cast<std::size_t>(d->path)]);
+    metrics::observe(m_latency_, static_cast<double>(now_) / 1e6);
+    metrics::observe(m_steps_, proc->logical_steps());
   }
 }
 
@@ -175,10 +197,15 @@ RunStats Simulation::run() {
     if (ev.at > opts_.max_time) break;
     now_ = ev.at;
     ++stats.events;
+    metrics::inc(m_events_);
 
     if (auto* del = std::get_if<DeliverEvent>(&ev.body)) {
       ++stats.packets_delivered;
       stats.packets_by_kind.add(msg_kind_name(del->msg.kind));
+      if (const auto ki = static_cast<std::size_t>(del->msg.kind); ki < 3) {
+        metrics::inc(m_packets_[ki]);
+        metrics::inc(m_bytes_[ki], del->msg.payload.size());
+      }
       if (opts_.trace) opts_.trace->record_deliver(now_, del->src, del->dst, del->msg);
       actors_[static_cast<std::size_t>(del->dst)]->on_packet(del->src, del->msg);
       pump_actor(del->dst, stats);
@@ -206,6 +233,7 @@ RunStats Simulation::run() {
   }
 
   stats.end_time = now_;
+  metrics::set(m_end_time_, static_cast<double>(now_) / 1e6);
   return stats;
 }
 

@@ -19,6 +19,7 @@
 
 #include "common/histogram.hpp"
 #include "common/rng.hpp"
+#include "metrics/metrics.hpp"
 #include "sim/actor.hpp"
 #include "sim/delay_model.hpp"
 #include "sim/trace.hpp"
@@ -40,6 +41,10 @@ struct SimOptions {
   bool stop_when_all_decided = false;
   /// Optional trace sink (not owned; must outlive the simulation).
   TraceRecorder* trace = nullptr;
+  /// Optional metrics sink (not owned; must outlive the simulation). The
+  /// simulator exports packet/byte counts per MsgKind, decision-path counts
+  /// and virtual-time decision latency histograms (sim_* series).
+  metrics::MetricsRegistry* metrics = nullptr;
 };
 
 /// What one process decided, and when.
@@ -135,6 +140,16 @@ class Simulation {
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
   std::vector<std::unique_ptr<Actor>> actors_;
   std::vector<bool> started_;
+
+  // Exported series, resolved once at construction (null when disabled).
+  // Packet counters are indexed by MsgKind, decisions by DecisionPath.
+  metrics::Counter* m_packets_[3] = {nullptr, nullptr, nullptr};
+  metrics::Counter* m_bytes_[3] = {nullptr, nullptr, nullptr};
+  metrics::Counter* m_decisions_[3] = {nullptr, nullptr, nullptr};
+  metrics::Counter* m_events_ = nullptr;
+  metrics::HistogramMetric* m_latency_ = nullptr;
+  metrics::HistogramMetric* m_steps_ = nullptr;
+  metrics::Gauge* m_end_time_ = nullptr;
 };
 
 }  // namespace dex::sim

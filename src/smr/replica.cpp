@@ -15,6 +15,17 @@ Replica::Replica(const ReplicaConfig& cfg, std::shared_ptr<const ConditionPair> 
     : cfg_(cfg), pair_(std::move(pair)) {
   DEX_ENSURE(pair_ != nullptr);
   DEX_ENSURE(cfg_.n == pair_->n() && cfg_.t == pair_->t());
+  if (cfg_.metrics.enabled()) {
+    for (const DecisionPath p : {DecisionPath::kOneStep, DecisionPath::kTwoStep,
+                                 DecisionPath::kUnderlying}) {
+      m_commits_[static_cast<std::size_t>(p)] = cfg_.metrics.counter(
+          "smr_commits_total", {{"path", decision_path_metric_label(p)}});
+    }
+    m_holes_ = cfg_.metrics.counter("smr_holes_total");
+    m_submitted_ = cfg_.metrics.counter("smr_commands_submitted_total");
+    m_slot_latency_ = cfg_.metrics.histogram("smr_slot_latency_ms");
+    m_pending_ = cfg_.metrics.gauge("smr_pending_commands");
+  }
 }
 
 Replica::Slot& Replica::open_slot(InstanceId s) {
@@ -27,16 +38,20 @@ Replica::Slot& Replica::open_slot(InstanceId s) {
   sc.self = cfg_.self;
   sc.instance = s;
   sc.coin_seed = mix64(cfg_.coin_seed ^ s);
+  sc.metrics = cfg_.metrics;
   Slot slot;
   slot.stack = std::make_unique<DexStack>(sc, pair_);
+  if (cfg_.clock) slot.opened_at = cfg_.clock();
   return slots_.emplace(s, std::move(slot)).first->second;
 }
 
 void Replica::submit(const Command& cmd) {
   const Value d = cmd.digest();
+  metrics::inc(m_submitted_);
   bodies_.try_emplace(d, cmd);
   if (committed_digests_.count(d) == 0 && pending_set_.insert(d).second) {
     pending_.push_back(d);
+    metrics::set(m_pending_, static_cast<double>(pending_.size()));
   }
   if (next_slot_ < cfg_.max_slots) propose_if_ready(next_slot_);
 }
@@ -119,6 +134,7 @@ void Replica::try_commit() {
       if (body != bodies_.end()) {
         entry.command = body->second;
       } else {
+        metrics::inc(m_holes_);
         DEX_LOG(kWarn, "smr") << "r" << cfg_.self << " slot " << next_slot_
                               << " committed unknown digest " << d.value;
       }
@@ -130,9 +146,19 @@ void Replica::try_commit() {
             break;
           }
         }
+        metrics::set(m_pending_, static_cast<double>(pending_.size()));
       }
     }
-    slots_[next_slot_].committed = true;
+    Slot& committed_slot = slots_[next_slot_];
+    committed_slot.committed = true;
+    metrics::inc(m_commits_[static_cast<std::size_t>(d.path)]);
+    if (m_slot_latency_ != nullptr && cfg_.clock) {
+      const SimTime now = cfg_.clock();
+      const SimTime dur = now >= committed_slot.opened_at
+                              ? now - committed_slot.opened_at
+                              : 0;
+      m_slot_latency_->observe(static_cast<double>(dur) / 1e6);
+    }
     log_.push_back(std::move(entry));
     ++next_slot_;
     if (!pending_.empty() && next_slot_ < cfg_.max_slots) {

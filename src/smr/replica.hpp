@@ -17,6 +17,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -25,6 +26,7 @@
 
 #include "consensus/condition/pair.hpp"
 #include "consensus/dex/dex_stack.hpp"
+#include "metrics/metrics.hpp"
 #include "sim/actor.hpp"
 #include "smr/command.hpp"
 
@@ -37,6 +39,12 @@ struct ReplicaConfig {
   std::uint64_t coin_seed = 0x5312u;
   /// Stop opening new slots after this many (benches bound their runs).
   std::size_t max_slots = 64;
+  /// Optional metrics scope (smr_* series; also handed to each slot's DEX
+  /// stack). Disabled by default.
+  metrics::MetricsScope metrics;
+  /// Host clock for slot-latency measurement (e.g. [&sim]{ return sim.now(); }).
+  /// Latency is only exported when both metrics and clock are provided.
+  std::function<SimTime()> clock;
 };
 
 /// One committed log entry.
@@ -69,6 +77,7 @@ class Replica final : public sim::Actor {
     std::unique_ptr<DexStack> stack;
     bool proposed = false;
     bool committed = false;
+    SimTime opened_at = 0;  // host clock when the slot was opened
   };
 
   /// The condition pair must be rebuilt per slot? No — pairs are stateless;
@@ -90,6 +99,14 @@ class Replica final : public sim::Actor {
   std::map<InstanceId, Decision> decided_;  // decided but not yet applied
   std::vector<LogEntry> log_;
   Outbox dissem_outbox_;  // command-body broadcasts
+
+  // Exported series, resolved once at construction (null when disabled).
+  // Commit counters are indexed by DecisionPath.
+  metrics::Counter* m_commits_[3] = {nullptr, nullptr, nullptr};
+  metrics::Counter* m_holes_ = nullptr;
+  metrics::Counter* m_submitted_ = nullptr;
+  metrics::HistogramMetric* m_slot_latency_ = nullptr;
+  metrics::Gauge* m_pending_ = nullptr;
 };
 
 }  // namespace dex::smr

@@ -32,11 +32,21 @@ void Mailbox::close() {
   cv_.notify_all();
 }
 
-InProcNetwork::InProcNetwork(std::size_t n) {
+InProcNetwork::InProcNetwork(std::size_t n, metrics::MetricsRegistry* metrics) {
   DEX_ENSURE(n > 0);
   mailboxes_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  if (metrics != nullptr) {
+    for (const MsgKind k : {MsgKind::kPlain, MsgKind::kIdbInit, MsgKind::kIdbEcho}) {
+      const metrics::Labels labels{{"transport", "inproc"},
+                                   {"msg_kind", msg_kind_name(k)}};
+      m_msgs_[static_cast<std::size_t>(k)] =
+          &metrics->counter("transport_messages_total", labels);
+      m_bytes_[static_cast<std::size_t>(k)] =
+          &metrics->counter("transport_bytes_total", labels);
+    }
   }
 }
 
@@ -52,6 +62,10 @@ Mailbox& InProcNetwork::mailbox(ProcessId i) {
 
 void InProcNetwork::deliver(ProcessId src, ProcessId dst, Message msg) {
   if (dst < 0 || static_cast<std::size_t>(dst) >= mailboxes_.size()) return;
+  if (const auto ki = static_cast<std::size_t>(msg.kind); ki < 3) {
+    metrics::inc(m_msgs_[ki]);
+    metrics::inc(m_bytes_[ki], msg.payload.size());
+  }
   mailboxes_[static_cast<std::size_t>(dst)]->push(Incoming{src, std::move(msg)});
 }
 

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <vector>
 
+#include "metrics/metrics.hpp"
 #include "transport/transport.hpp"
 
 namespace dex::transport {
@@ -45,9 +46,14 @@ class InProcTransport final : public Transport {
 };
 
 /// Owns the mailboxes; hands out one Transport per endpoint.
+/// When a metrics registry is attached, every deliver() is counted as
+/// transport_messages_total / transport_bytes_total with
+/// {transport="inproc", msg_kind=...} (bytes = payload bytes; in-process
+/// links have no wire framing).
 class InProcNetwork {
  public:
-  explicit InProcNetwork(std::size_t n);
+  explicit InProcNetwork(std::size_t n,
+                         metrics::MetricsRegistry* metrics = nullptr);
 
   [[nodiscard]] std::unique_ptr<InProcTransport> endpoint(ProcessId i);
   [[nodiscard]] std::size_t n() const { return mailboxes_.size(); }
@@ -58,6 +64,8 @@ class InProcNetwork {
 
  private:
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  metrics::Counter* m_msgs_[3] = {nullptr, nullptr, nullptr};  // by MsgKind
+  metrics::Counter* m_bytes_[3] = {nullptr, nullptr, nullptr};
 };
 
 }  // namespace dex::transport

@@ -66,6 +66,19 @@ TcpTransport::TcpTransport(TcpConfig cfg) : cfg_(std::move(cfg)) {
   DEX_ENSURE(cfg_.self >= 0 && static_cast<std::size_t>(cfg_.self) < cfg_.n);
   peers_.resize(cfg_.n);
   for (auto& p : peers_) p = std::make_unique<Peer>();
+  if (cfg_.metrics != nullptr) {
+    metrics::MetricsRegistry& reg = *cfg_.metrics;
+    for (const MsgKind k : {MsgKind::kPlain, MsgKind::kIdbInit, MsgKind::kIdbEcho}) {
+      const metrics::Labels labels{{"transport", "tcp"},
+                                   {"msg_kind", msg_kind_name(k)}};
+      const auto ki = static_cast<std::size_t>(k);
+      m_sent_[ki] = &reg.counter("transport_messages_sent_total", labels);
+      m_sent_bytes_[ki] = &reg.counter("transport_bytes_sent_total", labels);
+      m_recv_[ki] = &reg.counter("transport_messages_received_total", labels);
+      m_recv_bytes_[ki] = &reg.counter("transport_bytes_received_total", labels);
+    }
+    m_peers_ = &reg.gauge("transport_peers_connected", {{"transport", "tcp"}});
+  }
 }
 
 TcpTransport::~TcpTransport() { shutdown(); }
@@ -167,7 +180,7 @@ void TcpTransport::setup_peer(ProcessId peer_id, int fd) {
     p.fd = fd;
   }
   p.reader = std::thread([this, peer_id] { reader_loop(peer_id); });
-  connected_.fetch_add(1);
+  metrics::set(m_peers_, static_cast<double>(connected_.fetch_add(1) + 1));
 }
 
 void TcpTransport::reader_loop(ProcessId peer_id) {
@@ -193,7 +206,12 @@ void TcpTransport::reader_loop(ProcessId peer_id) {
       break;
     }
     try {
-      inbox_.push(Incoming{peer_id, Message::from_bytes(payload)});
+      Message msg = Message::from_bytes(payload);
+      if (const auto ki = static_cast<std::size_t>(msg.kind); ki < 3) {
+        metrics::inc(m_recv_[ki]);
+        metrics::inc(m_recv_bytes_[ki], sizeof(header) + payload.size());
+      }
+      inbox_.push(Incoming{peer_id, std::move(msg)});
     } catch (const DecodeError&) {
       // Byzantine content; drop the frame but keep the stream.
     }
@@ -219,7 +237,12 @@ void TcpTransport::send(ProcessId dst, Message msg) {
     return;
   }
   if (dst < 0 || static_cast<std::size_t>(dst) >= cfg_.n) return;
-  write_frame(*peers_[static_cast<std::size_t>(dst)], msg.to_bytes());
+  const std::vector<std::byte> encoded = msg.to_bytes();
+  if (const auto ki = static_cast<std::size_t>(msg.kind); ki < 3) {
+    metrics::inc(m_sent_[ki]);
+    metrics::inc(m_sent_bytes_[ki], 12 + encoded.size());  // header + body
+  }
+  write_frame(*peers_[static_cast<std::size_t>(dst)], encoded);
 }
 
 std::optional<Incoming> TcpTransport::recv(std::chrono::milliseconds timeout) {

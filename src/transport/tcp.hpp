@@ -29,6 +29,11 @@ struct TcpConfig {
   std::string host = "127.0.0.1";
   /// How long start() keeps retrying peer connections.
   std::chrono::milliseconds connect_deadline{10'000};
+  /// Optional metrics sink (not owned; must outlive the transport). Exports
+  /// wire traffic per MsgKind ({transport="tcp", msg_kind=...}): framed
+  /// bytes are 12-byte header + encoded message. Self-sends bypass the
+  /// network and are not counted.
+  metrics::MetricsRegistry* metrics = nullptr;
 };
 
 class TcpTransport final : public Transport {
@@ -69,6 +74,14 @@ class TcpTransport final : public Transport {
   std::thread acceptor_;
   std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> connected_{0};
+
+  // Exported series, resolved once at construction (null when disabled).
+  // Counters are indexed by MsgKind.
+  metrics::Counter* m_sent_[3] = {nullptr, nullptr, nullptr};
+  metrics::Counter* m_sent_bytes_[3] = {nullptr, nullptr, nullptr};
+  metrics::Counter* m_recv_[3] = {nullptr, nullptr, nullptr};
+  metrics::Counter* m_recv_bytes_[3] = {nullptr, nullptr, nullptr};
+  metrics::Gauge* m_peers_ = nullptr;
 };
 
 }  // namespace dex::transport

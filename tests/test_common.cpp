@@ -1,6 +1,7 @@
 // Unit tests for the common substrate: RNG, serde, hashing, histograms.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
 #include <set>
 
@@ -215,10 +216,32 @@ TEST(Histogram, MergeCombines) {
   EXPECT_DOUBLE_EQ(a.mean(), 2.0);
 }
 
-TEST(Histogram, EmptyThrowsOnStats) {
+TEST(Histogram, EmptyStatsAreZero) {
   Histogram h;
-  EXPECT_THROW((void)h.mean(), ContractViolation);
-  EXPECT_THROW((void)h.quantile(0.5), ContractViolation);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, QuantileClampsOutOfRange) {
+  Histogram h;
+  for (int i = 1; i <= 10; ++i) h.add(i);
+  EXPECT_DOUBLE_EQ(h.quantile(-0.5), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+  EXPECT_DOUBLE_EQ(h.quantile(std::nan("")), h.quantile(0.0));
+}
+
+TEST(Histogram, ReservePreservesStats) {
+  Histogram h;
+  h.reserve(1000);
+  h.add(4);
+  h.add(6);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.0);
 }
 
 TEST(Counter, FractionsAndTotals) {

@@ -1,0 +1,300 @@
+// Unit and integration tests for the metrics subsystem: instrument
+// semantics, label handling, snapshot merge, exporter golden strings, the
+// JSON/Prometheus round-trip contract, and agreement between registry counts
+// and the simulator's trace for a seeded run.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/assert.hpp"
+#include "consensus/condition/input_gen.hpp"
+#include "harness/experiment.hpp"
+#include "metrics/export.hpp"
+#include "metrics/metrics.hpp"
+#include "sim/delay_model.hpp"
+#include "sim/trace.hpp"
+
+namespace dex::metrics {
+namespace {
+
+TEST(Counter, IncrementsAndReads) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetAddRead) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.set(7.0);  // last writer wins over accumulated adds
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+}
+
+TEST(HistogramMetricTest, ObserveAndSnapshot) {
+  HistogramMetric h;
+  h.reserve(3);
+  h.observe(1.0);
+  h.observe(2.0);
+  h.observe(3.0);
+  const Histogram snap = h.snapshot();
+  EXPECT_EQ(snap.count(), 3u);
+  EXPECT_DOUBLE_EQ(snap.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(snap.sum(), 6.0);
+}
+
+TEST(LabelKey, CanonicalSortedForm) {
+  EXPECT_EQ(label_key({}), "");
+  EXPECT_EQ(label_key({{"b", "2"}, {"a", "1"}}), "a=1,b=2");
+}
+
+TEST(Registry, SameSeriesResolvesToSameInstrument) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x_total", {{"k", "v"}});
+  Counter& b = reg.counter("x_total", {{"k", "v"}});
+  Counter& other = reg.counter("x_total", {{"k", "w"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &other);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(other.value(), 0u);
+}
+
+TEST(Registry, NameBoundToOneKind) {
+  MetricsRegistry reg;
+  reg.counter("x_total");
+  EXPECT_THROW(reg.gauge("x_total"), ContractViolation);
+  EXPECT_THROW(reg.histogram("x_total", {{"k", "v"}}), ContractViolation);
+}
+
+TEST(Registry, SnapshotSortedByNameThenLabels) {
+  MetricsRegistry reg;
+  reg.counter("b_total").inc(2);
+  reg.counter("a_total", {{"p", "1"}}).inc(1);
+  reg.counter("a_total", {{"p", "0"}}).inc(1);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.samples().size(), 3u);
+  EXPECT_EQ(snap.samples()[0].name, "a_total");
+  EXPECT_EQ(snap.samples()[0].labels.at("p"), "0");
+  EXPECT_EQ(snap.samples()[1].labels.at("p"), "1");
+  EXPECT_EQ(snap.samples()[2].name, "b_total");
+}
+
+TEST(Scope, DisabledScopeResolvesNullAndHelpersNoOp) {
+  const MetricsScope scope;
+  EXPECT_FALSE(scope.enabled());
+  Counter* c = scope.counter("x_total");
+  Gauge* g = scope.gauge("y");
+  HistogramMetric* h = scope.histogram("z");
+  EXPECT_EQ(c, nullptr);
+  EXPECT_EQ(g, nullptr);
+  EXPECT_EQ(h, nullptr);
+  inc(c);          // must not crash
+  set(g, 1.0);     // must not crash
+  observe(h, 1.0); // must not crash
+}
+
+TEST(Scope, InheritsAndMergesLabels) {
+  MetricsRegistry reg;
+  const MetricsScope root(&reg, {{"process", "p0"}});
+  const MetricsScope child = root.with({{"instance", "7"}});
+  child.counter("x_total", {{"extra", "e"}})->inc();
+  // Extra labels win over inherited ones on collision.
+  root.with({{"process", "override"}}).counter("y_total")->inc();
+  const MetricsSnapshot snap = reg.snapshot();
+  const MetricSample* x = snap.find(
+      "x_total", {{"process", "p0"}, {"instance", "7"}, {"extra", "e"}});
+  ASSERT_NE(x, nullptr);
+  EXPECT_DOUBLE_EQ(x->value, 1.0);
+  EXPECT_NE(snap.find("y_total", {{"process", "override"}}), nullptr);
+}
+
+TEST(Snapshot, MergeAddsCountersOverwritesGaugesConcatenatesHistograms) {
+  MetricsRegistry a, b;
+  a.counter("c_total").inc(2);
+  b.counter("c_total").inc(3);
+  b.counter("only_b_total").inc(1);
+  a.gauge("g").set(1.0);
+  b.gauge("g").set(9.0);
+  a.histogram("h").observe(1.0);
+  b.histogram("h").observe(3.0);
+
+  MetricsSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_DOUBLE_EQ(merged.value("c_total"), 5.0);
+  EXPECT_DOUBLE_EQ(merged.value("only_b_total"), 1.0);
+  EXPECT_DOUBLE_EQ(merged.value("g"), 9.0);  // last writer
+  const Histogram* h = merged.histogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 2u);
+  EXPECT_DOUBLE_EQ(h->mean(), 2.0);
+}
+
+TEST(Snapshot, CounterTotalAggregatesAcrossLabels) {
+  MetricsRegistry reg;
+  reg.counter("d_total", {{"process", "p0"}, {"path", "one_step"}}).inc(2);
+  reg.counter("d_total", {{"process", "p1"}, {"path", "one_step"}}).inc(3);
+  reg.counter("d_total", {{"process", "p0"}, {"path", "two_step"}}).inc(7);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.counter_total("d_total"), 12.0);
+  EXPECT_DOUBLE_EQ(snap.counter_total("d_total", {{"path", "one_step"}}), 5.0);
+  EXPECT_DOUBLE_EQ(snap.counter_total("d_total", {{"process", "p0"}}), 9.0);
+  EXPECT_DOUBLE_EQ(snap.counter_total("absent_total"), 0.0);
+}
+
+TEST(Export, JsonGoldenString) {
+  MetricsRegistry reg;
+  reg.counter("a_total", {{"k", "v"}}).inc(2);
+  reg.gauge("g").set(1.5);
+  const std::string json = to_json(reg.snapshot());
+  const std::string expected =
+      "{\n"
+      "  \"schema\": \"dex-metrics/v1\",\n"
+      "  \"metrics\": [\n"
+      "    {\"name\":\"a_total\",\"type\":\"counter\",\"labels\":{\"k\":\"v\"},"
+      "\"value\":2},\n"
+      "    {\"name\":\"g\",\"type\":\"gauge\",\"labels\":{},\"value\":1.5}\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(json, expected);
+}
+
+TEST(Export, PrometheusGoldenString) {
+  MetricsRegistry reg;
+  reg.counter("a_total", {{"k", "v"}}).inc(2);
+  reg.counter("a_total", {{"k", "w"}}).inc(3);
+  auto& h = reg.histogram("lat_ms");
+  h.observe(1.0);
+  h.observe(2.0);
+  const std::string text = to_prometheus(reg.snapshot());
+  const std::string expected =
+      "# TYPE a_total counter\n"
+      "a_total{k=\"v\"} 2\n"
+      "a_total{k=\"w\"} 3\n"
+      "# TYPE lat_ms summary\n"
+      "lat_ms{quantile=\"0.5\"} 2\n"
+      "lat_ms{quantile=\"0.9\"} 2\n"
+      "lat_ms{quantile=\"0.99\"} 2\n"
+      "lat_ms_sum 3\n"
+      "lat_ms_count 2\n";
+  EXPECT_EQ(text, expected);
+}
+
+TEST(Export, EmptyHistogramExportsCountAndSumOnly) {
+  MetricsRegistry reg;
+  reg.histogram("empty_ms");
+  const std::string text = to_prometheus(reg.snapshot());
+  EXPECT_EQ(text,
+            "# TYPE empty_ms summary\n"
+            "empty_ms_sum 0\n"
+            "empty_ms_count 0\n");
+}
+
+TEST(Export, RoundTripFlattensIdentically) {
+  MetricsRegistry reg;
+  reg.counter("msgs_total", {{"msg_kind", "plain"}, {"process", "p0"}}).inc(17);
+  reg.gauge("end_ms").set(12.34375);  // exact in binary; survives %.17g
+  auto& h = reg.histogram("lat_ms", {{"process", "p0"}});
+  h.observe(0.125);
+  h.observe(2.5);
+  h.observe(100.0);
+  const MetricsSnapshot snap = reg.snapshot();
+
+  const auto direct = flatten(snap);
+  const auto via_json = flatten_json(to_json(snap));
+  const auto via_prom = flatten_prometheus(to_prometheus(snap));
+  EXPECT_EQ(direct, via_json);
+  EXPECT_EQ(direct, via_prom);
+  EXPECT_DOUBLE_EQ(
+      direct.at("msgs_total{msg_kind=\"plain\",process=\"p0\"}"), 17.0);
+  EXPECT_DOUBLE_EQ(direct.at("lat_ms_count{process=\"p0\"}"), 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Integration: the registry and the trace recorder must agree on a seeded run.
+// ---------------------------------------------------------------------------
+
+harness::ExperimentConfig seeded_config(std::size_t faults,
+                                        MetricsRegistry* reg,
+                                        sim::TraceRecorder* trace) {
+  harness::ExperimentConfig cfg;
+  cfg.algorithm = Algorithm::kDexFreq;
+  cfg.n = 13;
+  cfg.t = 2;
+  Rng rng(0x5eed);
+  cfg.input = margin_input(cfg.n, 4 * cfg.t + 1, 0, rng);
+  cfg.faults.count = faults;
+  cfg.faults.kind = harness::FaultKind::kSilent;
+  cfg.seed = 99;
+  cfg.delay = std::make_shared<sim::ConstantDelay>(1'000'000);
+  cfg.metrics = reg;
+  cfg.trace = trace;
+  return cfg;
+}
+
+TEST(Integration, RegistryDecisionCountsMatchTrace) {
+  MetricsRegistry reg;
+  sim::TraceRecorder trace;
+  const auto r = harness::run_experiment(seeded_config(0, &reg, &trace));
+  ASSERT_TRUE(r.all_decided());
+
+  const MetricsSnapshot snap = reg.snapshot();
+  const double sim_decisions = snap.counter_total("sim_decisions_total");
+  const double dex_decisions = snap.counter_total("dex_decisions_total");
+  EXPECT_EQ(static_cast<std::size_t>(sim_decisions),
+            trace.count(sim::TraceKind::kDecide));
+  // Every correct process runs one DexEngine, so the per-process engine
+  // counters sum to the simulator's decision count.
+  EXPECT_DOUBLE_EQ(dex_decisions, sim_decisions);
+  // Packet counters see exactly what the trace saw delivered.
+  EXPECT_EQ(static_cast<std::size_t>(snap.counter_total("sim_packets_total")),
+            trace.count(sim::TraceKind::kDeliver));
+}
+
+TEST(Integration, OneStepFractionDegradesWithFaults) {
+  // The paper's adaptiveness claim, read purely from exported metrics: with a
+  // 4t+1 margin every decision is one-step at f=0, and the one-step fraction
+  // at f=0 is at least the fraction at f=t.
+  auto fraction = [](std::size_t faults) {
+    MetricsRegistry reg;
+    const auto r =
+        harness::run_experiment(seeded_config(faults, &reg, nullptr));
+    EXPECT_TRUE(r.agreement());
+    const MetricsSnapshot snap = reg.snapshot();
+    const double total = snap.counter_total("dex_decisions_total");
+    EXPECT_GT(total, 0.0);
+    return snap.counter_total("dex_decisions_total",
+                              {{"path", "one_step"}}) / total;
+  };
+  const double at_zero = fraction(0);
+  const double at_t = fraction(2);
+  EXPECT_DOUBLE_EQ(at_zero, 1.0);
+  EXPECT_GE(at_zero, at_t);
+}
+
+TEST(Integration, IdbCountersObeyProtocolShape) {
+  MetricsRegistry reg;
+  const auto r = harness::run_experiment(seeded_config(0, &reg, nullptr));
+  ASSERT_TRUE(r.all_decided());
+  const MetricsSnapshot snap = reg.snapshot();
+  // Each of the 13 correct processes Id-Sends its DEX proposal once; the
+  // underlying consensus rides the same IDB channel with per-round tags, so
+  // n is a floor, not an exact count.
+  const double inits = snap.counter_total("idb_inits_total");
+  EXPECT_GE(inits, 13.0);
+  // With reliable links every correct process echoes every origin's
+  // proposal, so the proposal round alone yields n^2 echoes.
+  const double echoes = snap.counter_total("idb_echoes_total");
+  EXPECT_GE(echoes, 13.0 * 13.0);
+  // Acceptance happens at most once per (origin, tag) per process, and every
+  // echo belongs to some slot that at most n processes echo.
+  EXPECT_LE(snap.counter_total("idb_accepts_total"), echoes);
+}
+
+}  // namespace
+}  // namespace dex::metrics

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Smoke test for the metrics pipeline: runs dexsim with --metrics-json and
+# --metrics, validates the JSON schema and required series, and checks the
+# paper's adaptiveness claim (one-step fraction at f=0 >= at f=t) purely from
+# the exported metrics. Registered with ctest as `check_metrics`.
+#
+# Usage: check_metrics.sh /path/to/dexsim
+set -euo pipefail
+
+DEXSIM="${1:?usage: check_metrics.sh /path/to/dexsim}"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+run() {
+  local faults="$1" out="$2"
+  "$DEXSIM" --trials 5 --seed 42 --input margin --margin 9 \
+    --faults "$faults" --fault-kind silent \
+    --metrics-json "$out" --metrics \
+    >"$WORKDIR/stdout_f$faults.txt" 2>"$WORKDIR/prom_f$faults.txt"
+}
+
+run 0 "$WORKDIR/f0.json"
+run 2 "$WORKDIR/ft.json"
+
+# The Prometheus dump must contain the decision-path series.
+grep -q '^dex_decisions_total{' "$WORKDIR/prom_f0.txt" ||
+  { echo "FAIL: dex_decisions_total missing from Prometheus dump"; exit 1; }
+grep -q '^# TYPE sim_decision_latency_ms summary' "$WORKDIR/prom_f0.txt" ||
+  { echo "FAIL: sim_decision_latency_ms summary missing"; exit 1; }
+
+python3 - "$WORKDIR/f0.json" "$WORKDIR/ft.json" <<'PY'
+import json, sys
+
+REQUIRED = [
+    "dex_decisions_total", "dex_steps_to_decision",
+    "idb_inits_total", "idb_echoes_total",
+    "sim_packets_total", "sim_packet_bytes_total",
+    "sim_decisions_total", "sim_decision_latency_ms", "sim_end_time_ms",
+]
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc["schema"] == "dex-metrics/v1", f"bad schema in {path}"
+    names = set()
+    for m in doc["metrics"]:
+        assert "name" in m and "type" in m and "labels" in m, f"bad sample in {path}"
+        if m["type"] == "histogram":
+            for key in ("count", "sum", "min", "max", "mean", "quantiles"):
+                assert key in m, f"histogram sample missing {key} in {path}"
+        else:
+            assert "value" in m, f"sample missing value in {path}"
+        names.add(m["name"])
+    missing = [n for n in REQUIRED if n not in names]
+    assert not missing, f"{path} missing series: {missing}"
+    return doc
+
+def one_step_fraction(doc):
+    total = one = 0.0
+    for m in doc["metrics"]:
+        if m["name"] == "dex_decisions_total":
+            total += m["value"]
+            if m["labels"].get("path") == "one_step":
+                one += m["value"]
+    assert total > 0, "no decisions recorded"
+    return one / total
+
+f0 = one_step_fraction(load(sys.argv[1]))
+ft = one_step_fraction(load(sys.argv[2]))
+print(f"one-step fraction: f=0 -> {f0:.2f}, f=t -> {ft:.2f}")
+assert f0 >= ft, f"adaptiveness violated: {f0} < {ft}"
+PY
+
+echo "check_metrics: OK"

@@ -9,14 +9,18 @@
 //
 //   $ dexsim --algo bosco-weak --input unanimous --trials 100 --oracle-uc
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 
 #include "common/cli.hpp"
+#include "common/logging.hpp"
 #include "sim/trace.hpp"
 #include "common/histogram.hpp"
 #include "consensus/condition/input_gen.hpp"
 #include "harness/experiment.hpp"
+#include "metrics/export.hpp"
+#include "metrics/metrics.hpp"
 #include "sim/delay_model.hpp"
 
 namespace {
@@ -78,6 +82,7 @@ std::shared_ptr<sim::DelayModel> make_delay(const std::string& model) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  dex::init_log_level_from_env();  // DEX_LOG_LEVEL=debug|info|warn|error
   Cli cli;
   cli.option("algo", "dex-freq | dex-prv | bosco-weak | bosco-strong | crash | underlying", "name")
       .option("n", "number of processes (default: algorithm minimum)", "int")
@@ -99,6 +104,8 @@ int main(int argc, char** argv) {
       .option("no-two-step", "ablation: disable the two-step scheme")
       .option("trace", "dump the first run's event trace (text)")
       .option("trace-csv", "dump the first run's event trace as CSV")
+      .option("metrics", "dump the aggregated metrics (Prometheus text) to stderr")
+      .option("metrics-json", "write the aggregated metrics as JSON", "path")
       .option("help", "show this help");
   try {
     cli.parse(argc, argv);
@@ -131,6 +138,10 @@ int main(int argc, char** argv) {
     std::size_t safety_failures = 0, undecided_runs = 0;
     double packets = 0;
 
+    const std::string metrics_json = cli.str("metrics-json", "");
+    const bool want_metrics = cli.flag("metrics") || !metrics_json.empty();
+    metrics::MetricsSnapshot aggregate;  // merged across trials
+
     for (std::uint64_t trial = 0; trial < trials; ++trial) {
       Rng rng(mix64(base_seed + trial * 1013));
       harness::ExperimentConfig cfg;
@@ -149,8 +160,11 @@ int main(int argc, char** argv) {
       sim::TraceRecorder trace;
       const bool want_trace = cli.flag("trace") || cli.flag("trace-csv");
       if (trial == 0 && want_trace) cfg.trace = &trace;
+      metrics::MetricsRegistry registry;  // fresh per trial, merged below
+      if (want_metrics) cfg.metrics = &registry;
 
       const auto r = harness::run_experiment(cfg);
+      if (want_metrics) aggregate.merge(registry.snapshot());
       if (trial == 0 && want_trace) {
         if (cli.flag("trace-csv")) {
           std::printf("%s", trace.to_csv().c_str());
@@ -188,6 +202,25 @@ int main(int argc, char** argv) {
     std::printf("safety: %s (%zu agreement failures, %zu undecided runs)\n",
                 safety_failures == 0 && undecided_runs == 0 ? "OK" : "VIOLATED",
                 safety_failures, undecided_runs);
+
+    if (want_metrics) {
+      const double one_step =
+          aggregate.counter_total("dex_decisions_total", {{"path", "one_step"}});
+      const double total = aggregate.counter_total("dex_decisions_total");
+      if (total > 0) {
+        std::printf("metrics: one-step fraction %.1f%% (%.0f/%.0f decisions)\n",
+                    100.0 * one_step / total, one_step, total);
+      }
+      if (!metrics_json.empty()) {
+        std::ofstream out(metrics_json);
+        if (!out) throw CliError("cannot write --metrics-json '" + metrics_json + "'");
+        out << metrics::to_json(aggregate);
+        std::printf("metrics: JSON written to %s\n", metrics_json.c_str());
+      }
+      if (cli.flag("metrics")) {
+        std::fprintf(stderr, "%s", metrics::to_prometheus(aggregate).c_str());
+      }
+    }
     return safety_failures == 0 ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "dexsim: %s\n", e.what());
