@@ -40,6 +40,15 @@ void Writer::varint(std::uint64_t v) {
   buf_.push_back(static_cast<std::byte>(v));
 }
 
+std::size_t Writer::varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
 void Writer::boolean(bool v) { u8(v ? 1 : 0); }
 
 void Writer::bytes(std::span<const std::byte> data) {
@@ -68,6 +77,11 @@ T get_le(std::span<const std::byte> data, std::size_t pos) {
   return v;
 }
 }  // namespace
+
+std::optional<std::uint8_t> Reader::peek_u8() const {
+  if (remaining() == 0) return std::nullopt;
+  return get_le<std::uint8_t>(data_, pos_);
+}
 
 std::uint8_t Reader::u8() {
   need(1);

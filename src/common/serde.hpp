@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -37,6 +38,8 @@ class Writer {
   void f64(double v);
   /// Unsigned LEB128.
   void varint(std::uint64_t v);
+  /// Encoded byte length of varint(v) without writing it (frame sizing).
+  [[nodiscard]] static std::size_t varint_size(std::uint64_t v);
   void boolean(bool v);
   void bytes(std::span<const std::byte> data);          // raw, no length prefix
   void str(std::string_view s);                         // varint length + bytes
@@ -60,6 +63,8 @@ class Reader {
  public:
   explicit Reader(std::span<const std::byte> data) : data_(data) {}
 
+  /// Next byte without consuming it (frame-kind dispatch); nullopt at end.
+  [[nodiscard]] std::optional<std::uint8_t> peek_u8() const;
   std::uint8_t u8();
   std::uint16_t u16();
   std::uint32_t u32();

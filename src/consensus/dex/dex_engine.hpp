@@ -74,6 +74,7 @@ class DexEngine {
   [[nodiscard]] bool has_proposed_to_uc() const { return proposed_; }
 
   // Introspection for tests and the trace bench.
+  [[nodiscard]] bool started() const { return started_; }
   [[nodiscard]] const View& j1() const { return j1_; }
   [[nodiscard]] const View& j2() const { return j2_; }
   [[nodiscard]] const ConditionPair& pair() const { return *pair_; }

@@ -1,5 +1,7 @@
 #include "consensus/dex/dex_stack.hpp"
 
+#include "common/assert.hpp"
+
 namespace dex {
 
 DexStack::DexStack(const StackConfig& cfg, std::shared_ptr<const ConditionPair> pair)
@@ -21,7 +23,41 @@ DexStack::DexStack(const StackConfig& cfg, std::shared_ptr<const ConditionPair> 
   engine_ = std::make_unique<DexEngine>(dc, pair_, &idb_, uc_.get(), &outbox_);
 }
 
+void DexStack::propose(Value v) {
+  if (!shed_) {
+    engine_->propose(v);
+    return;
+  }
+  // Late proposal into a husk. Reproduce the engine's wire behaviour exactly:
+  // a decided-but-uncollected engine still P-Sends and Id-Sends its first
+  // proposal (deciding does not stop the broadcast, only further decisions),
+  // so the husk must too — collection may not be observable on the wire.
+  if (shed_started_) return;
+  shed_started_ = true;
+  Message plain;
+  plain.kind = MsgKind::kPlain;
+  plain.instance = cfg_.instance;
+  plain.tag = chan::kDexProposalPlain;
+  plain.payload = ValuePayload{v}.to_bytes();
+  outbox_.broadcast(std::move(plain));
+  idb_.id_send(chan::kDexProposalIdb, ValuePayload{v}.to_bytes());
+}
+
+void DexStack::release_decided_state() {
+  if (shed_) return;
+  DEX_ENSURE_MSG(halted(), "releasing state of an instance that has not halted");
+  shed_decision_ = engine_->decision();
+  shed_steps_ = logical_steps();
+  shed_started_ = engine_->started();
+  shed_ = true;
+  engine_.reset();
+  uc_.reset();
+  evidence_ = EvidenceCollector(cfg_.n);
+  idb_.release_accepted_state();
+}
+
 void DexStack::handle_plain(ProcessId src, const Message& msg) {
+  if (shed_) return;  // a decided engine absorbs late proposals silently
   if (chan::channel(msg.tag) != chan::kDexProposalPlain) return;
   try {
     const Value v = ValuePayload::from_bytes(msg.payload).v;
@@ -34,6 +70,7 @@ void DexStack::handle_plain(ProcessId src, const Message& msg) {
 }
 
 void DexStack::handle_idb(const IdbDelivery& delivery) {
+  if (shed_) return;
   if (chan::channel(delivery.tag) != chan::kDexProposalIdb) return;
   try {
     const Value v = ValuePayload::from_bytes(delivery.payload).v;
@@ -45,7 +82,7 @@ void DexStack::handle_idb(const IdbDelivery& delivery) {
 }
 
 void DexStack::check_uc_decision() {
-  if (uc_decision_seen_) return;
+  if (shed_ || uc_decision_seen_) return;
   if (const auto d = uc_->decision()) {
     uc_decision_seen_ = true;
     engine_->on_uc_decided(*d, uc_->rounds_used());
@@ -53,6 +90,7 @@ void DexStack::check_uc_decision() {
 }
 
 std::uint32_t DexStack::logical_steps() const {
+  if (shed_) return shed_steps_;
   const auto& d = engine_->decision();
   if (!d.has_value()) return 0;
   switch (d->path) {
@@ -66,6 +104,7 @@ std::uint32_t DexStack::logical_steps() const {
 }
 
 bool DexStack::halted() const {
+  if (shed_) return true;
   return engine_->decision().has_value() && uc_->halted();
 }
 

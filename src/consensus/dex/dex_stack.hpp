@@ -19,15 +19,18 @@ class DexStack final : public StackBase {
   DexStack(const StackConfig& cfg, std::shared_ptr<const ConditionPair> pair,
            UcFactory uc_factory);
 
-  void propose(Value v) override { engine_->propose(v); }
+  void propose(Value v) override;
   [[nodiscard]] const std::optional<Decision>& decision() const override {
-    return engine_->decision();
+    return shed_ ? shed_decision_ : engine_->decision();
   }
   [[nodiscard]] std::uint32_t logical_steps() const override;
   [[nodiscard]] bool halted() const override;
   [[nodiscard]] std::string algorithm() const override;
+  void release_decided_state() override;
 
+  /// The DEX engine. Unavailable after release_decided_state().
   [[nodiscard]] DexEngine& engine() { return *engine_; }
+  [[nodiscard]] bool released() const { return shed_; }
   /// Byzantine-evidence audit trail assembled from this process's own
   /// observations (proofs of misbehavior; see evidence.hpp).
   [[nodiscard]] const EvidenceCollector& evidence() const { return evidence_; }
@@ -42,6 +45,14 @@ class DexStack final : public StackBase {
   std::unique_ptr<DexEngine> engine_;
   EvidenceCollector evidence_{0};  // re-initialized in the constructor
   bool uc_decision_seen_ = false;
+
+  // Husk state after release_decided_state(): the decision outlives the
+  // engine, and the remaining flags reproduce the engine's residual wire
+  // behaviour (a late propose into a decided slot still broadcasts).
+  bool shed_ = false;
+  bool shed_started_ = false;
+  std::optional<Decision> shed_decision_;
+  std::uint32_t shed_steps_ = 0;
 };
 
 }  // namespace dex

@@ -1,0 +1,94 @@
+#include "consensus/host.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace dex {
+
+ConsensusHost::ConsensusHost(HostConfig cfg, StackFactory factory)
+    : cfg_(std::move(cfg)), factory_(std::move(factory)) {
+  DEX_ENSURE(factory_ != nullptr);
+  if (cfg_.metrics.enabled()) {
+    m_opened_ = cfg_.metrics.counter("host_instances_opened_total");
+    m_retired_ = cfg_.metrics.counter("host_instances_retired_total");
+    m_dropped_ = cfg_.metrics.counter("host_packets_dropped_total");
+    m_live_ = cfg_.metrics.gauge("host_live_instances");
+  }
+}
+
+bool ConsensusHost::admissible(InstanceId id) const {
+  return id < cfg_.max_instances && id <= floor_ + cfg_.admission_window;
+}
+
+ConsensusProcess* ConsensusHost::open(InstanceId id) {
+  const auto it = instances_.find(id);
+  if (it != instances_.end()) return it->second.stack.get();
+  if (!admissible(id)) return nullptr;
+  auto stack = factory_(id);
+  DEX_ENSURE(stack != nullptr);
+  ConsensusProcess* raw = stack.get();
+  instances_.emplace(id, Entry{std::move(stack), false});
+  ++live_count_;
+  live_high_water_ = std::max(live_high_water_, live_count_);
+  metrics::inc(m_opened_);
+  metrics::set(m_live_, static_cast<double>(live_count_));
+  return raw;
+}
+
+ConsensusProcess* ConsensusHost::find(InstanceId id) {
+  const auto it = instances_.find(id);
+  return it == instances_.end() ? nullptr : it->second.stack.get();
+}
+
+bool ConsensusHost::route(ProcessId src, const Message& msg) {
+  ConsensusProcess* stack = open(msg.instance);
+  if (stack == nullptr) {
+    ++dropped_;
+    metrics::inc(m_dropped_);
+    return false;
+  }
+  stack->on_packet(src, msg);
+  return true;
+}
+
+std::vector<Outgoing> ConsensusHost::drain() {
+  std::vector<Outgoing> out;
+  for (auto& [id, entry] : instances_) {
+    auto more = entry.stack->drain_outbox();
+    out.insert(out.end(), std::make_move_iterator(more.begin()),
+               std::make_move_iterator(more.end()));
+  }
+  return out;
+}
+
+std::optional<Decision> ConsensusHost::decision(InstanceId id) const {
+  const auto it = instances_.find(id);
+  if (it == instances_.end()) return std::nullopt;
+  return it->second.stack->decision();
+}
+
+void ConsensusHost::retire(InstanceId id) {
+  const auto it = instances_.find(id);
+  if (it == instances_.end() || it->second.husk) return;
+  DEX_ENSURE_MSG(it->second.stack->decision().has_value(),
+                 "retiring an undecided instance");
+  it->second.stack->release_decided_state();
+  it->second.husk = true;
+  --live_count_;
+  metrics::inc(m_retired_);
+  metrics::set(m_live_, static_cast<double>(live_count_));
+}
+
+void ConsensusHost::for_each_live(
+    const std::function<void(InstanceId, ConsensusProcess&)>& fn) {
+  for (auto& [id, entry] : instances_) {
+    if (!entry.husk) fn(id, *entry.stack);
+  }
+}
+
+void ConsensusHost::set_floor(InstanceId floor) {
+  floor_ = std::max(floor_, floor);
+}
+
+}  // namespace dex

@@ -1,0 +1,126 @@
+// ConsensusHost — the session layer that multiplexes many consensus
+// instances over one endpoint.
+//
+// A host owns the instance table and each instance's lifecycle:
+//
+//   open ──(decision observed)──▶ decided ──(retire)──▶ husk
+//
+// Stacks register with the host (built on demand by the owner's factory)
+// instead of being hand-routed by every application; `route()` demultiplexes
+// inbound envelopes by Message::instance, `drain()` collects every
+// instance's outbox in instance order, and `retire()` releases a decided
+// instance's engines via ConsensusProcess::release_decided_state() — the
+// piece that bounds memory when an SMR log runs thousands of slots over one
+// endpoint. A retired instance is not erased: it lives on as a husk that
+// keeps serving the residual identical-broadcast echo duty (late inits from
+// laggards still get echoes, exactly as a never-collected stack would), so
+// collection is invisible on the wire.
+//
+// Admission control mirrors what applications need against Byzantine
+// traffic that names arbitrary instances: a *new* id is admitted only when
+// it is below `max_instances` and at most `admission_window` ahead of the
+// floor (the owner's committed prefix, advanced via set_floor()). Messages
+// for inadmissible instances are counted and dropped; existing instances —
+// live or husk — always receive their traffic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "consensus/process.hpp"
+#include "metrics/metrics.hpp"
+
+namespace dex {
+
+struct HostConfig {
+  /// Ids >= max_instances are never admitted (benches bound their runs).
+  InstanceId max_instances = std::numeric_limits<InstanceId>::max();
+  /// Ids more than this far ahead of the floor are not admitted.
+  InstanceId admission_window = 16;
+  /// Optional metrics scope (host_* series). Disabled by default.
+  metrics::MetricsScope metrics;
+};
+
+class ConsensusHost {
+ public:
+  /// Builds the protocol stack for one instance on first use.
+  using StackFactory =
+      std::function<std::unique_ptr<ConsensusProcess>(InstanceId)>;
+
+  ConsensusHost(HostConfig cfg, StackFactory factory);
+
+  /// The stack for `id` (live or husk), creating it if the id is new and
+  /// admissible; nullptr for inadmissible new ids.
+  ConsensusProcess* open(InstanceId id);
+
+  /// The stack for `id` (live or husk), or nullptr (never creates).
+  [[nodiscard]] ConsensusProcess* find(InstanceId id);
+
+  /// Demultiplex one inbound envelope by msg.instance, opening the instance
+  /// on demand. Returns false (and counts the drop) when the instance is
+  /// new and inadmissible.
+  bool route(ProcessId src, const Message& msg);
+
+  /// Drain every instance's outbox — live and husk — in instance order.
+  [[nodiscard]] std::vector<Outgoing> drain();
+
+  /// The decision of `id`, from the live stack or the husk. nullopt when
+  /// undecided or unknown.
+  [[nodiscard]] std::optional<Decision> decision(InstanceId id) const;
+
+  /// Turn a decided instance into a husk: release_decided_state() frees the
+  /// engines, the entry stays routable for its residual echo duty. Callers
+  /// should wait for the stack's halted() signal — retiring a decided but
+  /// not yet halted instance would silence its underlying-consensus
+  /// participation, which laggards may still need. No-op for unknown or
+  /// already-husked ids; DEX_ENSUREs the instance actually decided.
+  void retire(InstanceId id);
+
+  /// Visit every live (non-husk) instance in id order (decision harvesting).
+  void for_each_live(
+      const std::function<void(InstanceId, ConsensusProcess&)>& fn);
+
+  /// Advance the admission floor (typically the lowest undecided slot).
+  /// Never moves backwards.
+  void set_floor(InstanceId floor);
+
+  [[nodiscard]] InstanceId floor() const { return floor_; }
+  /// Instances still carrying their full engine state.
+  [[nodiscard]] std::size_t live_count() const { return live_count_; }
+  /// Instances reduced to echo husks.
+  [[nodiscard]] std::size_t retired_count() const {
+    return instances_.size() - live_count_;
+  }
+  /// Most simultaneously-live instances ever (GC acceptance checks).
+  [[nodiscard]] std::size_t live_high_water() const { return live_high_water_; }
+  [[nodiscard]] std::uint64_t dropped_packets() const { return dropped_; }
+  [[nodiscard]] const HostConfig& config() const { return cfg_; }
+
+ private:
+  struct Entry {
+    std::unique_ptr<ConsensusProcess> stack;
+    bool husk = false;
+  };
+
+  [[nodiscard]] bool admissible(InstanceId id) const;
+
+  HostConfig cfg_;
+  StackFactory factory_;
+  std::map<InstanceId, Entry> instances_;
+  InstanceId floor_ = 0;
+  std::size_t live_count_ = 0;
+  std::size_t live_high_water_ = 0;
+  std::uint64_t dropped_ = 0;
+
+  // Exported series, resolved once at construction (null when disabled).
+  metrics::Counter* m_opened_ = nullptr;
+  metrics::Counter* m_retired_ = nullptr;
+  metrics::Counter* m_dropped_ = nullptr;
+  metrics::Gauge* m_live_ = nullptr;
+};
+
+}  // namespace dex

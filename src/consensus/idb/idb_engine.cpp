@@ -96,6 +96,12 @@ void IdbEngine::on_message(ProcessId src, const Message& msg) {
   // kPlain is not ours; ignore.
 }
 
+void IdbEngine::release_accepted_state() {
+  for (auto& [key, s] : slots_) {
+    if (s.accepted) s.echoes.clear();
+  }
+}
+
 std::vector<IdbDelivery> IdbEngine::take_deliveries() {
   std::vector<IdbDelivery> out;
   out.swap(deliveries_);

@@ -59,6 +59,12 @@ class IdbEngine {
   /// Drains Id-Receive events produced since the last call.
   [[nodiscard]] std::vector<IdbDelivery> take_deliveries();
 
+  /// Drop the echo-sender bookkeeping of already-accepted slots. Their
+  /// echoed/accepted latches stay set, so the engine's observable behaviour
+  /// (first-init echoes, amplification, acceptance) is unchanged — only the
+  /// per-payload sender sets, dead weight once a slot accepted, are freed.
+  void release_accepted_state();
+
   // --- introspection / stats ---
   [[nodiscard]] std::uint64_t echoes_sent() const { return echoes_sent_; }
   [[nodiscard]] std::uint64_t inits_sent() const { return inits_sent_; }

@@ -52,6 +52,66 @@ Message Message::from_bytes(std::span<const std::byte> data) {
   return m;
 }
 
+std::size_t Message::encoded_size() const {
+  // kind + instance + tag + origin + varint(len) + payload
+  return 1 + 8 + 8 + 4 + Writer::varint_size(payload.size()) + payload.size();
+}
+
+std::vector<std::byte> BatchFrame::to_bytes() const {
+  Writer w(encoded_size());
+  w.u8(kMarker);
+  w.u8(kVersion);
+  w.varint(messages.size());
+  for (const Message& m : messages) {
+    w.varint(m.encoded_size());
+    m.encode(w);
+  }
+  return std::move(w).take();
+}
+
+BatchFrame BatchFrame::from_bytes(std::span<const std::byte> data) {
+  Reader r(data);
+  if (r.u8() != kMarker) throw DecodeError("not a batch frame");
+  const std::uint8_t version = r.u8();
+  if (version != kVersion) throw DecodeError("unsupported batch version");
+  const std::uint64_t count = r.varint();
+  if (count > kMaxMessages) throw DecodeError("batch count exceeds limit");
+  BatchFrame batch;
+  batch.messages.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t len = r.varint();
+    if (len > r.remaining()) throw DecodeError("batch message length exceeds input");
+    Reader mr(r.bytes(static_cast<std::size_t>(len)));
+    Message m = Message::decode(mr);
+    if (!mr.done()) throw DecodeError("trailing bytes in batched message");
+    batch.messages.push_back(std::move(m));
+  }
+  if (!r.done()) throw DecodeError("trailing bytes after batch frame");
+  return batch;
+}
+
+std::size_t BatchFrame::encoded_size() const { return batch_encoded_size(messages); }
+
+std::size_t batch_encoded_size(std::span<const Message> msgs) {
+  std::size_t n = 2 + Writer::varint_size(msgs.size());
+  for (const Message& m : msgs) {
+    const std::size_t len = m.encoded_size();
+    n += Writer::varint_size(len) + len;
+  }
+  return n;
+}
+
+bool BatchFrame::is_batch(std::span<const std::byte> data) {
+  return !data.empty() && static_cast<std::uint8_t>(data[0]) == kMarker;
+}
+
+std::vector<Message> decode_wire(std::span<const std::byte> data) {
+  if (BatchFrame::is_batch(data)) return BatchFrame::from_bytes(data).messages;
+  std::vector<Message> out;
+  out.push_back(Message::from_bytes(data));
+  return out;
+}
+
 std::string Message::to_string() const {
   std::ostringstream os;
   os << msg_kind_name(kind) << "{inst=" << instance << " tag=0x" << std::hex << tag

@@ -68,10 +68,44 @@ struct Message {
   [[nodiscard]] std::vector<std::byte> to_bytes() const;
   static Message from_bytes(std::span<const std::byte> data);
 
+  /// Exact byte length of to_bytes() without encoding (wire accounting).
+  [[nodiscard]] std::size_t encoded_size() const;
+
   [[nodiscard]] std::string to_string() const;
 
   bool operator==(const Message&) const = default;
 };
+
+/// A versioned batch frame: every same-destination message of one drain
+/// coalesced into a single wire packet. Layout:
+///   u8 marker (0xB5) | u8 version (1) | varint count |
+///   count x (varint message-length | Message frame)
+/// The marker cannot collide with a bare Message, whose first byte is a
+/// MsgKind (0..2), so transports accept either on the same channel.
+struct BatchFrame {
+  static constexpr std::uint8_t kMarker = 0xB5;
+  static constexpr std::uint8_t kVersion = 1;
+  /// A Byzantine peer must not make us allocate unboundedly many envelopes.
+  static constexpr std::uint64_t kMaxMessages = 4096;
+
+  std::vector<Message> messages;
+
+  [[nodiscard]] std::vector<std::byte> to_bytes() const;
+  static BatchFrame from_bytes(std::span<const std::byte> data);
+
+  [[nodiscard]] std::size_t encoded_size() const;
+
+  /// True when `data` starts with the batch marker.
+  [[nodiscard]] static bool is_batch(std::span<const std::byte> data);
+};
+
+/// Decode a wire payload that is either a bare Message or a BatchFrame;
+/// returns the contained messages in order. Throws DecodeError as usual.
+[[nodiscard]] std::vector<Message> decode_wire(std::span<const std::byte> data);
+
+/// Exact BatchFrame::to_bytes() length for `msgs` without building the frame
+/// (wire accounting in hosts that model batching without encoding).
+[[nodiscard]] std::size_t batch_encoded_size(std::span<const Message> msgs);
 
 /// A message queued for transmission. dst == kBroadcastDst fans out to all n
 /// processes including the sender (engines rely on self-delivery so their own

@@ -47,6 +47,13 @@ class ConsensusProcess {
   /// True once this process will produce no further messages.
   [[nodiscard]] virtual bool halted() const = 0;
 
+  /// Release the engine state a decided, halted instance no longer needs,
+  /// keeping the decision and any residual duties (e.g. identical-broadcast
+  /// echoes for laggards) intact — observable behaviour must not change.
+  /// Hosts call this when they garbage-collect an instance. Only meaningful
+  /// once halted(); default is a no-op.
+  virtual void release_decided_state() {}
+
   [[nodiscard]] virtual std::string algorithm() const = 0;
   [[nodiscard]] virtual ProcessId self() const = 0;
 };

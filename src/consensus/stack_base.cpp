@@ -26,7 +26,7 @@ void StackBase::on_packet(ProcessId src, const Message& msg) {
   switch (msg.kind) {
     case MsgKind::kPlain:
       if (chan::channel(msg.tag) == chan::kUcDecide) {
-        uc_->on_plain(src, msg);
+        if (uc_) uc_->on_plain(src, msg);
       } else {
         handle_plain(src, msg);
       }
@@ -36,7 +36,7 @@ void StackBase::on_packet(ProcessId src, const Message& msg) {
       idb_.on_message(src, msg);
       for (const IdbDelivery& d : idb_.take_deliveries()) {
         if (chan::channel(d.tag) == chan::kUcPhase) {
-          uc_->on_idb(d);
+          if (uc_) uc_->on_idb(d);
         } else {
           handle_idb(d);
         }

@@ -48,6 +48,7 @@ class StackBase : public ConsensusProcess {
   [[nodiscard]] ProcessId self() const final { return cfg_.self; }
 
   [[nodiscard]] IdbEngine& idb() { return idb_; }
+  /// The underlying consensus. Unavailable after release_decided_state().
   [[nodiscard]] UnderlyingConsensus& uc() { return *uc_; }
   [[nodiscard]] const StackConfig& config() const { return cfg_; }
 
@@ -62,6 +63,9 @@ class StackBase : public ConsensusProcess {
   StackConfig cfg_;
   Outbox outbox_;
   IdbEngine idb_;
+  /// Reset by subclasses that shed decided state (see release_decided_state);
+  /// a halted underlying consensus ignores all input, so dropping its traffic
+  /// once shed is behaviourally identical.
   std::unique_ptr<UnderlyingConsensus> uc_;
 };
 

@@ -41,6 +41,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   opts.start_jitter = cfg.start_jitter;
   opts.stop_when_all_decided = cfg.stop_when_all_decided;
   opts.max_events = cfg.max_events;
+  opts.batch = cfg.batch;
   opts.trace = cfg.trace;
   opts.metrics = cfg.metrics;
   sim::Simulation simulation(cfg.n, opts);

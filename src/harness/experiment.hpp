@@ -50,6 +50,9 @@ struct ExperimentConfig {
   SimTime start_jitter = 0;
   bool stop_when_all_decided = false;
   std::uint64_t max_events = 50'000'000;
+  /// Transport batching (SimOptions::batch): coalesce same-destination
+  /// messages of one drain into a single wire packet.
+  bool batch = false;
   /// DEX ablation switches (forwarded into StackConfig; see DexConfig).
   bool dex_continuous_reevaluation = true;
   bool dex_enable_two_step = true;

@@ -82,6 +82,8 @@ Simulation::Simulation(std::size_t n, SimOptions opts)
           "sim_decisions_total", {{"path", decision_path_metric_label(p)}});
     }
     m_events_ = &reg.counter("sim_events_total");
+    m_wire_packets_ = &reg.counter("sim_wire_packets_total");
+    m_wire_bytes_ = &reg.counter("sim_wire_bytes_total");
     m_latency_ = &reg.histogram("sim_decision_latency_ms");
     m_steps_ = &reg.histogram("sim_decision_steps");
     m_end_time_ = &reg.gauge("sim_end_time_ms");
@@ -131,6 +133,10 @@ void Simulation::record_decision(ProcessId i, RunStats& stats) {
 }
 
 void Simulation::pump_actor(ProcessId i, RunStats& stats) {
+  if (opts_.batch) {
+    pump_actor_batched(i, stats);
+    return;
+  }
   Actor& a = *actors_[static_cast<std::size_t>(i)];
   for (Outgoing& out : a.drain()) {
     if (out.dst == kBroadcastDst) {
@@ -148,6 +154,50 @@ void Simulation::pump_actor(ProcessId i, RunStats& stats) {
     // Out-of-range unicast destinations are dropped (Byzantine nonsense).
   }
   record_decision(i, stats);
+}
+
+void Simulation::pump_actor_batched(ProcessId i, RunStats& stats) {
+  Actor& a = *actors_[static_cast<std::size_t>(i)];
+  // Coalesce this drain per destination, preserving per-destination order
+  // (broadcasts fan out into every destination's batch).
+  std::vector<std::vector<Message>> per_dst(n_);
+  for (Outgoing& out : a.drain()) {
+    if (out.dst == kBroadcastDst) {
+      for (std::size_t d = 0; d < n_; ++d) per_dst[d].push_back(out.msg);
+    } else if (out.dst >= 0 && static_cast<std::size_t>(out.dst) < n_) {
+      per_dst[static_cast<std::size_t>(out.dst)].push_back(std::move(out.msg));
+    }
+    // Out-of-range unicast destinations are dropped (Byzantine nonsense).
+  }
+  for (std::size_t d = 0; d < n_; ++d) {
+    if (per_dst[d].empty()) continue;
+    const auto dst = static_cast<ProcessId>(d);
+    if (per_dst[d].size() == 1) {
+      const SimTime delay =
+          (dst == i) ? 0
+                     : opts_.delay->delay(now_, i, dst, per_dst[d].front(), rng_);
+      push(now_ + delay, DeliverEvent{i, dst, std::move(per_dst[d].front())});
+      continue;
+    }
+    // One delay draw per wire packet, keyed off the batch's first message.
+    const SimTime delay =
+        (dst == i) ? 0
+                   : opts_.delay->delay(now_, i, dst, per_dst[d].front(), rng_);
+    push(now_ + delay, BatchDeliverEvent{i, dst, std::move(per_dst[d])});
+  }
+  record_decision(i, stats);
+}
+
+void Simulation::deliver_one(ProcessId src, ProcessId dst, const Message& msg,
+                             RunStats& stats) {
+  ++stats.packets_delivered;
+  stats.packets_by_kind.add(msg_kind_name(msg.kind));
+  if (const auto ki = static_cast<std::size_t>(msg.kind); ki < 3) {
+    metrics::inc(m_packets_[ki]);
+    metrics::inc(m_bytes_[ki], msg.payload.size());
+  }
+  if (opts_.trace) opts_.trace->record_deliver(now_, src, dst, msg);
+  actors_[static_cast<std::size_t>(dst)]->on_packet(src, msg);
 }
 
 bool Simulation::all_halted() const {
@@ -200,15 +250,23 @@ RunStats Simulation::run() {
     metrics::inc(m_events_);
 
     if (auto* del = std::get_if<DeliverEvent>(&ev.body)) {
-      ++stats.packets_delivered;
-      stats.packets_by_kind.add(msg_kind_name(del->msg.kind));
-      if (const auto ki = static_cast<std::size_t>(del->msg.kind); ki < 3) {
-        metrics::inc(m_packets_[ki]);
-        metrics::inc(m_bytes_[ki], del->msg.payload.size());
-      }
-      if (opts_.trace) opts_.trace->record_deliver(now_, del->src, del->dst, del->msg);
-      actors_[static_cast<std::size_t>(del->dst)]->on_packet(del->src, del->msg);
+      ++stats.wire_packets;
+      stats.wire_bytes += del->msg.encoded_size();
+      metrics::inc(m_wire_packets_);
+      metrics::inc(m_wire_bytes_, del->msg.encoded_size());
+      deliver_one(del->src, del->dst, del->msg, stats);
       pump_actor(del->dst, stats);
+    } else if (auto* batch = std::get_if<BatchDeliverEvent>(&ev.body)) {
+      // One wire packet, unpacked per message at the receiver; the receiver
+      // is pumped once for the whole batch.
+      ++stats.wire_packets;
+      stats.wire_bytes += batch_encoded_size(batch->msgs);
+      metrics::inc(m_wire_packets_);
+      metrics::inc(m_wire_bytes_, batch_encoded_size(batch->msgs));
+      for (const Message& msg : batch->msgs) {
+        deliver_one(batch->src, batch->dst, msg, stats);
+      }
+      pump_actor(batch->dst, stats);
     } else if (auto* st = std::get_if<StartEvent>(&ev.body)) {
       started_[static_cast<std::size_t>(st->who)] = true;
       if (opts_.trace) opts_.trace->record_start(now_, st->who);

@@ -39,6 +39,12 @@ struct SimOptions {
   /// Stop as soon as every consensus actor has decided (for latency benches
   /// that do not care about post-decision traffic).
   bool stop_when_all_decided = false;
+  /// Coalesce all same-destination messages of one actor drain into a single
+  /// batch frame, delivered as one sim event (one delay draw per
+  /// destination) and unpacked per message at the receiver — the transport
+  /// batching model. Off by default: the unbatched schedule is bit-for-bit
+  /// the historical one.
+  bool batch = false;
   /// Optional trace sink (not owned; must outlive the simulation).
   TraceRecorder* trace = nullptr;
   /// Optional metrics sink (not owned; must outlive the simulation). The
@@ -57,7 +63,14 @@ struct DecisionRecord {
 struct RunStats {
   SimTime end_time = 0;
   std::uint64_t events = 0;
+  /// Messages handed to actors (one per envelope, batched or not).
   std::uint64_t packets_delivered = 0;
+  /// Wire packets: delivery events on the link. Without batching this equals
+  /// packets_delivered; with batching one wire packet carries a whole batch.
+  std::uint64_t wire_packets = 0;
+  /// Encoded bytes those wire packets would occupy (full frames, including
+  /// the batch framing when batching is on).
+  std::uint64_t wire_bytes = 0;
   bool hit_event_limit = false;
   dex::Counter packets_by_kind;
   /// Indexed by ProcessId; nullopt for Byzantine actors and undecided ones.
@@ -106,13 +119,20 @@ class Simulation {
     ProcessId dst;
     Message msg;
   };
+  /// One wire packet carrying a coalesced batch (SimOptions::batch).
+  struct BatchDeliverEvent {
+    ProcessId src;
+    ProcessId dst;
+    std::vector<Message> msgs;
+  };
   struct StartEvent {
     ProcessId who;
   };
   struct FuncEvent {
     std::function<void()> fn;
   };
-  using EventBody = std::variant<DeliverEvent, StartEvent, FuncEvent>;
+  using EventBody =
+      std::variant<DeliverEvent, BatchDeliverEvent, StartEvent, FuncEvent>;
 
   struct Event {
     SimTime at;
@@ -128,6 +148,9 @@ class Simulation {
 
   void push(SimTime at, EventBody body);
   void pump_actor(ProcessId i, RunStats& stats);
+  void pump_actor_batched(ProcessId i, RunStats& stats);
+  void deliver_one(ProcessId src, ProcessId dst, const Message& msg,
+                   RunStats& stats);
   void record_decision(ProcessId i, RunStats& stats);
   [[nodiscard]] bool all_halted() const;
   [[nodiscard]] bool all_decided_now() const;
@@ -147,6 +170,8 @@ class Simulation {
   metrics::Counter* m_bytes_[3] = {nullptr, nullptr, nullptr};
   metrics::Counter* m_decisions_[3] = {nullptr, nullptr, nullptr};
   metrics::Counter* m_events_ = nullptr;
+  metrics::Counter* m_wire_packets_ = nullptr;
+  metrics::Counter* m_wire_bytes_ = nullptr;
   metrics::HistogramMetric* m_latency_ = nullptr;
   metrics::HistogramMetric* m_steps_ = nullptr;
   metrics::Gauge* m_end_time_ = nullptr;

@@ -1,5 +1,7 @@
 #include "smr/replica.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 #include "common/logging.hpp"
 
@@ -9,10 +11,29 @@ namespace {
 /// Byzantine traffic may name arbitrary instances; bound how far ahead of the
 /// committed prefix we are willing to allocate slot state.
 constexpr InstanceId kSlotWindow = 16;
+
+HostConfig make_host_config(const ReplicaConfig& cfg) {
+  HostConfig hc;
+  hc.max_instances = cfg.max_slots;
+  hc.admission_window = kSlotWindow;
+  hc.metrics = cfg.metrics;
+  return hc;
+}
 }  // namespace
 
 Replica::Replica(const ReplicaConfig& cfg, std::shared_ptr<const ConditionPair> pair)
-    : cfg_(cfg), pair_(std::move(pair)) {
+    : cfg_(cfg),
+      pair_(std::move(pair)),
+      host_(make_host_config(cfg_), [this](InstanceId s) {
+        StackConfig sc;
+        sc.n = cfg_.n;
+        sc.t = cfg_.t;
+        sc.self = cfg_.self;
+        sc.instance = s;
+        sc.coin_seed = mix64(cfg_.coin_seed ^ s);
+        sc.metrics = cfg_.metrics;
+        return std::make_unique<DexStack>(sc, pair_);
+      }) {
   DEX_ENSURE(pair_ != nullptr);
   DEX_ENSURE(cfg_.n == pair_->n() && cfg_.t == pair_->t());
   if (cfg_.metrics.enabled()) {
@@ -25,24 +46,26 @@ Replica::Replica(const ReplicaConfig& cfg, std::shared_ptr<const ConditionPair> 
     m_submitted_ = cfg_.metrics.counter("smr_commands_submitted_total");
     m_slot_latency_ = cfg_.metrics.histogram("smr_slot_latency_ms");
     m_pending_ = cfg_.metrics.gauge("smr_pending_commands");
+    m_live_ = cfg_.metrics.gauge("smr_live_instances");
+    m_live_peak_ = cfg_.metrics.gauge("smr_live_instances_peak");
   }
 }
 
-Replica::Slot& Replica::open_slot(InstanceId s) {
-  auto it = slots_.find(s);
-  if (it != slots_.end()) return it->second;
+ConsensusProcess* Replica::open_slot(InstanceId s) {
+  ConsensusProcess* stack = host_.open(s);
+  // The slot may have been opened by the packet router before we get here;
+  // stamp the meta on first sight either way (same callback, same clock).
+  if (stack != nullptr && meta_.count(s) == 0) {
+    SlotMeta& meta = meta_[s];
+    if (cfg_.clock) meta.opened_at = cfg_.clock();
+    export_live_gauges();
+  }
+  return stack;
+}
 
-  StackConfig sc;
-  sc.n = cfg_.n;
-  sc.t = cfg_.t;
-  sc.self = cfg_.self;
-  sc.instance = s;
-  sc.coin_seed = mix64(cfg_.coin_seed ^ s);
-  sc.metrics = cfg_.metrics;
-  Slot slot;
-  slot.stack = std::make_unique<DexStack>(sc, pair_);
-  if (cfg_.clock) slot.opened_at = cfg_.clock();
-  return slots_.emplace(s, std::move(slot)).first->second;
+void Replica::export_live_gauges() {
+  metrics::set(m_live_, static_cast<double>(host_.live_count()));
+  metrics::set(m_live_peak_, static_cast<double>(host_.live_high_water()));
 }
 
 void Replica::submit(const Command& cmd) {
@@ -53,25 +76,49 @@ void Replica::submit(const Command& cmd) {
     pending_.push_back(d);
     metrics::set(m_pending_, static_cast<double>(pending_.size()));
   }
-  if (next_slot_ < cfg_.max_slots) propose_if_ready(next_slot_);
+  if (next_slot_ < cfg_.max_slots) propose_open_window();
+}
+
+std::optional<Value> Replica::digest_for_proposal() const {
+  if (pending_.empty()) return std::nullopt;
+  if (cfg_.window <= 1) return pending_.front();
+  for (const Value d : pending_) {
+    bool assigned = false;
+    for (const auto& [s, meta] : meta_) {
+      if (meta.assigned == d) {
+        assigned = true;
+        break;
+      }
+    }
+    if (!assigned) return d;
+  }
+  return std::nullopt;
 }
 
 void Replica::propose_if_ready(InstanceId s) {
   if (s >= cfg_.max_slots) return;
-  Slot& slot = open_slot(s);
-  if (slot.proposed) return;
+  if (const auto it = meta_.find(s); it != meta_.end() && it->second.proposed) {
+    return;
+  }
 
   // A replica proposes only real commands. Liveness does not need filler
   // proposals: whoever proposes a digest also disseminates its body below, so
   // every correct replica eventually holds a pending command for the slot and
-  // joins in — and an idle system stays quiet.
-  if (pending_.empty()) return;
-  const Value d = pending_.front();
+  // joins in — and an idle system stays quiet. With nothing to propose we
+  // also don't open the slot: the packet router opens slots that carry real
+  // traffic, so an eager open here would only pin an idle engine set.
+  const auto d = digest_for_proposal();
+  if (!d.has_value()) return;
 
-  slot.proposed = true;
-  slot.stack->propose(d);
+  ConsensusProcess* stack = open_slot(s);
+  if (stack == nullptr) return;
+  SlotMeta& meta = meta_[s];
+  if (meta.proposed) return;
+  meta.proposed = true;
+  meta.assigned = *d;
+  stack->propose(*d);
   // Disseminate the body so every replica can propose/apply the command.
-  const auto it = bodies_.find(d);
+  const auto it = bodies_.find(*d);
   if (it != bodies_.end()) {
     Message m;
     m.kind = MsgKind::kPlain;
@@ -82,8 +129,19 @@ void Replica::propose_if_ready(InstanceId s) {
   }
 }
 
+void Replica::propose_open_window() {
+  propose_if_ready(next_slot_);
+  const std::size_t window = std::max<std::size_t>(cfg_.window, 1);
+  const InstanceId hi =
+      std::min<InstanceId>(cfg_.max_slots, next_slot_ + window);
+  for (InstanceId s = next_slot_ + 1; s < hi; ++s) {
+    if (!digest_for_proposal().has_value()) break;
+    propose_if_ready(s);
+  }
+}
+
 void Replica::start() {
-  if (!pending_.empty()) propose_if_ready(0);
+  if (!pending_.empty()) propose_open_window();
 }
 
 void Replica::on_packet(ProcessId src, const Message& msg) {
@@ -95,27 +153,46 @@ void Replica::on_packet(ProcessId src, const Message& msg) {
       if (committed_digests_.count(d) == 0 && pending_set_.insert(d).second) {
         pending_.push_back(d);
       }
-      propose_if_ready(next_slot_);
+      propose_open_window();
     } catch (const DecodeError&) {
     }
     harvest_decisions();
     return;
   }
 
-  const InstanceId s = msg.instance;
-  if (s >= cfg_.max_slots || s > next_slot_ + kSlotWindow) return;
-  Slot& slot = open_slot(s);
-  slot.stack->on_packet(src, msg);
-  propose_if_ready(s);
+  if (!host_.route(src, msg)) return;
+  propose_if_ready(msg.instance);
   harvest_decisions();
 }
 
 void Replica::harvest_decisions() {
-  for (auto& [s, slot] : slots_) {
-    if (slot.committed || decided_.count(s) > 0) continue;
-    if (const auto& d = slot.stack->decision()) decided_.emplace(s, *d);
-  }
+  host_.for_each_live([this](InstanceId s, ConsensusProcess& stack) {
+    if (decided_.count(s) > 0 || committed_live_.count(s) > 0) return;
+    if (const auto& d = stack.decision()) decided_.emplace(s, *d);
+  });
   try_commit();
+  gc_halted();
+}
+
+void Replica::gc_halted() {
+  // Garbage-collect committed slots whose stacks have halted: the host
+  // releases the engines (DEX, underlying consensus, evidence), keeping an
+  // echo husk whose wire behaviour is identical, so laggards still receive
+  // the identical-broadcast echoes they need. Halt — n−t DECIDE
+  // confirmations — guarantees the underlying consensus itself is finished
+  // for every correct process, so the engines can go.
+  bool any = false;
+  for (auto it = committed_live_.begin(); it != committed_live_.end();) {
+    ConsensusProcess* stack = host_.find(*it);
+    if (stack != nullptr && !stack->halted()) {
+      ++it;
+      continue;
+    }
+    if (stack != nullptr) host_.retire(*it);
+    it = committed_live_.erase(it);
+    any = true;
+  }
+  if (any) export_live_gauges();
 }
 
 void Replica::try_commit() {
@@ -149,31 +226,36 @@ void Replica::try_commit() {
         metrics::set(m_pending_, static_cast<double>(pending_.size()));
       }
     }
-    Slot& committed_slot = slots_[next_slot_];
-    committed_slot.committed = true;
     metrics::inc(m_commits_[static_cast<std::size_t>(d.path)]);
-    if (m_slot_latency_ != nullptr && cfg_.clock) {
+    const auto meta = meta_.find(next_slot_);
+    if (m_slot_latency_ != nullptr && cfg_.clock && meta != meta_.end()) {
       const SimTime now = cfg_.clock();
-      const SimTime dur = now >= committed_slot.opened_at
-                              ? now - committed_slot.opened_at
-                              : 0;
+      const SimTime dur =
+          now >= meta->second.opened_at ? now - meta->second.opened_at : 0;
       m_slot_latency_->observe(static_cast<double>(dur) / 1e6);
     }
     log_.push_back(std::move(entry));
+    // Release the slot's digest assignment (a digest this slot carried but
+    // did not commit becomes proposable for a later slot). The rest of the
+    // meta — notably the proposed flag — persists: late traffic may still
+    // activate this slot, and it must not re-propose. The stack itself lives
+    // on until it halts — see gc_halted().
+    if (meta != meta_.end()) meta->second.assigned.reset();
+    committed_live_.insert(next_slot_);
     ++next_slot_;
+    host_.set_floor(next_slot_);
+    export_live_gauges();
     if (!pending_.empty() && next_slot_ < cfg_.max_slots) {
-      propose_if_ready(next_slot_);
+      propose_open_window();
     }
   }
 }
 
 std::vector<Outgoing> Replica::drain() {
   std::vector<Outgoing> out = dissem_outbox_.drain();
-  for (auto& [s, slot] : slots_) {
-    auto more = slot.stack->drain_outbox();
-    out.insert(out.end(), std::make_move_iterator(more.begin()),
-               std::make_move_iterator(more.end()));
-  }
+  auto more = host_.drain();
+  out.insert(out.end(), std::make_move_iterator(more.begin()),
+             std::make_move_iterator(more.end()));
   return out;
 }
 

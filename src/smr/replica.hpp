@@ -3,17 +3,33 @@
 // The paper's §1.1 motivation: replicated servers agree on the processing
 // order of client requests; with no contention every server proposes the same
 // request and DEX commits it in one communication step. Each log slot runs
-// one DexStack (instance id = slot). Slots are decided strictly in order.
+// one DexStack (instance id = slot), multiplexed over this endpoint by a
+// ConsensusHost: the host owns the instance table, demultiplexes inbound
+// envelopes by slot, and garbage-collects decided slots — once a committed
+// slot's stack halts its engines are released (an echo husk with identical
+// wire behaviour remains), so a long-running log holds O(window) live
+// engine sets instead of one per slot ever.
 //
-// Flow per slot: when slot s becomes active (s == 0, or slot s-1 decided, or
-// traffic for s arrives) a replica with a non-empty pending queue proposes
-// its oldest pending digest and broadcasts the command body on the
-// dissemination channel. Replicas with empty queues stay quiet — they join
-// the slot as soon as any proposer's dissemination hands them a command, so
-// liveness needs no filler proposals and an idle system sends nothing. When
-// a slot decides a digest whose body is known the command is applied; an
-// unknown digest (possible only with Byzantine proposers) commits as a hole,
-// so the log never deadlocks.
+// Slots commit strictly in order; proposing is pipelined. With window W, up
+// to W slots at and above the committed prefix run concurrently, each
+// carrying a distinct pending digest (W = 1 reproduces the sequential
+// propose-when-previous-decides flow byte for byte).
+//
+// GC point: a committed slot's stack is retired once it reports halted() —
+// the protocol's own quiescence signal (n−t DECIDE confirmations, after
+// which every correct process can finish from the relayed DECIDEs alone).
+// Retiring at commit time would be premature: laggards may still need this
+// replica's participation in the underlying-consensus rounds.
+//
+// Flow per slot: when slot s becomes active (within the window, or traffic
+// for s arrives) a replica with a non-empty pending queue proposes a pending
+// digest and broadcasts the command body on the dissemination channel.
+// Replicas with empty queues stay quiet — they join the slot as soon as any
+// proposer's dissemination hands them a command, so liveness needs no filler
+// proposals and an idle system sends nothing. When a slot decides a digest
+// whose body is known the command is applied; an unknown digest (possible
+// only with Byzantine proposers) commits as a hole, so the log never
+// deadlocks.
 #pragma once
 
 #include <deque>
@@ -26,6 +42,7 @@
 
 #include "consensus/condition/pair.hpp"
 #include "consensus/dex/dex_stack.hpp"
+#include "consensus/host.hpp"
 #include "metrics/metrics.hpp"
 #include "sim/actor.hpp"
 #include "smr/command.hpp"
@@ -39,8 +56,12 @@ struct ReplicaConfig {
   std::uint64_t coin_seed = 0x5312u;
   /// Stop opening new slots after this many (benches bound their runs).
   std::size_t max_slots = 64;
+  /// Pipelining window W: up to W slots at and above the committed prefix
+  /// run concurrently (propose out of order, commit strictly in order).
+  /// W = 1 is the sequential flow.
+  std::size_t window = 1;
   /// Optional metrics scope (smr_* series; also handed to each slot's DEX
-  /// stack). Disabled by default.
+  /// stack and the instance host). Disabled by default.
   metrics::MetricsScope metrics;
   /// Host clock for slot-latency measurement (e.g. [&sim]{ return sim.now(); }).
   /// Latency is only exported when both metrics and clock are provided.
@@ -71,32 +92,52 @@ class Replica final : public sim::Actor {
   [[nodiscard]] const std::vector<LogEntry>& log() const { return log_; }
   [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
   [[nodiscard]] InstanceId next_slot() const { return next_slot_; }
+  /// Currently live (undecided or uncommitted) consensus instances.
+  [[nodiscard]] std::size_t live_instances() const { return host_.live_count(); }
+  /// Most simultaneously-live instances ever (GC acceptance checks).
+  [[nodiscard]] std::size_t live_instances_peak() const {
+    return host_.live_high_water();
+  }
 
  private:
-  struct Slot {
-    std::unique_ptr<DexStack> stack;
+  /// Per-slot bookkeeping the host doesn't carry. The proposed flag persists
+  /// past commit (late traffic must not re-trigger a proposal); the digest
+  /// assignment is released at commit time.
+  struct SlotMeta {
     bool proposed = false;
-    bool committed = false;
-    SimTime opened_at = 0;  // host clock when the slot was opened
+    std::optional<Value> assigned;  // digest this replica proposed here
+    SimTime opened_at = 0;          // host clock when the slot was opened
   };
 
-  /// The condition pair must be rebuilt per slot? No — pairs are stateless;
-  /// one shared instance serves every slot.
-  Slot& open_slot(InstanceId s);
+  /// Open (or find) slot s via the host; stamps opened_at on first open.
+  /// Returns nullptr when the host refuses the id (inadmissible).
+  ConsensusProcess* open_slot(InstanceId s);
+  /// Digest this replica would propose for slot s, honouring the pipelining
+  /// mode: W = 1 always offers the oldest pending digest (the sequential
+  /// flow); W > 1 offers the oldest digest not already assigned to another
+  /// in-flight slot, so concurrent slots carry distinct commands.
+  [[nodiscard]] std::optional<Value> digest_for_proposal() const;
   void propose_if_ready(InstanceId s);
+  /// Propose into every ready slot of the window [next_slot_, next_slot_+W).
+  void propose_open_window();
   void harvest_decisions();
   void try_commit();
+  /// Retire committed slots whose stacks have reached protocol quiescence.
+  void gc_halted();
+  void export_live_gauges();
 
   ReplicaConfig cfg_;
   std::shared_ptr<const ConditionPair> pair_;
 
-  std::map<InstanceId, Slot> slots_;
+  ConsensusHost host_;
+  std::map<InstanceId, SlotMeta> meta_;
   InstanceId next_slot_ = 0;  // lowest undecided slot
   std::deque<Value> pending_;           // FIFO of digests awaiting commitment
   std::set<Value> pending_set_;
   std::map<Value, Command> bodies_;     // digest → command body
   std::set<Value> committed_digests_;
   std::map<InstanceId, Decision> decided_;  // decided but not yet applied
+  std::set<InstanceId> committed_live_;  // committed, awaiting halt for GC
   std::vector<LogEntry> log_;
   Outbox dissem_outbox_;  // command-body broadcasts
 
@@ -107,6 +148,8 @@ class Replica final : public sim::Actor {
   metrics::Counter* m_submitted_ = nullptr;
   metrics::HistogramMetric* m_slot_latency_ = nullptr;
   metrics::Gauge* m_pending_ = nullptr;
+  metrics::Gauge* m_live_ = nullptr;
+  metrics::Gauge* m_live_peak_ = nullptr;
 };
 
 }  // namespace dex::smr

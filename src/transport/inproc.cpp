@@ -1,5 +1,7 @@
 #include "transport/inproc.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 
 namespace dex::transport {
@@ -7,8 +9,19 @@ namespace dex::transport {
 void Mailbox::push(Incoming item) {
   {
     const std::scoped_lock lock(mu_);
-    if (closed_) return;
+    if (closed_) {
+      ++stats_.dropped;
+      metrics::inc(m_dropped_);
+      return;
+    }
     items_.push_back(std::move(item));
+    stats_.depth = items_.size();
+    stats_.high_water = std::max(stats_.high_water, stats_.depth);
+    if (soft_cap_ != 0 && stats_.depth > soft_cap_) {
+      ++stats_.soft_cap_exceeded;
+      metrics::inc(m_soft_cap_);
+    }
+    metrics::set(m_depth_, static_cast<double>(stats_.depth));
   }
   cv_.notify_one();
 }
@@ -21,6 +34,8 @@ std::optional<Incoming> Mailbox::pop(std::chrono::milliseconds timeout) {
   if (items_.empty()) return std::nullopt;  // closed
   Incoming item = std::move(items_.front());
   items_.pop_front();
+  stats_.depth = items_.size();
+  metrics::set(m_depth_, static_cast<double>(stats_.depth));
   return item;
 }
 
@@ -32,11 +47,25 @@ void Mailbox::close() {
   cv_.notify_all();
 }
 
-InProcNetwork::InProcNetwork(std::size_t n, metrics::MetricsRegistry* metrics) {
+void Mailbox::attach_metrics(metrics::Gauge* depth, metrics::Counter* dropped,
+                             metrics::Counter* soft_cap_exceeded) {
+  const std::scoped_lock lock(mu_);
+  m_depth_ = depth;
+  m_dropped_ = dropped;
+  m_soft_cap_ = soft_cap_exceeded;
+}
+
+MailboxStats Mailbox::stats() const {
+  const std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+InProcNetwork::InProcNetwork(std::size_t n, metrics::MetricsRegistry* metrics,
+                             std::size_t mailbox_soft_cap) {
   DEX_ENSURE(n > 0);
   mailboxes_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    mailboxes_.push_back(std::make_unique<Mailbox>());
+    mailboxes_.push_back(std::make_unique<Mailbox>(mailbox_soft_cap));
   }
   if (metrics != nullptr) {
     for (const MsgKind k : {MsgKind::kPlain, MsgKind::kIdbInit, MsgKind::kIdbEcho}) {
@@ -46,6 +75,20 @@ InProcNetwork::InProcNetwork(std::size_t n, metrics::MetricsRegistry* metrics) {
           &metrics->counter("transport_messages_total", labels);
       m_bytes_[static_cast<std::size_t>(k)] =
           &metrics->counter("transport_bytes_total", labels);
+    }
+    m_batches_ = &metrics->counter("transport_batches_total",
+                                   {{"transport", "inproc"}});
+    m_batch_bytes_ = &metrics->counter("transport_batch_bytes_total",
+                                       {{"transport", "inproc"}});
+    metrics::Counter& dropped = metrics->counter(
+        "transport_mailbox_dropped_total", {{"transport", "inproc"}});
+    metrics::Counter& exceeded = metrics->counter(
+        "transport_mailbox_soft_cap_exceeded_total", {{"transport", "inproc"}});
+    for (std::size_t i = 0; i < n; ++i) {
+      metrics::Gauge& depth = metrics->gauge(
+          "transport_mailbox_depth",
+          {{"transport", "inproc"}, {"endpoint", std::to_string(i)}});
+      mailboxes_[i]->attach_metrics(&depth, &dropped, &exceeded);
     }
   }
 }
@@ -69,12 +112,39 @@ void InProcNetwork::deliver(ProcessId src, ProcessId dst, Message msg) {
   mailboxes_[static_cast<std::size_t>(dst)]->push(Incoming{src, std::move(msg)});
 }
 
+void InProcNetwork::deliver_wire(ProcessId src, ProcessId dst,
+                                 std::span<const std::byte> frame) {
+  if (dst < 0 || static_cast<std::size_t>(dst) >= mailboxes_.size()) return;
+  std::vector<Message> msgs;
+  try {
+    msgs = decode_wire(frame);
+  } catch (const DecodeError&) {
+    return;  // a broken frame never reaches the receiver
+  }
+  if (BatchFrame::is_batch(frame)) {
+    metrics::inc(m_batches_);
+    metrics::inc(m_batch_bytes_, frame.size());
+  }
+  for (Message& msg : msgs) deliver(src, dst, std::move(msg));
+}
+
 void InProcNetwork::shutdown() {
   for (auto& mb : mailboxes_) mb->close();
 }
 
 void InProcTransport::send(ProcessId dst, Message msg) {
   net_->deliver(self_, dst, std::move(msg));
+}
+
+void InProcTransport::send_batch(ProcessId dst, std::vector<Message> msgs) {
+  if (msgs.empty()) return;
+  if (msgs.size() == 1) {
+    send(dst, std::move(msgs.front()));
+    return;
+  }
+  BatchFrame frame;
+  frame.messages = std::move(msgs);
+  net_->deliver_wire(self_, dst, frame.to_bytes());
 }
 
 std::optional<Incoming> InProcTransport::recv(std::chrono::milliseconds timeout) {

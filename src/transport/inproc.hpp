@@ -7,6 +7,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "metrics/metrics.hpp"
@@ -14,19 +15,45 @@
 
 namespace dex::transport {
 
+/// Occupancy statistics of one Mailbox (snapshot under the mailbox lock).
+struct MailboxStats {
+  std::size_t depth = 0;       ///< current queue length
+  std::size_t high_water = 0;  ///< max queue length ever observed
+  std::uint64_t dropped = 0;   ///< pushes rejected because the box was closed
+  /// Pushes admitted while the queue was already at/above the soft cap. The
+  /// cap never rejects traffic (consensus links are reliable); it marks when
+  /// a receiver falls behind its senders.
+  std::uint64_t soft_cap_exceeded = 0;
+};
+
 /// A bounded-ish MPSC mailbox. Senders never block (consensus traffic is
-/// small); the receiver blocks with timeout.
+/// small); the receiver blocks with timeout. A soft cap of 0 means uncapped.
 class Mailbox {
  public:
+  explicit Mailbox(std::size_t soft_cap = 0) : soft_cap_(soft_cap) {}
+
   void push(Incoming item);
   std::optional<Incoming> pop(std::chrono::milliseconds timeout);
   void close();
 
+  /// Wire the mailbox into a metrics registry (all pointers optional; must
+  /// outlive the mailbox). depth is exported as a gauge on every push/pop.
+  void attach_metrics(metrics::Gauge* depth, metrics::Counter* dropped,
+                      metrics::Counter* soft_cap_exceeded);
+
+  [[nodiscard]] MailboxStats stats() const;
+  [[nodiscard]] std::size_t soft_cap() const { return soft_cap_; }
+
  private:
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Incoming> items_;
   bool closed_ = false;
+  std::size_t soft_cap_;
+  MailboxStats stats_;
+  metrics::Gauge* m_depth_ = nullptr;
+  metrics::Counter* m_dropped_ = nullptr;
+  metrics::Counter* m_soft_cap_ = nullptr;
 };
 
 class InProcNetwork;
@@ -36,6 +63,9 @@ class InProcTransport final : public Transport {
   InProcTransport(InProcNetwork* net, ProcessId self) : net_(net), self_(self) {}
 
   void send(ProcessId dst, Message msg) override;
+  /// Coalesces into a BatchFrame and round-trips it through the wire codec,
+  /// so the in-process path exercises exactly the bytes TCP would carry.
+  void send_batch(ProcessId dst, std::vector<Message> msgs) override;
   std::optional<Incoming> recv(std::chrono::milliseconds timeout) override;
   [[nodiscard]] std::size_t n() const override;
   [[nodiscard]] ProcessId self() const override { return self_; }
@@ -53,12 +83,18 @@ class InProcTransport final : public Transport {
 class InProcNetwork {
  public:
   explicit InProcNetwork(std::size_t n,
-                         metrics::MetricsRegistry* metrics = nullptr);
+                         metrics::MetricsRegistry* metrics = nullptr,
+                         std::size_t mailbox_soft_cap = 0);
 
   [[nodiscard]] std::unique_ptr<InProcTransport> endpoint(ProcessId i);
   [[nodiscard]] std::size_t n() const { return mailboxes_.size(); }
 
   void deliver(ProcessId src, ProcessId dst, Message msg);
+  /// Deliver an encoded wire frame (bare Message or BatchFrame): decoded with
+  /// decode_wire and fanned into dst's mailbox one message at a time.
+  /// Malformed frames are dropped, as a TCP reader would drop them.
+  void deliver_wire(ProcessId src, ProcessId dst,
+                    std::span<const std::byte> frame);
   Mailbox& mailbox(ProcessId i);
   void shutdown();
 
@@ -66,6 +102,8 @@ class InProcNetwork {
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   metrics::Counter* m_msgs_[3] = {nullptr, nullptr, nullptr};  // by MsgKind
   metrics::Counter* m_bytes_[3] = {nullptr, nullptr, nullptr};
+  metrics::Counter* m_batches_ = nullptr;
+  metrics::Counter* m_batch_bytes_ = nullptr;
 };
 
 }  // namespace dex::transport

@@ -22,13 +22,31 @@ bool RunnerResult::agreement() const {
 }
 
 namespace {
-void flush_outbox(ConsensusProcess& proc, Transport& transport) {
+void flush_outbox(ConsensusProcess& proc, Transport& transport, bool batch) {
+  if (!batch) {
+    for (Outgoing& out : proc.drain_outbox()) {
+      if (out.dst == kBroadcastDst) {
+        transport.broadcast(out.msg);
+      } else {
+        transport.send(out.dst, std::move(out.msg));
+      }
+    }
+    return;
+  }
+  // Group this flush per destination (broadcasts fan into every destination,
+  // preserving order) and hand each group to the transport as one batch.
+  const std::size_t n = transport.n();
+  std::vector<std::vector<Message>> per_dst(n);
   for (Outgoing& out : proc.drain_outbox()) {
     if (out.dst == kBroadcastDst) {
-      transport.broadcast(out.msg);
-    } else {
-      transport.send(out.dst, std::move(out.msg));
+      for (std::size_t d = 0; d < n; ++d) per_dst[d].push_back(out.msg);
+    } else if (out.dst >= 0 && static_cast<std::size_t>(out.dst) < n) {
+      per_dst[static_cast<std::size_t>(out.dst)].push_back(std::move(out.msg));
     }
+  }
+  for (std::size_t d = 0; d < n; ++d) {
+    if (per_dst[d].empty()) continue;
+    transport.send_batch(static_cast<ProcessId>(d), std::move(per_dst[d]));
   }
 }
 }  // namespace
@@ -37,11 +55,11 @@ void drive_process(ConsensusProcess& proc, Transport& transport, Value proposal,
                    const RunnerOptions& opts) {
   const auto deadline = std::chrono::steady_clock::now() + opts.deadline;
   proc.propose(proposal);
-  flush_outbox(proc, transport);
+  flush_outbox(proc, transport, opts.batch);
   while (!proc.halted() && std::chrono::steady_clock::now() < deadline) {
     if (auto in = transport.recv(opts.recv_timeout)) {
       proc.on_packet(in->src, in->msg);
-      flush_outbox(proc, transport);
+      flush_outbox(proc, transport, opts.batch);
     }
   }
 }

@@ -16,6 +16,10 @@ namespace dex::transport {
 struct RunnerOptions {
   std::chrono::milliseconds recv_timeout{10};
   std::chrono::milliseconds deadline{10'000};
+  /// Coalesce all same-destination messages of one outbox flush into a
+  /// single Transport::send_batch call (one wire frame on batching
+  /// transports). Receivers still see individual messages.
+  bool batch = false;
 };
 
 struct RunnerResult {

@@ -7,8 +7,10 @@
 //
 // Wire format per frame:
 //   u32 magic ("DEXC") | u32 payload length | u32 crc32(payload) | payload
-// A frame that fails any check kills the connection (a Byzantine peer can
-// send garbage *content*, but framing errors indicate a broken stream).
+// The payload is either a bare encoded Message or a BatchFrame (send_batch);
+// the two are distinguished by the first payload byte. A frame that fails
+// any check kills the connection (a Byzantine peer can send garbage
+// *content*, but framing errors indicate a broken stream).
 #pragma once
 
 #include <atomic>
@@ -49,6 +51,9 @@ class TcpTransport final : public Transport {
   void start();
 
   void send(ProcessId dst, Message msg) override;
+  /// Coalesces the messages into one BatchFrame carried by a single framed
+  /// write (one header + crc for the whole batch).
+  void send_batch(ProcessId dst, std::vector<Message> msgs) override;
   std::optional<Incoming> recv(std::chrono::milliseconds timeout) override;
   [[nodiscard]] std::size_t n() const override { return cfg_.n; }
   [[nodiscard]] ProcessId self() const override { return cfg_.self; }
@@ -81,6 +86,8 @@ class TcpTransport final : public Transport {
   metrics::Counter* m_sent_bytes_[3] = {nullptr, nullptr, nullptr};
   metrics::Counter* m_recv_[3] = {nullptr, nullptr, nullptr};
   metrics::Counter* m_recv_bytes_[3] = {nullptr, nullptr, nullptr};
+  metrics::Counter* m_batches_sent_ = nullptr;
+  metrics::Counter* m_batches_recv_ = nullptr;
   metrics::Gauge* m_peers_ = nullptr;
 };
 

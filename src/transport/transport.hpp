@@ -7,6 +7,7 @@
 
 #include <chrono>
 #include <optional>
+#include <vector>
 
 #include "consensus/message.hpp"
 
@@ -23,6 +24,14 @@ class Transport {
 
   /// Unicast to dst. Must be callable from the owner's driver thread.
   virtual void send(ProcessId dst, Message msg) = 0;
+
+  /// Unicast several messages to one destination. Transports that frame a
+  /// wire (TCP, the in-process codec path) coalesce them into one BatchFrame
+  /// packet; the default falls back to per-message send(). Receivers always
+  /// see individual messages — batching never changes recv() semantics.
+  virtual void send_batch(ProcessId dst, std::vector<Message> msgs) {
+    for (Message& m : msgs) send(dst, std::move(m));
+  }
 
   /// Next inbound message, or nullopt on timeout / shutdown.
   virtual std::optional<Incoming> recv(std::chrono::milliseconds timeout) = 0;

@@ -107,6 +107,100 @@ TEST(UcPhasePayload, RejectsGarbage) {
   EXPECT_THROW(UcPhasePayload::from_bytes(junk), DecodeError);
 }
 
+Message make_msg(MsgKind kind, InstanceId inst, std::uint64_t tag, Value v) {
+  Message m;
+  m.kind = kind;
+  m.instance = inst;
+  m.tag = tag;
+  m.payload = ValuePayload{v}.to_bytes();
+  return m;
+}
+
+TEST(BatchFrame, RoundTrip) {
+  BatchFrame frame;
+  frame.messages.push_back(make_msg(MsgKind::kPlain, 1, chan::kDexProposalPlain, 7));
+  frame.messages.push_back(make_msg(MsgKind::kIdbInit, 2, chan::kDexProposalIdb, -3));
+  frame.messages.push_back(make_msg(MsgKind::kIdbEcho, 3, chan::kUcDecide, 0));
+
+  const auto bytes = frame.to_bytes();
+  EXPECT_TRUE(BatchFrame::is_batch(bytes));
+  EXPECT_EQ(bytes.size(), frame.encoded_size());
+
+  const BatchFrame back = BatchFrame::from_bytes(bytes);
+  ASSERT_EQ(back.messages.size(), frame.messages.size());
+  for (std::size_t i = 0; i < frame.messages.size(); ++i) {
+    EXPECT_EQ(back.messages[i], frame.messages[i]);
+  }
+}
+
+TEST(BatchFrame, MarkerCannotCollideWithBareMessage) {
+  // A bare Message's first byte is its MsgKind (0..2); the batch marker must
+  // stay distinguishable so decode_wire can dispatch on the first byte.
+  const auto bare = make_msg(MsgKind::kPlain, 0, chan::kUcDecide, 1).to_bytes();
+  EXPECT_FALSE(BatchFrame::is_batch(bare));
+}
+
+TEST(BatchFrame, DecodeWireDispatches) {
+  const Message m = make_msg(MsgKind::kPlain, 5, chan::kSmrDissem, 11);
+  const auto single = decode_wire(m.to_bytes());
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0], m);
+
+  BatchFrame frame;
+  frame.messages.push_back(m);
+  frame.messages.push_back(make_msg(MsgKind::kIdbEcho, 6, chan::kUcPhase, -9));
+  const auto multi = decode_wire(frame.to_bytes());
+  ASSERT_EQ(multi.size(), 2u);
+  EXPECT_EQ(multi[0], frame.messages[0]);
+  EXPECT_EQ(multi[1], frame.messages[1]);
+}
+
+TEST(BatchFrame, BatchEncodedSizeMatchesWire) {
+  BatchFrame frame;
+  for (int i = 0; i < 5; ++i) {
+    frame.messages.push_back(
+        make_msg(MsgKind::kIdbInit, static_cast<InstanceId>(i),
+                 chan::kDexProposalIdb, i * 100));
+  }
+  EXPECT_EQ(batch_encoded_size(frame.messages), frame.to_bytes().size());
+}
+
+TEST(BatchFrame, RejectsBadVersion) {
+  BatchFrame frame;
+  frame.messages.push_back(make_msg(MsgKind::kPlain, 0, chan::kUcDecide, 1));
+  auto bytes = frame.to_bytes();
+  bytes[1] = std::byte{0x7f};  // unknown version
+  EXPECT_THROW(BatchFrame::from_bytes(bytes), DecodeError);
+}
+
+TEST(BatchFrame, RejectsTruncatedAndTrailing) {
+  BatchFrame frame;
+  frame.messages.push_back(make_msg(MsgKind::kPlain, 0, chan::kUcDecide, 1));
+  frame.messages.push_back(make_msg(MsgKind::kIdbEcho, 1, chan::kUcPhase, 2));
+  auto bytes = frame.to_bytes();
+
+  auto truncated = bytes;
+  truncated.resize(truncated.size() - 3);
+  EXPECT_THROW(BatchFrame::from_bytes(truncated), DecodeError);
+
+  auto trailing = bytes;
+  trailing.push_back(std::byte{0});
+  EXPECT_THROW(BatchFrame::from_bytes(trailing), DecodeError);
+}
+
+TEST(BatchFrame, RejectsEmptyAndGarbage) {
+  EXPECT_THROW(BatchFrame::from_bytes({}), DecodeError);
+  std::vector<std::byte> junk = {std::byte{BatchFrame::kMarker}};
+  EXPECT_THROW(BatchFrame::from_bytes(junk), DecodeError);
+}
+
+TEST(Message, EncodedSizeMatchesWire) {
+  const Message m = make_msg(MsgKind::kIdbEcho, 1234, chan::uc_phase_tag(3, 1), -5);
+  EXPECT_EQ(m.encoded_size(), m.to_bytes().size());
+  Message empty;
+  EXPECT_EQ(empty.encoded_size(), empty.to_bytes().size());
+}
+
 TEST(Outbox, DrainMovesAndClears) {
   Outbox ob;
   Message m;

@@ -22,7 +22,8 @@ struct Cluster {
   std::vector<Replica*> replicas;
 
   explicit Cluster(std::uint64_t seed, std::size_t byzantine = 0,
-                   std::shared_ptr<sim::DelayModel> delay = nullptr)
+                   std::shared_ptr<sim::DelayModel> delay = nullptr,
+                   std::size_t window = 1)
       : simulation(kN, make_options(seed, std::move(delay))) {
     auto pair = make_frequency_pair(kN, kT);
     for (std::size_t i = 0; i < kN - byzantine; ++i) {
@@ -30,6 +31,7 @@ struct Cluster {
       rc.n = kN;
       rc.t = kT;
       rc.self = static_cast<ProcessId>(i);
+      rc.window = window;
       auto replica = std::make_unique<Replica>(rc, pair);
       replicas.push_back(replica.get());
       simulation.attach(static_cast<ProcessId>(i), std::move(replica));
@@ -168,6 +170,167 @@ TEST(Smr, DuplicateSubmitCommitsOnce) {
       if (e.digest == cmd.digest()) ++hits;
     }
     EXPECT_EQ(hits, 1u);
+  }
+}
+
+/// Asserts that every replica's committed digest sequence is a prefix of the
+/// longest one (Byzantine runs may leave some replicas behind, but never on a
+/// different history).
+void expect_prefix_agreement(const std::vector<Replica*>& replicas) {
+  const Replica* longest = replicas[0];
+  for (const Replica* r : replicas) {
+    if (r->log().size() > longest->log().size()) longest = r;
+  }
+  for (const Replica* r : replicas) {
+    for (std::size_t s = 0; s < r->log().size(); ++s) {
+      ASSERT_EQ(r->log()[s].digest, longest->log()[s].digest)
+          << "replica " << r->next_slot() << " diverges at slot " << s;
+    }
+  }
+}
+
+TEST(Smr, SameCommandToDisjointSubsetsCommitsOnce) {
+  // The same digest reaches two disjoint replica subsets at different times
+  // (a client retrying against a different quorum). It must commit in exactly
+  // one slot everywhere.
+  Cluster cluster(8);
+  const Command cmd{1, 1, "SET a 1"};
+  for (std::size_t r = 0; r < cluster.replicas.size(); ++r) {
+    Replica* rep = cluster.replicas[r];
+    const SimTime at = r < 6 ? 0 : 5'000'000;
+    cluster.simulation.schedule_at(at, [rep, cmd] { rep->submit(cmd); });
+  }
+  cluster.simulation.run();
+  expect_prefix_agreement(cluster.replicas);
+  for (Replica* r : cluster.replicas) {
+    std::size_t hits = 0;
+    for (const auto& e : r->log()) {
+      if (e.digest == cmd.digest()) ++hits;
+    }
+    EXPECT_EQ(hits, 1u);
+  }
+}
+
+/// Delays command-body dissemination toward the last two replicas until long
+/// after the slot decides, while consensus traffic flows normally.
+class DissemStarver final : public sim::DelayModel {
+ public:
+  SimTime delay(SimTime, ProcessId, ProcessId dst, const Message& msg,
+                Rng&) override {
+    const bool dissem = msg.kind == MsgKind::kPlain &&
+                        chan::channel(msg.tag) == chan::kSmrDissem;
+    if (dissem && dst >= 11) return 3'000'000'000;  // 3 s: long past commit
+    return 1'000'000;
+  }
+};
+
+TEST(Smr, UnknownDigestCommitsAsHole) {
+  // Replicas 11 and 12 never receive the command body before the slot
+  // decides: they must commit the digest as a hole (no command) rather than
+  // stall, and the digest sequence must still agree everywhere.
+  Cluster cluster(9, 0, std::make_shared<DissemStarver>());
+  const Command cmd{1, 1, "SET a 1"};
+  for (std::size_t r = 0; r < 11; ++r) {
+    Replica* rep = cluster.replicas[r];
+    cluster.simulation.schedule_at(0, [rep, cmd] { rep->submit(cmd); });
+  }
+  cluster.simulation.run();
+  expect_prefix_agreement(cluster.replicas);
+  for (std::size_t r = 0; r < cluster.replicas.size(); ++r) {
+    const auto& log = cluster.replicas[r]->log();
+    ASSERT_GE(log.size(), 1u) << "replica " << r;
+    EXPECT_EQ(log[0].digest, cmd.digest()) << "replica " << r;
+  }
+  // The starved replicas hold the digest but not the body — a hole.
+  for (std::size_t r = 11; r < cluster.replicas.size(); ++r) {
+    EXPECT_FALSE(cluster.replicas[r]->log()[0].command.has_value())
+        << "replica " << r;
+  }
+  // The others applied the command.
+  EXPECT_TRUE(cluster.replicas[0]->log()[0].command.has_value());
+}
+
+TEST(Smr, PipelinedWindowCommitsInOrder) {
+  // W = 4: commands submitted back-to-back ride concurrent slots but commit
+  // strictly in submission-independent slot order on every replica.
+  Cluster cluster(10, 0, nullptr, /*window=*/4);
+  constexpr std::uint64_t kCmds = 8;
+  for (std::uint64_t s = 1; s <= kCmds; ++s) {
+    cluster.client_submit(Command{1, s, "OP " + std::to_string(s)},
+                          s * 1'000'000);  // 1 ms apart: the window stays full
+  }
+  cluster.simulation.run();
+  expect_prefix_agreement(cluster.replicas);
+  for (Replica* r : cluster.replicas) {
+    std::set<Value> digests;
+    std::size_t commands = 0;
+    for (const auto& e : r->log()) {
+      if (e.command.has_value()) ++commands;
+      EXPECT_TRUE(digests.insert(e.digest).second || e.digest == smr::kNoopDigest)
+          << "duplicate digest in one log";
+    }
+    EXPECT_EQ(commands, kCmds);
+    EXPECT_GE(r->live_instances_peak(), 2u);  // the window actually pipelined
+  }
+}
+
+TEST(Smr, PipelinedWindowToleratesEquivocatingProposer) {
+  // An equivocating proposer attacks slot 0 while correct replicas drive a
+  // W = 4 pipelined log. Correct replicas must stay on one history.
+  constexpr std::size_t kN = Cluster::kN, kT = Cluster::kT;
+  sim::SimOptions opts;
+  opts.seed = 11;
+  sim::Simulation simulation(kN, opts);
+  auto pair = make_frequency_pair(kN, kT);
+  std::vector<Replica*> replicas;
+  for (std::size_t i = 0; i + 1 < kN; ++i) {
+    ReplicaConfig rc;
+    rc.n = kN;
+    rc.t = kT;
+    rc.self = static_cast<ProcessId>(i);
+    rc.window = 4;
+    auto rep = std::make_unique<Replica>(rc, pair);
+    replicas.push_back(rep.get());
+    simulation.attach(static_cast<ProcessId>(i), std::move(rep));
+  }
+  // The last process equivocates two fabricated digests on slot 0.
+  simulation.attach(static_cast<ProcessId>(kN - 1),
+                    std::make_unique<byz::ByzantineActor>(
+                        kN, kT, static_cast<ProcessId>(kN - 1), 0, 99, 0,
+                        byz::make_equivocator(0x6666, 0x7777)));
+  std::uint64_t seq = 1;
+  for (std::uint64_t s = 1; s <= 6; ++s) {
+    const Command cmd{1, seq++, "OP " + std::to_string(s)};
+    for (Replica* rep : replicas) {
+      simulation.schedule_at(s * 1'000'000, [rep, cmd] { rep->submit(cmd); });
+    }
+  }
+  simulation.run();
+  expect_prefix_agreement(replicas);
+  for (Replica* r : replicas) {
+    std::size_t commands = 0;
+    for (const auto& e : r->log()) {
+      if (e.command.has_value()) ++commands;
+    }
+    EXPECT_EQ(commands, 6u) << "correct commands lost";
+  }
+}
+
+TEST(Smr, DecidedSlotEnginesAreReleased) {
+  // The GC acceptance property: a long sequential log never holds more than
+  // a handful of live instances — decided slots are reduced to echo husks
+  // once their stacks halt.
+  Cluster cluster(12);
+  for (std::uint64_t s = 1; s <= 6; ++s) {
+    cluster.client_submit(Command{1, s, "OP " + std::to_string(s)},
+                          s * 40'000'000);
+  }
+  cluster.simulation.run();
+  for (Replica* r : cluster.replicas) {
+    EXPECT_EQ(r->log().size(), 6u);
+    EXPECT_EQ(r->live_instances(), 0u)
+        << "every decided slot should have been retired";
+    EXPECT_LT(r->live_instances_peak(), 6u);
   }
 }
 

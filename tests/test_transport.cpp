@@ -51,6 +51,118 @@ TEST(Mailbox, PushAfterCloseDropped) {
   EXPECT_FALSE(mb.pop(std::chrono::milliseconds(5)).has_value());
 }
 
+TEST(Mailbox, TracksDepthAndHighWater) {
+  transport::Mailbox mb;
+  for (int i = 0; i < 4; ++i) mb.push({0, Message{}});
+  EXPECT_EQ(mb.stats().depth, 4u);
+  EXPECT_EQ(mb.stats().high_water, 4u);
+  (void)mb.pop(std::chrono::milliseconds(5));
+  (void)mb.pop(std::chrono::milliseconds(5));
+  EXPECT_EQ(mb.stats().depth, 2u);
+  EXPECT_EQ(mb.stats().high_water, 4u);  // high water never recedes
+}
+
+TEST(Mailbox, SoftCapCountsButNeverRejects) {
+  transport::Mailbox mb(/*soft_cap=*/2);
+  for (int i = 0; i < 5; ++i) mb.push({0, Message{}});
+  // The cap is advisory back-pressure telemetry: everything is still queued.
+  EXPECT_EQ(mb.stats().depth, 5u);
+  EXPECT_EQ(mb.stats().soft_cap_exceeded, 3u);  // pushes 3, 4 and 5
+  EXPECT_EQ(mb.stats().dropped, 0u);
+}
+
+TEST(Mailbox, CountsDropsAfterClose) {
+  transport::Mailbox mb;
+  mb.push({0, Message{}});
+  mb.close();
+  mb.push({0, Message{}});
+  mb.push({0, Message{}});
+  EXPECT_EQ(mb.stats().dropped, 2u);
+}
+
+TEST(InProcTransport, SendBatchPreservesOrder) {
+  transport::InProcNetwork net(2);
+  auto a = net.endpoint(0);
+  auto b = net.endpoint(1);
+
+  std::vector<Message> msgs;
+  for (int i = 0; i < 3; ++i) {
+    Message m;
+    m.kind = MsgKind::kPlain;
+    m.tag = chan::kBoscoVote;
+    m.payload = ValuePayload{i}.to_bytes();
+    msgs.push_back(std::move(m));
+  }
+  a->send_batch(1, msgs);
+
+  for (int i = 0; i < 3; ++i) {
+    const auto got = b->recv(std::chrono::seconds(1));
+    ASSERT_TRUE(got.has_value()) << "message " << i;
+    EXPECT_EQ(got->src, 0);
+    EXPECT_EQ(ValuePayload::from_bytes(got->msg.payload).v, i);
+  }
+}
+
+TEST(InProcNetwork, DeliverWireDecodesBatchFrames) {
+  transport::InProcNetwork net(2);
+  auto a = net.endpoint(0);
+  auto b = net.endpoint(1);
+  (void)a;
+
+  BatchFrame frame;
+  for (int i = 0; i < 2; ++i) {
+    Message m;
+    m.kind = MsgKind::kIdbInit;
+    m.tag = chan::kDexProposalIdb;
+    m.payload = ValuePayload{10 + i}.to_bytes();
+    frame.messages.push_back(std::move(m));
+  }
+  net.deliver_wire(0, 1, frame.to_bytes());
+
+  for (int i = 0; i < 2; ++i) {
+    const auto got = b->recv(std::chrono::seconds(1));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(ValuePayload::from_bytes(got->msg.payload).v, 10 + i);
+  }
+  // Malformed wire bytes are dropped, not fatal.
+  std::vector<std::byte> junk = {std::byte{BatchFrame::kMarker}, std::byte{9}};
+  net.deliver_wire(0, 1, junk);
+  EXPECT_FALSE(b->recv(std::chrono::milliseconds(20)).has_value());
+}
+
+TEST(TcpTransport, BatchedMessagesAcrossLoopback) {
+  constexpr std::size_t kN = 2;
+  std::vector<std::unique_ptr<transport::TcpTransport>> nodes;
+  for (std::size_t i = 0; i < kN; ++i) {
+    transport::TcpConfig cfg;
+    cfg.n = kN;
+    cfg.self = static_cast<ProcessId>(i);
+    cfg.base_port = 19700;
+    nodes.push_back(std::make_unique<transport::TcpTransport>(cfg));
+  }
+  std::vector<std::thread> starters;
+  for (auto& node : nodes) starters.emplace_back([&node] { node->start(); });
+  for (auto& th : starters) th.join();
+
+  std::vector<Message> msgs;
+  for (int i = 0; i < 4; ++i) {
+    Message m;
+    m.kind = MsgKind::kPlain;
+    m.tag = chan::kBoscoVote;
+    m.payload = ValuePayload{100 + i}.to_bytes();
+    msgs.push_back(std::move(m));
+  }
+  nodes[0]->send_batch(1, msgs);
+
+  for (int i = 0; i < 4; ++i) {
+    const auto got = nodes[1]->recv(std::chrono::seconds(5));
+    ASSERT_TRUE(got.has_value()) << "message " << i;
+    EXPECT_EQ(got->src, 0);
+    EXPECT_EQ(ValuePayload::from_bytes(got->msg.payload).v, 100 + i);
+  }
+  for (auto& node : nodes) node->shutdown();
+}
+
 std::vector<std::unique_ptr<ConsensusProcess>> make_cluster(Algorithm algo,
                                                             std::size_t n,
                                                             std::size_t t) {

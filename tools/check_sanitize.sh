@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Sanitizer gate: configures nested ASan and UBSan builds of the tree
+# (-DDEX_SANITIZE=address|undefined), builds the memory-sensitive test
+# binaries (test_smr exercises the instance-GC/husk lifecycle, test_transport
+# the batch codec and mailbox paths) and runs them under the sanitizer.
+# Registered with ctest as `check_sanitize`; exits 77 (ctest SKIP) when the
+# toolchain lacks sanitizer runtimes.
+#
+# Usage: check_sanitize.sh /path/to/source-dir
+set -euo pipefail
+
+SRC="${1:?usage: check_sanitize.sh /path/to/source-dir}"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+# Probe: can this toolchain link a sanitized binary at all?
+probe() {
+  local flag="$1"
+  echo 'int main(){return 0;}' > "$WORKDIR/probe.cpp"
+  c++ "-fsanitize=$flag" "$WORKDIR/probe.cpp" -o "$WORKDIR/probe" \
+    > /dev/null 2>&1 && "$WORKDIR/probe" > /dev/null 2>&1
+}
+
+for flag in address undefined; do
+  if ! probe "$flag"; then
+    echo "SKIP: toolchain cannot build/run -fsanitize=$flag binaries"
+    exit 77
+  fi
+done
+
+run_one() {
+  local san="$1"
+  local bld="$WORKDIR/build-$san"
+  echo "=== DEX_SANITIZE=$san ==="
+  cmake -S "$SRC" -B "$bld" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    "-DDEX_SANITIZE=$san" > "$bld-configure.log" 2>&1 ||
+    { tail -30 "$bld-configure.log"; echo "FAIL: configure ($san)"; exit 1; }
+  cmake --build "$bld" --target test_smr test_transport -j "$(nproc)" \
+    > "$bld-build.log" 2>&1 ||
+    { tail -30 "$bld-build.log"; echo "FAIL: build ($san)"; exit 1; }
+  # TCP tests bind fixed localhost ports; keep the sanitizer pass hermetic by
+  # restricting test_transport to the in-process transport.
+  "$bld/tests/test_smr" > "$bld-smr.log" 2>&1 ||
+    { tail -40 "$bld-smr.log"; echo "FAIL: test_smr under $san"; exit 1; }
+  "$bld/tests/test_transport" --gtest_filter='-*Tcp*' > "$bld-transport.log" 2>&1 ||
+    { tail -40 "$bld-transport.log"; echo "FAIL: test_transport under $san"; exit 1; }
+  echo "ok: $san"
+}
+
+run_one address
+run_one undefined
+
+echo "check_sanitize: OK"

@@ -100,6 +100,7 @@ int main(int argc, char** argv) {
       .option("delay", "uniform | constant | exponential | heavytail", "model")
       .option("jitter-ms", "proposal start jitter in ms (default 2)", "ms")
       .option("oracle-uc", "use the idealized zero-degrading underlying consensus")
+      .option("batch", "coalesce same-destination messages into batch frames")
       .option("no-reeval", "ablation: evaluate fast paths once at n-t")
       .option("no-two-step", "ablation: disable the two-step scheme")
       .option("trace", "dump the first run's event trace (text)")
@@ -155,6 +156,7 @@ int main(int argc, char** argv) {
       cfg.delay = make_delay(cli.str("delay", "uniform"));
       cfg.start_jitter = cli.unsigned_num("jitter-ms", 2) * 1'000'000;
       cfg.use_oracle_uc = cli.flag("oracle-uc");
+      cfg.batch = cli.flag("batch");
       cfg.dex_continuous_reevaluation = !cli.flag("no-reeval");
       cfg.dex_enable_two_step = !cli.flag("no-two-step");
       sim::TraceRecorder trace;
