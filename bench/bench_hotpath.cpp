@@ -1,0 +1,375 @@
+// Hot-path microbenchmark: the three per-message costs this codebase
+// optimises — predicate evaluation, IDB echo counting, and broadcast fan-out.
+//
+//  1. Predicate evaluation. DEX re-evaluates P1/P2 on every reception once
+//     |J| ≥ n−t. The incremental View statistics make that O(1); the
+//     historical implementation recounted the whole view (freq_recompute).
+//     Both paths run the same message-ingest loop, so the reported speedup is
+//     a conservative per-message figure, not a cache-vs-nothing fiction.
+//  2. Echo counting. The IDB engine's digest-keyed buckets with voter
+//     bitsets, measured against an in-bench reference model using the old
+//     map<payload-bytes, set<sender>> layout.
+//  3. Broadcast fan-out. Payload-sharing Message copies and the encode-once
+//     wire frame, against deep-copy / encode-per-destination baselines.
+//
+// --json [path] writes BENCH_hotpath.json (schema checked by
+// tools/check_bench.sh); --check exits nonzero unless the predicate speedup
+// meets the 5x acceptance bar.
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "consensus/condition/pair.hpp"
+#include "consensus/idb/idb_engine.hpp"
+#include "consensus/message.hpp"
+#include "json_out.hpp"
+
+namespace {
+
+using namespace dex;
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct PredicateResult {
+  double cached_ns_per_eval = 0;
+  double recompute_ns_per_eval = 0;
+  double evals_per_sec = 0;
+  double speedup = 0;
+};
+
+/// One iteration = one message ingested (a set() on the view) followed by the
+/// P1/P2/F evaluation DEX performs per reception. Identical ingest work in
+/// both loops; only the statistics source differs.
+PredicateResult bench_predicates(std::size_t n, std::size_t t,
+                                 std::uint64_t iters, std::uint64_t seed) {
+  Rng rng(seed);
+  // A contended two-value vote with a sprinkling of a third value — the
+  // regime where 1st/2nd actually compete.
+  std::vector<Value> stream(1024);
+  for (auto& v : stream) {
+    const auto r = rng.next_below(10);
+    v = r < 5 ? 1 : (r < 9 ? 2 : 3);
+  }
+
+  std::uint64_t check_cached = 0, check_recompute = 0;
+  double cached_s = 0, recompute_s = 0;
+
+  {
+    View view(n);
+    for (std::size_t i = 0; i < n; ++i) view.set(i, stream[i % stream.size()]);
+    const auto t0 = Clock::now();
+    for (std::uint64_t k = 0; k < iters; ++k) {
+      view.set(static_cast<std::size_t>(k % n),
+               stream[static_cast<std::size_t>(k % stream.size())]);
+      const FreqStats& s = view.freq();
+      check_cached += static_cast<std::uint64_t>(!s.empty() && s.margin() > 4 * t);
+      check_cached += static_cast<std::uint64_t>(!s.empty() && s.margin() > 2 * t)
+                      << 1;
+      if (!s.empty()) check_cached += static_cast<std::uint64_t>(*s.first());
+    }
+    cached_s = seconds_since(t0);
+  }
+  {
+    View view(n);
+    for (std::size_t i = 0; i < n; ++i) view.set(i, stream[i % stream.size()]);
+    const auto t0 = Clock::now();
+    for (std::uint64_t k = 0; k < iters; ++k) {
+      view.set(static_cast<std::size_t>(k % n),
+               stream[static_cast<std::size_t>(k % stream.size())]);
+      const FreqStats s = view.freq_recompute();
+      check_recompute +=
+          static_cast<std::uint64_t>(!s.empty() && s.margin() > 4 * t);
+      check_recompute +=
+          static_cast<std::uint64_t>(!s.empty() && s.margin() > 2 * t) << 1;
+      if (!s.empty()) check_recompute += static_cast<std::uint64_t>(*s.first());
+    }
+    recompute_s = seconds_since(t0);
+  }
+  if (check_cached != check_recompute) {
+    std::fprintf(stderr, "FATAL: cached and recomputed predicates disagree\n");
+    std::exit(1);
+  }
+
+  PredicateResult r;
+  r.cached_ns_per_eval = cached_s * 1e9 / static_cast<double>(iters);
+  r.recompute_ns_per_eval = recompute_s * 1e9 / static_cast<double>(iters);
+  r.evals_per_sec = cached_s > 0 ? static_cast<double>(iters) / cached_s : 0;
+  r.speedup = cached_s > 0 ? recompute_s / cached_s : 0;
+  return r;
+}
+
+/// The pre-refactor slot layout, reimplemented as the baseline.
+struct RefIdbModel {
+  struct Slot {
+    bool echoed = false;
+    bool accepted = false;
+    std::map<std::vector<std::byte>, std::set<ProcessId>> echoes;
+  };
+  std::map<std::pair<ProcessId, std::uint64_t>, Slot> slots;
+  std::uint64_t accepts = 0;
+
+  void on_echo(ProcessId src, ProcessId origin, std::uint64_t tag,
+               const std::vector<std::byte>& payload, std::size_t n,
+               std::size_t t) {
+    Slot& s = slots[{origin, tag}];
+    auto& senders = s.echoes[payload];
+    senders.insert(src);
+    if (senders.size() >= n - t && !s.accepted) {
+      s.accepted = true;
+      ++accepts;
+    }
+  }
+};
+
+struct IdbResult {
+  double echoes_per_sec = 0;
+  double ref_echoes_per_sec = 0;
+  double speedup = 0;
+};
+
+IdbResult bench_idb(std::size_t n, std::size_t t, std::uint64_t slots) {
+  const std::vector<std::byte> payload_vec = ValuePayload{42}.to_bytes();
+  const std::uint64_t total = slots * n;
+
+  double engine_s = 0, ref_s = 0;
+  std::uint64_t engine_accepts = 0;
+  {
+    Outbox ob;
+    IdbEngine engine(n, t, 0, 0, &ob);
+    Message echo;
+    echo.kind = MsgKind::kIdbEcho;
+    echo.payload = payload_vec;
+    const auto t0 = Clock::now();
+    for (std::uint64_t slot = 0; slot < slots; ++slot) {
+      echo.tag = slot;
+      echo.origin = static_cast<ProcessId>(slot % n);
+      for (std::size_t src = 0; src < n; ++src) {
+        engine.on_message(static_cast<ProcessId>(src), echo);
+      }
+      if ((slot & 63) == 0) {
+        (void)ob.drain();
+        (void)engine.take_deliveries();
+      }
+    }
+    engine_s = seconds_since(t0);
+    (void)ob.drain();
+    (void)engine.take_deliveries();
+    engine_accepts = engine.accepted_count();
+  }
+  {
+    RefIdbModel model;
+    const auto t0 = Clock::now();
+    for (std::uint64_t slot = 0; slot < slots; ++slot) {
+      const auto origin = static_cast<ProcessId>(slot % n);
+      for (std::size_t src = 0; src < n; ++src) {
+        model.on_echo(static_cast<ProcessId>(src), origin, slot, payload_vec, n, t);
+      }
+    }
+    ref_s = seconds_since(t0);
+    if (model.accepts != engine_accepts) {
+      std::fprintf(stderr, "FATAL: engine and reference accept counts differ\n");
+      std::exit(1);
+    }
+  }
+
+  IdbResult r;
+  r.echoes_per_sec = engine_s > 0 ? static_cast<double>(total) / engine_s : 0;
+  r.ref_echoes_per_sec = ref_s > 0 ? static_cast<double>(total) / ref_s : 0;
+  r.speedup = engine_s > 0 ? ref_s / engine_s : 0;
+  return r;
+}
+
+struct BroadcastResult {
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t bytes_copied_per_dest = 0;
+  std::uint64_t baseline_bytes_per_dest = 0;
+  double fanouts_per_sec = 0;
+  double baseline_fanouts_per_sec = 0;
+  double encode_once_ns = 0;
+  double encode_per_dest_ns = 0;
+};
+
+BroadcastResult bench_broadcast(std::size_t n, std::uint64_t rounds,
+                                std::size_t payload_bytes) {
+  BroadcastResult r;
+  r.payload_bytes = payload_bytes;
+  r.baseline_bytes_per_dest = payload_bytes;
+
+  std::vector<std::byte> big(payload_bytes, std::byte{0x5a});
+  std::uint64_t sink = 0;
+
+  // Shared-payload fan-out: n Message copies per round, payload never cloned.
+  {
+    Message m;
+    m.payload = big;
+    const auto t0 = Clock::now();
+    for (std::uint64_t k = 0; k < rounds; ++k) {
+      std::vector<Message> fan;
+      fan.reserve(n);
+      for (std::size_t d = 0; d < n; ++d) fan.push_back(m);
+      sink += static_cast<std::uint64_t>(fan.back().payload.size());
+      // Every copy plus the original share one buffer: zero payload bytes
+      // copied per destination.
+      if (m.payload.use_count() != static_cast<long>(n + 1)) {
+        std::fprintf(stderr, "FATAL: fan-out cloned the payload\n");
+        std::exit(1);
+      }
+    }
+    r.fanouts_per_sec =
+        static_cast<double>(rounds) / std::max(seconds_since(t0), 1e-12);
+    r.bytes_copied_per_dest = 0;
+  }
+  // Deep-copy baseline: what per-destination vector payloads used to cost.
+  {
+    const auto t0 = Clock::now();
+    for (std::uint64_t k = 0; k < rounds; ++k) {
+      std::vector<std::vector<std::byte>> fan;
+      fan.reserve(n);
+      for (std::size_t d = 0; d < n; ++d) fan.push_back(big);
+      sink += static_cast<std::uint64_t>(fan.back().size());
+    }
+    r.baseline_fanouts_per_sec =
+        static_cast<double>(rounds) / std::max(seconds_since(t0), 1e-12);
+  }
+  // Encode-once versus encode-per-destination (the TCP broadcast change).
+  {
+    Message m;
+    m.payload = big;
+    const auto t0 = Clock::now();
+    for (std::uint64_t k = 0; k < rounds; ++k) {
+      Message fresh = m;
+      fresh.tag = k;  // new frame each round; one encode serves all n peers
+      sink += fresh.wire_frame()->size();
+      for (std::size_t d = 1; d < n; ++d) sink += fresh.wire_frame()->size();
+    }
+    r.encode_once_ns =
+        seconds_since(t0) * 1e9 / static_cast<double>(rounds * n);
+  }
+  {
+    Message m;
+    m.payload = big;
+    const auto t0 = Clock::now();
+    for (std::uint64_t k = 0; k < rounds; ++k) {
+      m.tag = k;
+      for (std::size_t d = 0; d < n; ++d) sink += m.to_bytes().size();
+    }
+    r.encode_per_dest_ns =
+        seconds_since(t0) * 1e9 / static_cast<double>(rounds * n);
+  }
+  if (sink == 0) std::fprintf(stderr, "(impossible sink)\n");
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.option("n", "system size", "64")
+      .option("iters", "predicate evaluations per path", "200000")
+      .option("slots", "IDB broadcast slots in the echo storm", "2000")
+      .option("payload", "broadcast payload bytes", "4096")
+      .option("rounds", "broadcast fan-out rounds", "2000")
+      .option("seed", "rng seed", "1")
+      .option("json", "write BENCH_hotpath.json (optional path)")
+      .option("check", "exit 1 unless predicate speedup >= 5x")
+      .option("help", "show usage");
+  try {
+    cli.parse(argc, argv);
+  } catch (const CliError& e) {
+    std::fprintf(stderr, "%s\n%s", e.what(), cli.usage("bench_hotpath").c_str());
+    return 2;
+  }
+  if (cli.flag("help")) {
+    std::printf("%s", cli.usage("bench_hotpath").c_str());
+    return 0;
+  }
+
+  const std::size_t n = cli.unsigned_num("n", 64);
+  const std::size_t t = (n - 1) / 6;  // largest t with n > 6t (FrequencyPair)
+  const std::uint64_t iters = cli.unsigned_num("iters", 200'000);
+  const std::uint64_t slots = cli.unsigned_num("slots", 2'000);
+  const std::size_t payload = cli.unsigned_num("payload", 4'096);
+  const std::uint64_t rounds = cli.unsigned_num("rounds", 2'000);
+  const std::uint64_t seed = cli.unsigned_num("seed", 1);
+  if (n < 7) {
+    std::fprintf(stderr, "need n >= 7 (frequency pair requires n > 6t)\n");
+    return 2;
+  }
+
+  const auto pred = bench_predicates(n, t, iters, seed);
+  const auto idb = bench_idb(n, t, slots);
+  const auto bc = bench_broadcast(n, rounds, payload);
+
+  std::printf("=== hot path: n=%zu t=%zu seed=%llu (git %s) ===\n\n", n, t,
+              static_cast<unsigned long long>(seed), DEX_GIT_REV);
+  std::printf("predicate evaluation (per message ingested):\n");
+  std::printf("  cached stats   : %8.1f ns/eval  (%.2fM evals/sec)\n",
+              pred.cached_ns_per_eval, pred.evals_per_sec / 1e6);
+  std::printf("  recompute      : %8.1f ns/eval\n", pred.recompute_ns_per_eval);
+  std::printf("  speedup        : %8.1fx\n\n", pred.speedup);
+  std::printf("IDB echo counting (%llu echoes):\n",
+              static_cast<unsigned long long>(slots * n));
+  std::printf("  digest buckets : %8.2fM echoes/sec\n", idb.echoes_per_sec / 1e6);
+  std::printf("  map-of-sets ref: %8.2fM echoes/sec\n",
+              idb.ref_echoes_per_sec / 1e6);
+  std::printf("  speedup        : %8.1fx\n\n", idb.speedup);
+  std::printf("broadcast fan-out (%zu dests, %zu-byte payload):\n", n, payload);
+  std::printf("  payload bytes copied per dest : %llu (baseline %llu)\n",
+              static_cast<unsigned long long>(bc.bytes_copied_per_dest),
+              static_cast<unsigned long long>(bc.baseline_bytes_per_dest));
+  std::printf("  shared fan-outs/sec           : %.0f (deep-copy %.0f)\n",
+              bc.fanouts_per_sec, bc.baseline_fanouts_per_sec);
+  std::printf("  encode once / per-dest        : %.1f / %.1f ns per dest\n",
+              bc.encode_once_ns, bc.encode_per_dest_ns);
+
+  if (cli.has("json")) {
+    benchjson::JsonWriter jw;
+    jw.field("bench", "hotpath")
+        .field("git_rev", DEX_GIT_REV)
+        .field("seed", seed)
+        .field("n", n)
+        .field("t", t)
+        .begin_object("predicate")
+        .field("cached_ns_per_eval", pred.cached_ns_per_eval)
+        .field("recompute_ns_per_eval", pred.recompute_ns_per_eval)
+        .field("evals_per_sec", pred.evals_per_sec)
+        .field("speedup", pred.speedup)
+        .end_object()
+        .begin_object("idb")
+        .field("echoes_per_sec", idb.echoes_per_sec)
+        .field("ref_echoes_per_sec", idb.ref_echoes_per_sec)
+        .field("speedup", idb.speedup)
+        .end_object()
+        .begin_object("broadcast")
+        .field("payload_bytes", static_cast<std::uint64_t>(bc.payload_bytes))
+        .field("dests", n)
+        .field("bytes_copied_per_dest", bc.bytes_copied_per_dest)
+        .field("baseline_bytes_per_dest", bc.baseline_bytes_per_dest)
+        .field("fanouts_per_sec", bc.fanouts_per_sec)
+        .field("encode_once_ns", bc.encode_once_ns)
+        .field("encode_per_dest_ns", bc.encode_per_dest_ns)
+        .end_object();
+    const std::string path = cli.str("json", "BENCH_hotpath.json");
+    if (!jw.write_file(path)) {
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", path.c_str());
+  }
+
+  if (cli.flag("check") && pred.speedup < 5.0) {
+    std::fprintf(stderr, "\nFAIL: predicate speedup %.1fx < 5x\n", pred.speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -15,9 +15,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "common/cli.hpp"
+#include "json_out.hpp"
 #include "common/histogram.hpp"
 #include "common/rng.hpp"
 #include "metrics/metrics.hpp"
@@ -140,7 +142,7 @@ int contention_sweep() {
 }
 
 int pipeline_run(std::size_t window, bool batch, std::size_t slots,
-                 std::uint64_t seed) {
+                 std::uint64_t seed, const std::optional<std::string>& json_path) {
   metrics::MetricsRegistry registry;
   sim::SimOptions opts;
   opts.seed = seed;
@@ -221,6 +223,31 @@ int pipeline_run(std::size_t window, bool batch, std::size_t slots,
   if (!committed_all) {
     std::printf("\nFAIL: committed %zu of %zu slots\n", commits, slots);
   }
+
+  if (json_path.has_value()) {
+    benchjson::JsonWriter jw;
+    jw.field("bench", "smr")
+        .field("git_rev", DEX_GIT_REV)
+        .field("seed", seed)
+        .field("n", kN)
+        .field("t", kT)
+        .field("window", window)
+        .field("batch", batch)
+        .field("slots", slots)
+        .field("commits", commits)
+        .field("commits_per_sec_virtual",
+               secs > 0 ? static_cast<double>(commits) / secs : 0.0)
+        .field("packets_per_commit",
+               commits > 0 ? wire_packets / static_cast<double>(commits) : 0.0)
+        .field("bytes_per_commit",
+               commits > 0 ? wire_bytes / static_cast<double>(commits) : 0.0)
+        .field("logs_ok", logs_ok);
+    if (!jw.write_file(*json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path->c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path->c_str());
+  }
   return (logs_ok && committed_all) ? 0 : 1;
 }
 
@@ -232,6 +259,7 @@ int main(int argc, char** argv) {
       .option("batch", "coalesce same-destination messages into batch frames")
       .option("slots", "slots to commit in pipeline mode", "64")
       .option("seed", "simulation seed (pipeline mode)", "1")
+      .option("json", "write BENCH_smr.json (optional path; implies pipeline)")
       .option("help", "show usage");
   try {
     cli.parse(argc, argv);
@@ -244,9 +272,11 @@ int main(int argc, char** argv) {
     return 0;
   }
   const bool pipeline = cli.has("window") || cli.has("batch") ||
-                        cli.has("slots") || cli.has("seed");
+                        cli.has("slots") || cli.has("seed") || cli.has("json");
   if (!pipeline) return contention_sweep();
+  std::optional<std::string> json_path;
+  if (cli.has("json")) json_path = cli.str("json", "BENCH_smr.json");
   return pipeline_run(std::max<std::size_t>(cli.unsigned_num("window", 1), 1),
                       cli.flag("batch"), cli.unsigned_num("slots", 64),
-                      cli.unsigned_num("seed", 1));
+                      cli.unsigned_num("seed", 1), json_path);
 }

@@ -1,0 +1,116 @@
+// Minimal JSON emission for benchmark result files (BENCH_*.json).
+//
+// The benches emit one flat-ish object each — a handful of scalar fields plus
+// named sub-objects — so this is a small append-only writer, not a JSON
+// library. Strings are escaped for the characters a git rev or bench name
+// could plausibly contain; numbers print with enough precision to round-trip.
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef DEX_GIT_REV
+#define DEX_GIT_REV "unknown"
+#endif
+
+namespace dex::benchjson {
+
+class JsonWriter {
+ public:
+  JsonWriter() { os_ << "{"; }
+
+  JsonWriter& field(std::string_view key, double v) {
+    sep();
+    quote(key);
+    os_ << ":";
+    // %.17g round-trips doubles; integral values print without a mantissa tail.
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os_ << buf;
+    return *this;
+  }
+  JsonWriter& field(std::string_view key, std::uint64_t v) {
+    sep();
+    quote(key);
+    os_ << ":" << v;
+    return *this;
+  }
+  JsonWriter& field(std::string_view key, bool v) {
+    sep();
+    quote(key);
+    os_ << ":" << (v ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& field(std::string_view key, std::string_view v) {
+    sep();
+    quote(key);
+    os_ << ":";
+    quote(v);
+    return *this;
+  }
+  // A char array would otherwise pick the bool overload (pointer decay beats
+  // the string_view user conversion).
+  JsonWriter& field(std::string_view key, const char* v) {
+    return field(key, std::string_view(v));
+  }
+  JsonWriter& begin_object(std::string_view key) {
+    sep();
+    quote(key);
+    os_ << ":{";
+    first_ = true;
+    return *this;
+  }
+  JsonWriter& end_object() {
+    os_ << "}";
+    first_ = false;
+    return *this;
+  }
+
+  [[nodiscard]] std::string finish() {
+    os_ << "}\n";
+    return os_.str();
+  }
+
+  /// Writes the finished document to `path`; false on I/O failure.
+  [[nodiscard]] bool write_file(const std::string& path) {
+    const std::string doc = finish();
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  void sep() {
+    if (!first_) os_ << ",";
+    first_ = false;
+  }
+  void quote(std::string_view s) {
+    os_ << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\t': os_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            os_ << buf;
+          } else {
+            os_ << c;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostringstream os_;
+  bool first_ = true;
+};
+
+}  // namespace dex::benchjson

@@ -83,7 +83,11 @@ class Reader {
     const std::uint64_t count = varint();
     if (count > max_elems) throw DecodeError("vector length exceeds limit");
     std::vector<T> out;
-    out.reserve(static_cast<std::size_t>(count));
+    // Each element consumes at least one input byte, so a declared count
+    // beyond remaining() is a lie — clamp the reservation to what the input
+    // can hold; the per-element decodes still fail cleanly on truncation.
+    out.reserve(static_cast<std::size_t>(
+        count < remaining() ? count : remaining()));
     for (std::uint64_t i = 0; i < count; ++i) out.push_back(decode_elem(*this));
     return out;
   }

@@ -53,7 +53,7 @@ void BoscoEngine::evaluate_once() {
   if (evaluated_ || !started_ || votes_.known_count() < n_ - t_) return;
   evaluated_ = true;
 
-  const FreqStats s = votes_.freq();
+  const FreqStats& s = votes_.freq();
   // One-step decision: more than (n+t)/2 votes for one value.
   if (!s.empty() && 2 * s.first_count() > n_ + t_) {
     decision_ = Decision{*s.first(), DecisionPath::kOneStep, 0};

@@ -5,7 +5,9 @@
 namespace dex {
 
 bool FreqCondition::contains(const InputVector& input) const {
-  const FreqStats s = input.as_view().freq();
+  // Single pass over the vector — no View materialization. Hot in the
+  // exhaustive input-space sweeps (bench_coverage_exact).
+  const FreqStats s = FreqStats::of(input);
   if (s.empty()) return false;
   return s.margin() > d_;
 }
@@ -17,7 +19,12 @@ std::string FreqCondition::describe() const {
 }
 
 bool PrivilegedCondition::contains(const InputVector& input) const {
-  return input.as_view().count_of(m_) > d_;
+  // Direct count over the vector: O(n), allocation-free.
+  std::size_t c = 0;
+  for (const Value v : input.values()) {
+    if (v == m_) ++c;
+  }
+  return c > d_;
 }
 
 std::string PrivilegedCondition::describe() const {

@@ -36,18 +36,21 @@ FrequencyPair::FrequencyPair(std::size_t n, std::size_t t) : ConditionPair(n, t)
       }));
 }
 
+// p1/p2/f read the view's incrementally maintained stats: O(1) and
+// allocation-free per evaluation, which DEX performs on every reception
+// once |J| ≥ n−t.
 bool FrequencyPair::p1(const View& j) const {
-  const FreqStats s = j.freq();
+  const FreqStats& s = j.freq();
   return !s.empty() && s.margin() > 4 * t_;
 }
 
 bool FrequencyPair::p2(const View& j) const {
-  const FreqStats s = j.freq();
+  const FreqStats& s = j.freq();
   return !s.empty() && s.margin() > 2 * t_;
 }
 
 Value FrequencyPair::f(const View& j) const {
-  const FreqStats s = j.freq();
+  const FreqStats& s = j.freq();
   DEX_ENSURE_MSG(!s.empty(), "F is undefined on the all-⊥ view");
   return *s.first();
 }
@@ -71,7 +74,7 @@ bool PrivilegedPair::p2(const View& j) const { return j.count_of(m_) > 2 * t_; }
 
 Value PrivilegedPair::f(const View& j) const {
   if (j.count_of(m_) > t_) return m_;
-  const FreqStats s = j.freq();
+  const FreqStats& s = j.freq();
   DEX_ENSURE_MSG(!s.empty(), "F is undefined on the all-⊥ view");
   return *s.first();
 }

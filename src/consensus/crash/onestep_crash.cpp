@@ -46,7 +46,7 @@ void OneStepCrashEngine::evaluate_once() {
   if (evaluated_ || !started_ || props_.known_count() < n_ - t_) return;
   evaluated_ = true;
 
-  const FreqStats s = props_.freq();
+  const FreqStats& s = props_.freq();
   if (!s.empty() && s.first_count() >= n_ - t_) {
     // All n−t received proposals agree.
     decision_ = Decision{*s.first(), DecisionPath::kOneStep, 0};

@@ -1,6 +1,7 @@
 #include "consensus/idb/idb_engine.hpp"
 
 #include "common/assert.hpp"
+#include "common/hash.hpp"
 
 namespace dex {
 
@@ -13,7 +14,12 @@ constexpr std::size_t kMaxPayload = 1u << 20;
 IdbEngine::IdbEngine(std::size_t n, std::size_t t, ProcessId self,
                      InstanceId instance, Outbox* outbox,
                      metrics::MetricsScope metrics)
-    : n_(n), t_(t), self_(self), instance_(instance), outbox_(outbox) {
+    : n_(n),
+      t_(t),
+      voter_words_((n + 63) / 64),
+      self_(self),
+      instance_(instance),
+      outbox_(outbox) {
   DEX_ENSURE_MSG(n > 4 * t, "identical broadcast requires n > 4t");
   DEX_ENSURE(self >= 0 && static_cast<std::size_t>(self) < n);
   DEX_ENSURE(outbox != nullptr);
@@ -25,7 +31,7 @@ IdbEngine::IdbEngine(std::size_t n, std::size_t t, ProcessId self,
   }
 }
 
-void IdbEngine::id_send(std::uint64_t tag, std::vector<std::byte> payload) {
+void IdbEngine::id_send(std::uint64_t tag, Payload payload) {
   Message m;
   m.kind = MsgKind::kIdbInit;
   m.instance = instance_;
@@ -41,14 +47,38 @@ IdbEngine::Slot& IdbEngine::slot(ProcessId origin, std::uint64_t tag) {
   return slots_[{origin, tag}];
 }
 
+IdbEngine::EchoBucket& IdbEngine::bucket(Slot& s, std::uint64_t digest,
+                                         const Payload& payload) {
+  for (EchoBucket& b : s.buckets) {
+    // The digest is a filter, not an identity: equal digests still require
+    // byte equality, so colliding Byzantine contents stay in separate buckets.
+    if (b.digest == digest && b.payload == payload) return b;
+  }
+  EchoBucket& b = s.buckets.emplace_back();
+  b.digest = digest;
+  b.payload = payload;  // shares the sender's bytes, no clone
+  b.voters.assign(voter_words_, 0);
+  return b;
+}
+
+bool IdbEngine::record_voter(EchoBucket& b, ProcessId src) {
+  const auto idx = static_cast<std::size_t>(src);
+  const std::uint64_t bit = 1ULL << (idx % 64);
+  std::uint64_t& word = b.voters[idx / 64];
+  if ((word & bit) != 0) return false;  // duplicate echo from src
+  word |= bit;
+  ++b.votes;
+  return true;
+}
+
 void IdbEngine::send_echo(ProcessId origin, std::uint64_t tag,
-                          const std::vector<std::byte>& payload) {
+                          const Payload& payload) {
   Message m;
   m.kind = MsgKind::kIdbEcho;
   m.instance = instance_;
   m.tag = tag;
   m.origin = origin;
-  m.payload = payload;
+  m.payload = payload;  // shared bytes
   ++echoes_sent_;
   metrics::inc(m_echoes_);
   outbox_->broadcast(std::move(m));
@@ -74,22 +104,22 @@ void IdbEngine::on_message(ProcessId src, const Message& msg) {
     const ProcessId origin = msg.origin;
     if (origin < 0 || static_cast<std::size_t>(origin) >= n_) return;
     Slot& s = slot(origin, msg.tag);
-    auto& senders = s.echoes[msg.payload];
-    senders.insert(src);
-    const std::size_t num = senders.size();
+    EchoBucket& b = bucket(s, fnv1a64(msg.payload.span()), msg.payload);
+    if (!record_voter(b, src)) return;
+    const std::size_t num = b.votes;
     // Echo amplification: n-2t matching echoes convince us to echo even if
     // we never saw the init.
     if (num >= n_ - 2 * t_ && !s.echoed) {
       s.echoed = true;
       metrics::inc(m_amplified_);
-      send_echo(origin, msg.tag, msg.payload);
+      send_echo(origin, msg.tag, b.payload);
     }
     // Acceptance: n-t matching echoes.
     if (num >= n_ - t_ && !s.accepted) {
       s.accepted = true;
       ++accepted_count_;
       metrics::inc(m_accepts_);
-      deliveries_.push_back(IdbDelivery{origin, msg.tag, msg.payload});
+      deliveries_.push_back(IdbDelivery{origin, msg.tag, b.payload});
     }
     return;
   }
@@ -98,12 +128,18 @@ void IdbEngine::on_message(ProcessId src, const Message& msg) {
 
 void IdbEngine::release_accepted_state() {
   for (auto& [key, s] : slots_) {
-    if (s.accepted) s.echoes.clear();
+    if (s.accepted) {
+      s.buckets.clear();
+      s.buckets.shrink_to_fit();
+    }
   }
 }
 
 std::vector<IdbDelivery> IdbEngine::take_deliveries() {
   std::vector<IdbDelivery> out;
+  // After the swap the drained capacity becomes the next batch's buffer, so
+  // steady-state rounds don't regrow deliveries_ from zero.
+  out.reserve(deliveries_.size());
   out.swap(deliveries_);
   return out;
 }

@@ -14,11 +14,19 @@
 // steps. This implementation generalizes the single-shot algorithm to
 // multiple broadcasts per sender by scoping every rule to a (origin, tag)
 // slot; the paper's first-echo(j)/first-accept(j) become per-slot flags.
+//
+// Hot-path layout: echo counting is the per-message work, so slots are kept
+// in a hash map and each slot holds a small array of digest-keyed buckets —
+// one per distinct payload content seen (one, for correct senders). A bucket
+// records distinct echo senders in a fixed-size bitset (n bits), making the
+// per-echo cost a digest compare plus a word test-and-set instead of a
+// map<vector<byte>, set<ProcessId>> walk with per-sender node allocations.
+// Digests are a fast filter only: on digest match the payload bytes are
+// compared exactly, so a Byzantine FNV collision cannot merge two contents.
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
@@ -27,11 +35,12 @@
 
 namespace dex {
 
-/// An accepted identical-broadcast message (the Id-Receive event).
+/// An accepted identical-broadcast message (the Id-Receive event). The
+/// payload shares its bytes with the accepted echo — no clone per delivery.
 struct IdbDelivery {
   ProcessId origin = kNoProcess;
   std::uint64_t tag = 0;
-  std::vector<std::byte> payload;
+  Payload payload;
 };
 
 /// Per-process engine. Event-driven and host-agnostic: callers feed envelope
@@ -50,7 +59,7 @@ class IdbEngine {
 
   /// Id-send: broadcasts (init, payload) under `tag`. A correct process
   /// invokes this at most once per tag.
-  void id_send(std::uint64_t tag, std::vector<std::byte> payload);
+  void id_send(std::uint64_t tag, Payload payload);
 
   /// Feed a kIdbInit or kIdbEcho envelope received from `src`. Messages of
   /// other kinds or with out-of-range fields are ignored (Byzantine noise).
@@ -62,7 +71,7 @@ class IdbEngine {
   /// Drop the echo-sender bookkeeping of already-accepted slots. Their
   /// echoed/accepted latches stay set, so the engine's observable behaviour
   /// (first-init echoes, amplification, acceptance) is unchanged — only the
-  /// per-payload sender sets, dead weight once a slot accepted, are freed.
+  /// per-payload voter buckets, dead weight once a slot accepted, are freed.
   void release_accepted_state();
 
   // --- introspection / stats ---
@@ -73,28 +82,57 @@ class IdbEngine {
   [[nodiscard]] std::size_t t() const { return t_; }
 
  private:
+  /// Distinct echo senders for one payload content within a slot. A
+  /// Byzantine sender may appear in several buckets; correct senders echo
+  /// once (and the acceptance threshold n-t makes conflicting acceptances
+  /// impossible).
+  struct EchoBucket {
+    std::uint64_t digest = 0;  // fnv1a64 of the payload — fast inequality filter
+    Payload payload;           // retained for exact comparison and delivery
+    std::vector<std::uint64_t> voters;  // bitset over ProcessId, (n+63)/64 words
+    std::size_t votes = 0;              // population count of `voters`
+  };
+
   /// State of one broadcast slot (origin, tag).
   struct Slot {
     bool echoed = false;    // first-echo(origin): have we echoed for this slot?
     bool accepted = false;  // first-accept(origin): have we Id-Received?
-    /// Distinct echo senders per payload content. A Byzantine sender may
-    /// appear under several contents; correct senders echo once (and the
-    /// acceptance threshold n-t makes conflicting acceptances impossible).
-    std::map<std::vector<std::byte>, std::set<ProcessId>> echoes;
+    std::vector<EchoBucket> buckets;  // one per distinct content; usually one
   };
 
-  void send_echo(ProcessId origin, std::uint64_t tag,
-                 const std::vector<std::byte>& payload);
+  struct SlotKeyHash {
+    std::size_t operator()(const std::pair<ProcessId, std::uint64_t>& k) const {
+      // splitmix-style mix of the two fields; origin occupies low entropy.
+      std::uint64_t x =
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.first)) << 32) ^
+          k.second;
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ULL;
+      x ^= x >> 27;
+      return static_cast<std::size_t>(x);
+    }
+  };
+
+  void send_echo(ProcessId origin, std::uint64_t tag, const Payload& payload);
 
   Slot& slot(ProcessId origin, std::uint64_t tag);
 
+  /// Bucket for `payload` within `s`, created on first sight. Exact bytes
+  /// are compared whenever digests collide.
+  EchoBucket& bucket(Slot& s, std::uint64_t digest, const Payload& payload);
+
+  /// Records `src` as an echo sender in `b`; false when already recorded.
+  bool record_voter(EchoBucket& b, ProcessId src);
+
   std::size_t n_;
   std::size_t t_;
+  std::size_t voter_words_;  // bitset words per bucket: (n + 63) / 64
   ProcessId self_;
   InstanceId instance_;
   Outbox* outbox_;
 
-  std::map<std::pair<ProcessId, std::uint64_t>, Slot> slots_;
+  std::unordered_map<std::pair<ProcessId, std::uint64_t>, Slot, SlotKeyHash>
+      slots_;
   std::vector<IdbDelivery> deliveries_;
 
   std::uint64_t echoes_sent_ = 0;

@@ -1,5 +1,6 @@
 #include "consensus/message.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace dex {
@@ -34,8 +35,8 @@ Message Message::decode(Reader& r) {
   m.origin = r.i32();
   const std::uint64_t len = r.varint();
   if (len > (1u << 24)) throw DecodeError("payload too large");
-  const auto bytes = r.bytes(static_cast<std::size_t>(len));
-  m.payload.assign(bytes.begin(), bytes.end());
+  // bytes() bounds-checks len against the input before we allocate.
+  m.payload = Payload(r.bytes(static_cast<std::size_t>(len)));
   return m;
 }
 
@@ -50,6 +51,13 @@ Message Message::from_bytes(std::span<const std::byte> data) {
   Message m = decode(r);
   if (!r.done()) throw DecodeError("trailing bytes after message");
   return m;
+}
+
+std::shared_ptr<const std::vector<std::byte>> Message::wire_frame() const {
+  if (!frame_) {
+    frame_ = std::make_shared<const std::vector<std::byte>>(to_bytes());
+  }
+  return frame_;
 }
 
 std::size_t Message::encoded_size() const {
@@ -77,7 +85,12 @@ BatchFrame BatchFrame::from_bytes(std::span<const std::byte> data) {
   const std::uint64_t count = r.varint();
   if (count > kMaxMessages) throw DecodeError("batch count exceeds limit");
   BatchFrame batch;
-  batch.messages.reserve(static_cast<std::size_t>(count));
+  // Reserve from the declared count, but never past what the remaining input
+  // could physically hold (each batched message costs ≥ 22 bytes on the
+  // wire), so a lying header cannot force a large allocation.
+  constexpr std::size_t kMinEncodedMessage = 22;
+  batch.messages.reserve(std::min<std::size_t>(
+      static_cast<std::size_t>(count), r.remaining() / kMinEncodedMessage + 1));
   for (std::uint64_t i = 0; i < count; ++i) {
     const std::uint64_t len = r.varint();
     if (len > r.remaining()) throw DecodeError("batch message length exceeds input");

@@ -9,10 +9,18 @@
 // each consumer defines a small payload struct with its own codec. Every
 // decoder is bounds-checked: a malformed frame from a Byzantine peer yields
 // DecodeError, never undefined behaviour.
+//
+// Payload bytes are shared, not cloned: `Payload` is a ref-counted immutable
+// buffer, so the broadcast fan-out paths (Outbox drain → simulator event
+// queue, transport per-destination sends, IDB echo storage) copy a pointer
+// instead of the bytes. Mutation detaches first (copy-on-write), preserving
+// value semantics for tests and Byzantine strategies that tamper with frames.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -20,6 +28,88 @@
 #include "common/types.hpp"
 
 namespace dex {
+
+/// Immutable shared payload bytes with copy-on-write mutation.
+///
+/// Copies share one heap buffer; `Message` therefore costs a refcount bump
+/// per destination on fan-out instead of a payload clone. The mutating
+/// accessors (assign/resize/non-const operator[]/begin) detach onto a private
+/// copy first, so no holder ever observes another's writes.
+class Payload {
+ public:
+  Payload() = default;
+  Payload(std::vector<std::byte> bytes)  // NOLINT(google-explicit-constructor)
+      : data_(bytes.empty()
+                  ? nullptr
+                  : std::make_shared<std::vector<std::byte>>(std::move(bytes))) {}
+  explicit Payload(std::span<const std::byte> bytes)
+      : data_(bytes.empty() ? nullptr
+                            : std::make_shared<std::vector<std::byte>>(
+                                  bytes.begin(), bytes.end())) {}
+
+  [[nodiscard]] std::size_t size() const { return data_ ? data_->size() : 0; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] const std::byte* data() const {
+    return data_ ? data_->data() : nullptr;
+  }
+  [[nodiscard]] std::span<const std::byte> span() const {
+    return data_ ? std::span<const std::byte>(*data_)
+                 : std::span<const std::byte>();
+  }
+  // NOLINTNEXTLINE(google-explicit-constructor): payloads decode via span APIs.
+  operator std::span<const std::byte>() const { return span(); }
+  /// Vector form for containers/comparisons keyed on byte strings.
+  [[nodiscard]] const std::vector<std::byte>& vec() const {
+    static const std::vector<std::byte> kEmpty;
+    return data_ ? *data_ : kEmpty;
+  }
+
+  [[nodiscard]] std::byte operator[](std::size_t i) const { return (*data_)[i]; }
+  [[nodiscard]] auto begin() const { return span().begin(); }
+  [[nodiscard]] auto end() const { return span().end(); }
+
+  /// How many holders share the buffer (introspection for tests/benches).
+  [[nodiscard]] long use_count() const { return data_ ? data_.use_count() : 0; }
+
+  // --- copy-on-write mutators ---
+  std::byte& operator[](std::size_t i) { return mutate()[i]; }
+  auto begin() { return mutate().begin(); }
+  auto end() { return mutate().end(); }
+  void assign(std::size_t count, std::byte b) {
+    data_ = count == 0 ? nullptr
+                       : std::make_shared<std::vector<std::byte>>(count, b);
+  }
+  template <typename It>
+  void assign(It first, It last) {
+    data_ = first == last
+                ? nullptr
+                : std::make_shared<std::vector<std::byte>>(first, last);
+  }
+  void resize(std::size_t n) {
+    if (n == 0) {
+      data_.reset();
+      return;
+    }
+    mutate().resize(n);
+  }
+  void clear() { data_.reset(); }
+
+  bool operator==(const Payload& o) const {
+    return data_ == o.data_ || vec() == o.vec();
+  }
+
+ private:
+  std::vector<std::byte>& mutate() {
+    if (!data_) {
+      data_ = std::make_shared<std::vector<std::byte>>();
+    } else if (data_.use_count() > 1) {
+      data_ = std::make_shared<std::vector<std::byte>>(*data_);
+    }
+    return *data_;
+  }
+
+  std::shared_ptr<std::vector<std::byte>> data_;
+};
 
 enum class MsgKind : std::uint8_t { kPlain = 0, kIdbInit = 1, kIdbEcho = 2 };
 
@@ -59,7 +149,7 @@ struct Message {
   /// For kIdbEcho: the process whose broadcast is being echoed. For kIdbInit
   /// the origin is the sender itself. Unused for kPlain.
   ProcessId origin = kNoProcess;
-  std::vector<std::byte> payload;
+  Payload payload;
 
   void encode(Writer& w) const;
   static Message decode(Reader& r);
@@ -68,12 +158,25 @@ struct Message {
   [[nodiscard]] std::vector<std::byte> to_bytes() const;
   static Message from_bytes(std::span<const std::byte> data);
 
+  /// Encode-once cache: the first call builds to_bytes() and stores it;
+  /// later calls (and copies taken *after* the first call) share the buffer.
+  /// Callers must not mutate the envelope after framing it — transports call
+  /// this last, at send time. Identical bytes to to_bytes().
+  [[nodiscard]] std::shared_ptr<const std::vector<std::byte>> wire_frame() const;
+
   /// Exact byte length of to_bytes() without encoding (wire accounting).
   [[nodiscard]] std::size_t encoded_size() const;
 
   [[nodiscard]] std::string to_string() const;
 
-  bool operator==(const Message&) const = default;
+  /// Logical equality over the five wire fields (the frame cache is ignored).
+  bool operator==(const Message& o) const {
+    return kind == o.kind && instance == o.instance && tag == o.tag &&
+           origin == o.origin && payload == o.payload;
+  }
+
+ private:
+  mutable std::shared_ptr<const std::vector<std::byte>> frame_;
 };
 
 /// A versioned batch frame: every same-destination message of one drain
@@ -119,6 +222,8 @@ struct Outgoing {
 
 /// Collects outgoing messages from the engines of one process; the host
 /// (simulator, threaded cluster, TCP node) drains it after every callback.
+/// Broadcast fan-out happens at the host: each destination receives a copy of
+/// the Message whose payload bytes are shared, never cloned.
 class Outbox {
  public:
   void send(ProcessId dst, Message msg) { queue_.push_back({dst, std::move(msg)}); }

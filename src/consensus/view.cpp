@@ -32,47 +32,118 @@ std::size_t FreqStats::count_of(Value v) const {
   return it == counts_.end() ? 0 : it->second;
 }
 
+FreqStats FreqStats::of(const InputVector& input) {
+  FreqStats s;
+  for (const Value v : input.values()) ++s.counts_[v];
+  s.reselect();
+  return s;
+}
+
+void FreqStats::promote(Value v, std::size_t c) {
+  // Invariant on entry: first_/second_ were correct before v's count rose
+  // from c-1 to c. Counts only move in ±1 steps, so v can overtake at most
+  // one rank per call and every case below is a constant-time comparison.
+  if (!first_.has_value()) {
+    first_ = v;
+    first_count_ = c;
+    return;
+  }
+  if (v == *first_) {
+    first_count_ = c;
+    return;
+  }
+  if (c > first_count_ || (c == first_count_ && v > *first_)) {
+    // v overtakes 1st; the dethroned 1st competes for 2nd place.
+    const Value old_first = *first_;
+    const std::size_t old_count = first_count_;
+    first_ = v;
+    first_count_ = c;
+    if ((second_.has_value() && *second_ == v) || !second_.has_value() ||
+        old_count > second_count_ ||
+        (old_count == second_count_ && old_first > *second_)) {
+      second_ = old_first;
+      second_count_ = old_count;
+    }
+    return;
+  }
+  if (second_.has_value() && v == *second_) {
+    second_count_ = c;
+    return;
+  }
+  if (!second_.has_value() || c > second_count_ ||
+      (c == second_count_ && v > *second_)) {
+    second_ = v;
+    second_count_ = c;
+  }
+}
+
+void FreqStats::reselect() {
+  first_.reset();
+  second_.reset();
+  first_count_ = 0;
+  second_count_ = 0;
+  // 1st(J): most frequent; ties broken toward the larger value (paper §3.3).
+  for (const auto& [v, c] : counts_) {
+    if (!first_ || c > first_count_ || (c == first_count_ && v > *first_)) {
+      first_ = v;
+      first_count_ = c;
+    }
+  }
+  // 2nd(J) = 1st(Ĵ): same rule over the remaining values.
+  for (const auto& [v, c] : counts_) {
+    if (v == first_) continue;
+    if (!second_ || c > second_count_ || (c == second_count_ && v > *second_)) {
+      second_ = v;
+      second_count_ = c;
+    }
+  }
+}
+
+void View::stat_add(Value v) { stats_.promote(v, ++stats_.counts_[v]); }
+
+void View::stat_remove(Value v) {
+  const auto it = stats_.counts_.find(v);
+  DEX_ENSURE_MSG(it != stats_.counts_.end() && it->second > 0,
+                 "removing a value the stats never saw");
+  if (--it->second == 0) stats_.counts_.erase(it);
+  // A removal can demote 1st or 2nd below values the cache does not rank;
+  // rebuild from the counts. Engines never remove for correct senders, so
+  // the per-message amortized cost stays O(1).
+  stats_.reselect();
+}
+
 void View::set(std::size_t i, Value v) {
   DEX_ENSURE_MSG(i < entries_.size(), "view index out of range");
-  if (!entries_[i].has_value()) ++known_;
+  if (!entries_[i].has_value()) {
+    ++known_;
+    entries_[i] = v;
+    stat_add(v);
+    return;
+  }
+  const Value old = *entries_[i];
+  if (old == v) return;
   entries_[i] = v;
+  stat_remove(old);
+  stat_add(v);
 }
 
 void View::clear(std::size_t i) {
   DEX_ENSURE_MSG(i < entries_.size(), "view index out of range");
-  if (entries_[i].has_value()) --known_;
+  if (!entries_[i].has_value()) return;
+  --known_;
+  const Value old = *entries_[i];
   entries_[i].reset();
+  stat_remove(old);
 }
 
-std::size_t View::count_of(Value v) const {
-  std::size_t c = 0;
-  for (const auto& e : entries_) {
-    if (e.has_value() && *e == v) ++c;
-  }
-  return c;
-}
+std::size_t View::count_of(Value v) const { return stats_.count_of(v); }
 
-FreqStats View::freq() const {
+FreqStats View::freq_recompute() const {
   FreqStats s;
   for (const auto& e : entries_) {
     if (e.has_value()) ++s.counts_[*e];
   }
-  // 1st(J): most frequent; ties broken toward the larger value (paper §3.3).
-  for (const auto& [v, c] : s.counts_) {
-    if (!s.first_ || c > s.first_count_ || (c == s.first_count_ && v > *s.first_)) {
-      s.first_ = v;
-      s.first_count_ = c;
-    }
-  }
-  // 2nd(J) = 1st(Ĵ): same rule over the remaining values.
-  for (const auto& [v, c] : s.counts_) {
-    if (v == s.first_) continue;
-    if (!s.second_ || c > s.second_count_ ||
-        (c == s.second_count_ && v > *s.second_)) {
-      s.second_ = v;
-      s.second_count_ = c;
-    }
-  }
+  s.reselect();
   return s;
 }
 

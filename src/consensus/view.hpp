@@ -5,6 +5,15 @@
 // by ⊥ (unknown — message not yet received, or sender silent). Views are what
 // each process actually assembles from received messages, and every predicate
 // in the condition-based framework is evaluated on views.
+//
+// Frequency statistics (1st, 2nd, counts, margin) are maintained
+// *incrementally* by set()/clear(): each insertion updates 1st/2nd in O(1),
+// so the per-reception predicate re-evaluation DEX performs once |J| ≥ n−t
+// (Figure 1's "Upon P-Receive") costs O(1) instead of an O(n) recount.
+// Removals and overwrites — which engines never perform for correct senders —
+// fall back to an O(distinct) reselect, keeping the amortized cost O(1) per
+// message. freq_recompute() preserves the from-scratch recount as the
+// reference implementation for differential tests and benchmarks.
 #pragma once
 
 #include <cstddef>
@@ -57,6 +66,10 @@ class FreqStats {
  public:
   FreqStats() = default;
 
+  /// Single-pass stats of a full input vector (no View materialization) —
+  /// what the condition membership predicates evaluate.
+  static FreqStats of(const InputVector& input);
+
   [[nodiscard]] bool empty() const { return !first_.has_value(); }
   [[nodiscard]] std::optional<Value> first() const { return first_; }
   [[nodiscard]] std::optional<Value> second() const { return second_; }
@@ -68,8 +81,17 @@ class FreqStats {
   [[nodiscard]] std::size_t count_of(Value v) const;
   [[nodiscard]] std::size_t distinct_values() const { return counts_.size(); }
 
+  /// Content equality over (1st, 2nd, counts) — differential tests.
+  bool operator==(const FreqStats&) const = default;
+
  private:
   friend class View;
+
+  /// O(1) update for "one more occurrence of v" (count already bumped to c).
+  void promote(Value v, std::size_t c);
+  /// Full reselect of 1st/2nd from counts_ — the slow path after a removal.
+  void reselect();
+
   std::optional<Value> first_;
   std::optional<Value> second_;
   std::size_t first_count_ = 0;
@@ -93,16 +115,24 @@ class View {
   [[nodiscard]] bool has(std::size_t i) const { return entries_[i].has_value(); }
   [[nodiscard]] std::optional<Value> get(std::size_t i) const { return entries_[i]; }
 
-  /// Sets entry i. Overwriting an existing entry is allowed (engines never do
-  /// it for correct senders, but test adversaries may).
+  /// Sets entry i, updating the cached stats in O(1) for a fresh entry.
+  /// Overwriting an existing entry is allowed (engines never do it for
+  /// correct senders, but test adversaries may); it pays an O(distinct)
+  /// reselect.
   void set(std::size_t i, Value v);
   void clear(std::size_t i);
 
-  /// #_v(J): occurrences of v among non-⊥ entries.
+  /// #_v(J): occurrences of v among non-⊥ entries. O(1) (cached counts).
   [[nodiscard]] std::size_t count_of(Value v) const;
 
-  /// Full frequency statistics (1st, 2nd, counts). O(n).
-  [[nodiscard]] FreqStats freq() const;
+  /// Cached frequency statistics (1st, 2nd, counts). O(1) — maintained by
+  /// set()/clear(). The reference is invalidated by the next mutation.
+  [[nodiscard]] const FreqStats& freq() const { return stats_; }
+
+  /// From-scratch recount (the historical O(n) implementation). Reference
+  /// for differential tests and the bench_hotpath baseline; engines use
+  /// freq().
+  [[nodiscard]] FreqStats freq_recompute() const;
 
   /// Containment J1 ≤ J2: every non-⊥ entry of J1 equals the same entry of J2.
   [[nodiscard]] bool contained_in(const View& other) const;
@@ -115,14 +145,19 @@ class View {
   /// counting as a mismatch (this is dist(J, I) in the paper's lemmas).
   static std::size_t dist(const View& j, const InputVector& i);
 
-  bool operator==(const View&) const = default;
+  /// Entry-wise equality (the cached stats are a function of the entries).
+  bool operator==(const View& other) const { return entries_ == other.entries_; }
 
   /// e.g. "[3, ⊥, 3, 7]".
   [[nodiscard]] std::string to_string() const;
 
  private:
+  void stat_add(Value v);
+  void stat_remove(Value v);
+
   std::vector<std::optional<Value>> entries_;
   std::size_t known_ = 0;
+  FreqStats stats_;
 };
 
 }  // namespace dex

@@ -281,6 +281,24 @@ void TcpTransport::send_batch(ProcessId dst, std::vector<Message> msgs) {
   write_frame(*peers_[static_cast<std::size_t>(dst)], encoded);
 }
 
+void TcpTransport::broadcast(const Message& msg) {
+  // Encode exactly once for all n−1 peers; each write_frame reuses the same
+  // buffer (the old path re-encoded per destination: O(n) encodes + copies).
+  const std::shared_ptr<const std::vector<std::byte>> frame = msg.wire_frame();
+  const auto ki = static_cast<std::size_t>(msg.kind);
+  for (std::size_t d = 0; d < cfg_.n; ++d) {
+    if (static_cast<ProcessId>(d) == cfg_.self) {
+      inbox_.push(Incoming{cfg_.self, msg});  // payload bytes shared, not cloned
+      continue;
+    }
+    if (ki < 3) {
+      metrics::inc(m_sent_[ki]);
+      metrics::inc(m_sent_bytes_[ki], 12 + frame->size());  // header + body
+    }
+    write_frame(*peers_[d], *frame);
+  }
+}
+
 std::optional<Incoming> TcpTransport::recv(std::chrono::milliseconds timeout) {
   return inbox_.pop(timeout);
 }

@@ -54,6 +54,9 @@ class TcpTransport final : public Transport {
   /// Coalesces the messages into one BatchFrame carried by a single framed
   /// write (one header + crc for the whole batch).
   void send_batch(ProcessId dst, std::vector<Message> msgs) override;
+  /// Encodes the message once (Message::wire_frame) and writes the identical
+  /// buffer to every peer; self-delivery bypasses the network as in send().
+  void broadcast(const Message& msg) override;
   std::optional<Incoming> recv(std::chrono::milliseconds timeout) override;
   [[nodiscard]] std::size_t n() const override { return cfg_.n; }
   [[nodiscard]] ProcessId self() const override { return cfg_.self; }

@@ -39,8 +39,11 @@ class Transport {
   [[nodiscard]] virtual std::size_t n() const = 0;
   [[nodiscard]] virtual ProcessId self() const = 0;
 
-  /// Broadcast helper: unicast to every process including self.
-  void broadcast(const Message& msg) {
+  /// Broadcast: deliver to every process including self. The default
+  /// unicasts a copy per destination (cheap — Message payloads are shared
+  /// bytes); wire transports override it to encode the frame once and write
+  /// the same buffer to every peer.
+  virtual void broadcast(const Message& msg) {
     for (std::size_t d = 0; d < n(); ++d) {
       send(static_cast<ProcessId>(d), msg);
     }

@@ -286,9 +286,9 @@ TEST_P(IdbAgreementProperty, HoldsUnderRandomInjection) {
       const auto key = std::make_pair(d.origin, d.tag);
       const auto it = seen.find(key);
       if (it == seen.end()) {
-        seen.emplace(key, d.payload);
+        seen.emplace(key, d.payload.vec());
       } else {
-        EXPECT_EQ(it->second, d.payload)
+        EXPECT_EQ(it->second, d.payload.vec())
             << "disagreement on origin " << d.origin << " tag " << d.tag;
       }
     }

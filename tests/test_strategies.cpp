@@ -120,7 +120,7 @@ TEST(Strategies, UcSaboteurAttacksObservedPhases) {
     if (o.msg.kind == MsgKind::kIdbInit && o.msg.tag == chan::uc_phase_tag(1, 1) &&
         o.msg.origin == 12) {
       ++attack_inits;
-      contents.insert(o.msg.payload);
+      contents.insert(o.msg.payload.vec());
     }
   }
   EXPECT_EQ(attack_inits, StrategyHarness::kN);

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Smoke test for the hot-path benchmarks: runs bench_hotpath and bench_smr at
+# tiny scale with --json and validates the BENCH_*.json schema (field presence
+# and types — not performance numbers, which are machine-dependent, except the
+# structural zero-copy invariant). Registered with ctest as `check_bench`.
+#
+# Exits 77 (ctest SKIP) when the bench binaries are not built.
+#
+# Usage: check_bench.sh /path/to/bench_hotpath /path/to/bench_smr
+set -euo pipefail
+
+BENCH_HOTPATH="${1:?usage: check_bench.sh /path/to/bench_hotpath /path/to/bench_smr}"
+BENCH_SMR="${2:?usage: check_bench.sh /path/to/bench_hotpath /path/to/bench_smr}"
+
+for bin in "$BENCH_HOTPATH" "$BENCH_SMR"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "check_bench: $bin not built; skipping"
+    exit 77
+  fi
+done
+
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+# Tiny scale: the point is the JSON contract, not stable numbers.
+"$BENCH_HOTPATH" --n 13 --iters 2000 --slots 50 --rounds 50 --payload 256 \
+  --json "$WORKDIR/BENCH_hotpath.json" >"$WORKDIR/hotpath.txt"
+"$BENCH_SMR" --window 4 --slots 8 --seed 1 \
+  --json "$WORKDIR/BENCH_smr.json" >"$WORKDIR/smr.txt"
+
+python3 - "$WORKDIR/BENCH_hotpath.json" "$WORKDIR/BENCH_smr.json" <<'PY'
+import json, sys
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+def require(doc, path, spec):
+    for key, typ in spec.items():
+        assert key in doc, f"{path}: missing field '{key}'"
+        assert isinstance(doc[key], typ), \
+            f"{path}: field '{key}' has type {type(doc[key]).__name__}"
+
+num = (int, float)
+
+hp = load(sys.argv[1])
+require(hp, "BENCH_hotpath.json", {
+    "bench": str, "git_rev": str, "seed": int, "n": int, "t": int,
+    "predicate": dict, "idb": dict, "broadcast": dict,
+})
+assert hp["bench"] == "hotpath"
+require(hp["predicate"], "BENCH_hotpath.json predicate", {
+    "cached_ns_per_eval": num, "recompute_ns_per_eval": num,
+    "evals_per_sec": num, "speedup": num,
+})
+require(hp["idb"], "BENCH_hotpath.json idb", {
+    "echoes_per_sec": num, "ref_echoes_per_sec": num, "speedup": num,
+})
+require(hp["broadcast"], "BENCH_hotpath.json broadcast", {
+    "payload_bytes": int, "dests": int, "bytes_copied_per_dest": int,
+    "baseline_bytes_per_dest": int, "fanouts_per_sec": num,
+    "encode_once_ns": num, "encode_per_dest_ns": num,
+})
+# Structural invariant (machine-independent): fan-out shares payload bytes.
+assert hp["broadcast"]["bytes_copied_per_dest"] == 0, \
+    "fan-out copied payload bytes"
+
+smr = load(sys.argv[2])
+require(smr, "BENCH_smr.json", {
+    "bench": str, "git_rev": str, "seed": int, "n": int, "t": int,
+    "window": int, "batch": bool, "slots": int, "commits": int,
+    "commits_per_sec_virtual": num, "packets_per_commit": num,
+    "bytes_per_commit": num, "logs_ok": bool,
+})
+assert smr["bench"] == "smr"
+assert smr["logs_ok"], "SMR logs diverged in the smoke run"
+assert smr["commits"] >= smr["slots"], "SMR smoke run did not commit all slots"
+
+print("schemas OK "
+      f"(hotpath rev {hp['git_rev']}, smr {smr['commits']} commits)")
+PY
+
+echo "check_bench: OK"
