@@ -4,17 +4,49 @@
 // prints each action annotated with the pseudocode line it exercises, so the
 // implementation can be eyeballed against the paper line by line. Three
 // scenarios: a one-step run, a two-step run, and an underlying-consensus run.
+//
+// The transcript runs with the unified tracer (src/trace) at verbose level:
+// after each scenario the events the engine itself recorded — instance spans,
+// j1/j2 threshold crossings, condition hits, the fallback span — are printed
+// back, so the trace taxonomy can be checked against the pseudocode lines it
+// claims to represent. Pass a path argument to also write the whole
+// transcript as Chrome trace-event JSON (load in ui.perfetto.dev).
 #include <cstdio>
+#include <fstream>
+#include <vector>
 
 #include "consensus/condition/input_gen.hpp"
 #include "consensus/dex/dex_engine.hpp"
 #include "consensus/underlying/oracle.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
 using namespace dex;
 
 constexpr std::size_t kN = 13, kT = 2;
+
+std::vector<trace::Event> g_all_events;
+
+/// Prints what the tracer recorded during the scenario and folds the events
+/// into the transcript-wide list for the optional JSON export.
+void dump_recorded_trace() {
+  const auto events = trace::Tracer::global().snapshot();
+  std::printf("      traced:");
+  for (const auto& e : events) {
+    if (e.kind == trace::EventKind::kSpanBegin) {
+      std::printf(" [%s.%s", e.cat, e.name);
+    } else if (e.kind == trace::EventKind::kSpanEnd) {
+      std::printf(" %s.%s]", e.cat, e.name);
+    } else {
+      std::printf(" %s.%s", e.cat, e.name);
+    }
+  }
+  std::printf("\n");
+  g_all_events.insert(g_all_events.end(), events.begin(), events.end());
+  trace::Tracer::global().reset();
+}
 
 struct Probe {
   Outbox outbox;
@@ -58,6 +90,7 @@ void one_step_scenario() {
     if (p.report_decision("line 8")) break;
   }
   p.show_views();
+  dump_recorded_trace();
 }
 
 void two_step_scenario() {
@@ -82,6 +115,7 @@ void two_step_scenario() {
     if (p.report_decision("line 17")) break;
   }
   p.show_views();
+  dump_recorded_trace();
 }
 
 void underlying_scenario() {
@@ -104,11 +138,13 @@ void underlying_scenario() {
   std::printf("[line 19] UC_decide(2) arrives from the underlying consensus\n");
   p.engine.on_uc_decided(2, 1);
   p.report_decision("line 20-21");
+  dump_recorded_trace();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  trace::Tracer::global().set_level(trace::kVerbose);
   std::printf("=== Figure 1: DEX pseudocode, executed line by line ===\n");
   std::printf("n=%zu t=%zu, frequency-based pair: P1 = margin>4t=8, "
               "P2 = margin>2t=4, F = 1st(J)\n\n", kN, kT);
@@ -116,5 +152,14 @@ int main() {
   two_step_scenario();
   underlying_scenario();
   std::printf("\nall three decision paths of Figure 1 exercised.\n");
+  if (argc > 1) {
+    std::ofstream out(argv[1]);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", argv[1]);
+      return 1;
+    }
+    out << trace::to_chrome_json(g_all_events);
+    std::printf("trace: %zu events -> %s\n", g_all_events.size(), argv[1]);
+  }
   return 0;
 }

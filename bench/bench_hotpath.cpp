@@ -15,6 +15,7 @@
 // --json [path] writes BENCH_hotpath.json (schema checked by
 // tools/check_bench.sh); --check exits nonzero unless the predicate speedup
 // meets the 5x acceptance bar.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <map>
@@ -29,6 +30,7 @@
 #include "consensus/idb/idb_engine.hpp"
 #include "consensus/message.hpp"
 #include "json_out.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -105,6 +107,62 @@ PredicateResult bench_predicates(std::size_t n, std::size_t t,
   r.recompute_ns_per_eval = recompute_s * 1e9 / static_cast<double>(iters);
   r.evals_per_sec = cached_s > 0 ? static_cast<double>(iters) / cached_s : 0;
   r.speedup = cached_s > 0 ? recompute_s / cached_s : 0;
+  return r;
+}
+
+struct TraceOverheadResult {
+  double plain_ns_per_eval = 0;
+  double hooked_ns_per_eval = 0;
+  double overhead_pct = 0;  // clamped at zero
+};
+
+/// The cached-statistics ingest loop from bench_predicates, with and without
+/// a *disabled* trace hook per iteration — the cost the tracing subsystem
+/// adds to a hot path when DEX_TRACE is off (one relaxed load and a
+/// predicted branch). Minimum over alternated repetitions, so scheduler
+/// noise cannot manufacture overhead; negative differences clamp to zero.
+TraceOverheadResult bench_trace_overhead(std::size_t n, std::size_t t,
+                                         std::uint64_t iters,
+                                         std::uint64_t seed) {
+  trace::Tracer::global().set_level(trace::kOff);
+  Rng rng(seed);
+  std::vector<Value> stream(1024);
+  for (auto& v : stream) {
+    const auto r = rng.next_below(10);
+    v = r < 5 ? 1 : (r < 9 ? 2 : 3);
+  }
+
+  std::uint64_t sink = 0;
+  const auto run = [&](bool hooked) {
+    View view(n);
+    for (std::size_t i = 0; i < n; ++i) view.set(i, stream[i % stream.size()]);
+    const auto t0 = Clock::now();
+    for (std::uint64_t k = 0; k < iters; ++k) {
+      view.set(static_cast<std::size_t>(k % n),
+               stream[static_cast<std::size_t>(k % stream.size())]);
+      const FreqStats& s = view.freq();
+      sink += static_cast<std::uint64_t>(!s.empty() && s.margin() > 4 * t);
+      if (hooked && trace::on(trace::kVerbose)) {
+        trace::instant("bench", "eval",
+                       {.proc = static_cast<ProcessId>(k % n),
+                        .a = static_cast<std::int64_t>(k)});
+      }
+    }
+    return seconds_since(t0);
+  };
+
+  double plain_s = 1e18, hooked_s = 1e18;
+  for (int rep = 0; rep < 5; ++rep) {
+    plain_s = std::min(plain_s, run(false));
+    hooked_s = std::min(hooked_s, run(true));
+  }
+  if (sink == 0) std::fprintf(stderr, "(impossible sink)\n");
+
+  TraceOverheadResult r;
+  r.plain_ns_per_eval = plain_s * 1e9 / static_cast<double>(iters);
+  r.hooked_ns_per_eval = hooked_s * 1e9 / static_cast<double>(iters);
+  r.overhead_pct =
+      plain_s > 0 ? std::max(0.0, (hooked_s - plain_s) / plain_s * 100.0) : 0;
   return r;
 }
 
@@ -281,7 +339,9 @@ int main(int argc, char** argv) {
       .option("rounds", "broadcast fan-out rounds", "2000")
       .option("seed", "rng seed", "1")
       .option("json", "write BENCH_hotpath.json (optional path)")
-      .option("check", "exit 1 unless predicate speedup >= 5x")
+      .option("check",
+              "exit 1 unless predicate speedup >= 5x and disabled-trace "
+              "overhead < 3%")
       .option("help", "show usage");
   try {
     cli.parse(argc, argv);
@@ -309,6 +369,7 @@ int main(int argc, char** argv) {
   const auto pred = bench_predicates(n, t, iters, seed);
   const auto idb = bench_idb(n, t, slots);
   const auto bc = bench_broadcast(n, rounds, payload);
+  const auto tro = bench_trace_overhead(n, t, iters, seed);
 
   std::printf("=== hot path: n=%zu t=%zu seed=%llu (git %s) ===\n\n", n, t,
               static_cast<unsigned long long>(seed), DEX_GIT_REV);
@@ -331,6 +392,9 @@ int main(int argc, char** argv) {
               bc.fanouts_per_sec, bc.baseline_fanouts_per_sec);
   std::printf("  encode once / per-dest        : %.1f / %.1f ns per dest\n",
               bc.encode_once_ns, bc.encode_per_dest_ns);
+  std::printf("\ndisabled-trace hook overhead (predicate loop):\n");
+  std::printf("  plain / hooked : %.1f / %.1f ns per eval  (+%.2f%%)\n",
+              tro.plain_ns_per_eval, tro.hooked_ns_per_eval, tro.overhead_pct);
 
   if (cli.has("json")) {
     benchjson::JsonWriter jw;
@@ -358,6 +422,11 @@ int main(int argc, char** argv) {
         .field("fanouts_per_sec", bc.fanouts_per_sec)
         .field("encode_once_ns", bc.encode_once_ns)
         .field("encode_per_dest_ns", bc.encode_per_dest_ns)
+        .end_object()
+        .begin_object("trace_overhead")
+        .field("plain_ns_per_eval", tro.plain_ns_per_eval)
+        .field("hooked_ns_per_eval", tro.hooked_ns_per_eval)
+        .field("overhead_pct", tro.overhead_pct)
         .end_object();
     const std::string path = cli.str("json", "BENCH_hotpath.json");
     if (!jw.write_file(path)) {
@@ -367,9 +436,18 @@ int main(int argc, char** argv) {
     std::printf("\nwrote %s\n", path.c_str());
   }
 
-  if (cli.flag("check") && pred.speedup < 5.0) {
-    std::fprintf(stderr, "\nFAIL: predicate speedup %.1fx < 5x\n", pred.speedup);
-    return 1;
+  if (cli.flag("check")) {
+    if (pred.speedup < 5.0) {
+      std::fprintf(stderr, "\nFAIL: predicate speedup %.1fx < 5x\n",
+                   pred.speedup);
+      return 1;
+    }
+    if (tro.overhead_pct >= 3.0) {
+      std::fprintf(stderr,
+                   "\nFAIL: disabled-trace overhead %.2f%% >= 3%%\n",
+                   tro.overhead_pct);
+      return 1;
+    }
   }
   return 0;
 }

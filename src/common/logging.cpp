@@ -50,6 +50,18 @@ std::optional<LogLevel> init_log_level_from_env() {
   return level;
 }
 
+std::optional<int> parse_trace_level(const char* value) {
+  if (value == nullptr) return std::nullopt;
+  std::string lower;
+  for (const char* p = value; *p != '\0'; ++p) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (lower == "0" || lower == "off" || lower == "false" || lower == "no") return 0;
+  if (lower == "1" || lower == "on" || lower == "true" || lower == "yes") return 1;
+  if (lower == "2" || lower == "verbose" || lower == "full") return 2;
+  return std::nullopt;
+}
+
 namespace detail {
 void log_emit(LogLevel level, std::string_view component, std::string_view msg) {
   std::string line;

@@ -28,6 +28,14 @@ std::optional<LogLevel> log_level_from_name(std::string_view name);
 /// current level is left untouched).
 std::optional<LogLevel> init_log_level_from_env();
 
+/// Parses a DEX_TRACE value into a tracing level: 0 (off), 1 (on) or
+/// 2 (verbose, adds per-message engine events). Accepts the numerals and the
+/// case-insensitive aliases off/false/no, on/true/yes, verbose/full; nullopt
+/// (level untouched) for nullptr or anything else. The tracing layer applies
+/// the result via dex::trace::init_from_env() — parsing lives here so the
+/// environment contract sits next to DEX_LOG_LEVEL's.
+std::optional<int> parse_trace_level(const char* value);
+
 namespace detail {
 void log_emit(LogLevel level, std::string_view component, std::string_view msg);
 

@@ -2,6 +2,7 @@
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
+#include "trace/trace.hpp"
 
 namespace dex {
 
@@ -38,6 +39,10 @@ void DexEngine::propose(Value v) {
   const auto self = static_cast<std::size_t>(cfg_.self);
   j1_.set(self, v);
   j2_.set(self, v);
+  if (trace::on()) {
+    trace::span_begin("dex", "instance",
+                      {.proc = cfg_.self, .instance = cfg_.instance, .a = v});
+  }
 
   // P-Send(v) to all processes (one-step channel).
   Message plain;
@@ -58,37 +63,105 @@ void DexEngine::on_plain_proposal(ProcessId src, Value v) {
   // ignored) — but the threshold check still runs on every reception, as in
   // Figure 1's "Upon P-Receive" handler (self-delivery included: with
   // degenerate quorums the own proposal alone can satisfy |J1| >= n-t).
-  if (!j1_.has(idx)) j1_.set(idx, v);
+  if (!j1_.has(idx)) {
+    j1_.set(idx, v);
+    if (trace::on(trace::kVerbose)) {
+      trace::instant("dex", "j1.set",
+                     {.proc = cfg_.self,
+                      .peer = src,
+                      .instance = cfg_.instance,
+                      .a = v,
+                      .b = static_cast<std::int64_t>(j1_.known_count())});
+    }
+  }
   if (j1_.known_count() < cfg_.n - cfg_.t) return;
+  if (!j1_threshold_seen_) {
+    j1_threshold_seen_ = true;
+    if (trace::on()) {
+      trace::instant("dex", "j1.threshold",
+                     {.proc = cfg_.self,
+                      .instance = cfg_.instance,
+                      .a = static_cast<std::int64_t>(j1_.known_count())});
+    }
+  }
   // Ablation: without continuous re-evaluation, only the first n−t-sized
   // view is consulted.
   if (!cfg_.continuous_reevaluation && j1_evaluated_) return;
   j1_evaluated_ = true;
   if (!decision_.has_value() && pair_->p1(j1_)) {
-    decide(pair_->f(j1_), DecisionPath::kOneStep, 0);
+    const Value decided = pair_->f(j1_);
+    if (trace::on()) {
+      trace::instant("dex", "c1.hit",
+                     {.proc = cfg_.self,
+                      .instance = cfg_.instance,
+                      .a = decided,
+                      .b = static_cast<std::int64_t>(j1_.known_count())});
+    }
+    decide(decided, DecisionPath::kOneStep, 0);
   }
 }
 
 void DexEngine::on_idb_proposal(ProcessId origin, Value v) {
   if (origin < 0 || static_cast<std::size_t>(origin) >= cfg_.n) return;
   const auto idx = static_cast<std::size_t>(origin);
-  if (!j2_.has(idx)) j2_.set(idx, v);
+  if (!j2_.has(idx)) {
+    j2_.set(idx, v);
+    if (trace::on(trace::kVerbose)) {
+      trace::instant("dex", "j2.set",
+                     {.proc = cfg_.self,
+                      .peer = origin,
+                      .instance = cfg_.instance,
+                      .a = v,
+                      .b = static_cast<std::int64_t>(j2_.known_count())});
+    }
+  }
 
   if (j2_.known_count() < cfg_.n - cfg_.t) return;
+  if (!j2_threshold_seen_) {
+    j2_threshold_seen_ = true;
+    if (trace::on()) {
+      trace::instant("dex", "j2.threshold",
+                     {.proc = cfg_.self,
+                      .instance = cfg_.instance,
+                      .a = static_cast<std::int64_t>(j2_.known_count())});
+    }
+  }
   if (!proposed_) {
     proposed_ = true;
     metrics::inc(m_uc_proposals_);
-    uc_->propose(pair_->f(j2_));
+    const Value fallback = pair_->f(j2_);
+    if (trace::on()) {
+      trace::span_begin("dex", "fallback",
+                        {.proc = cfg_.self, .instance = cfg_.instance,
+                         .a = fallback});
+      trace::instant("dex", "uc.propose",
+                     {.proc = cfg_.self, .instance = cfg_.instance,
+                      .a = fallback});
+    }
+    uc_->propose(fallback);
   }
   if (!cfg_.enable_two_step) return;  // ablation: one-step only
   if (!cfg_.continuous_reevaluation && j2_evaluated_) return;
   j2_evaluated_ = true;
   if (!decision_.has_value() && pair_->p2(j2_)) {
-    decide(pair_->f(j2_), DecisionPath::kTwoStep, 0);
+    const Value decided = pair_->f(j2_);
+    if (trace::on()) {
+      trace::instant("dex", "c2.hit",
+                     {.proc = cfg_.self,
+                      .instance = cfg_.instance,
+                      .a = decided,
+                      .b = static_cast<std::int64_t>(j2_.known_count())});
+    }
+    decide(decided, DecisionPath::kTwoStep, 0);
   }
 }
 
 void DexEngine::on_uc_decided(Value v, std::uint32_t uc_rounds) {
+  if (trace::on()) {
+    trace::instant("dex", "uc.decide",
+                   {.proc = cfg_.self, .instance = cfg_.instance,
+                    .a = v, .b = uc_rounds});
+  }
   if (!decision_.has_value()) {
     decide(v, DecisionPath::kUnderlying, uc_rounds);
   }
@@ -97,13 +170,24 @@ void DexEngine::on_uc_decided(Value v, std::uint32_t uc_rounds) {
 void DexEngine::decide(Value v, DecisionPath path, std::uint32_t uc_rounds) {
   decision_ = Decision{v, path, uc_rounds};
   metrics::inc(m_decisions_[static_cast<std::size_t>(path)]);
-  if (m_steps_ != nullptr) {
-    // Same accounting as DexStack::logical_steps: one IDB step = two plain
-    // steps; the fallback pays the J2 prefix plus its own steps.
-    std::uint32_t steps = 1;
-    if (path == DecisionPath::kTwoStep) steps = 2;
-    if (path == DecisionPath::kUnderlying) steps = 2 + uc_->logical_steps();
-    m_steps_->observe(steps);
+  // Same accounting as DexStack::logical_steps: one IDB step = two plain
+  // steps; the fallback pays the J2 prefix plus its own steps.
+  std::uint32_t steps = 1;
+  if (path == DecisionPath::kTwoStep) steps = 2;
+  if (path == DecisionPath::kUnderlying) steps = 2 + uc_->logical_steps();
+  if (m_steps_ != nullptr) m_steps_->observe(steps);
+  if (trace::on()) {
+    const auto path_arg = static_cast<std::int64_t>(path);
+    if (proposed_) {
+      // The fallback is moot once any path decides; close its span here so
+      // every fallback that started before the decision has an end.
+      trace::span_end("dex", "fallback",
+                      {.proc = cfg_.self, .instance = cfg_.instance,
+                       .a = v, .b = path_arg, .c = uc_rounds});
+    }
+    trace::span_end("dex", "instance",
+                    {.proc = cfg_.self, .instance = cfg_.instance,
+                     .a = v, .b = path_arg, .c = steps});
   }
   DEX_LOG(kDebug, "dex") << "p" << cfg_.self << " decided " << v << " via "
                          << decision_path_name(path);

@@ -94,6 +94,8 @@ class DexEngine {
   bool proposed_ = false;  // proposed_i in Figure 1
   bool j1_evaluated_ = false;  // single-shot ablation bookkeeping
   bool j2_evaluated_ = false;
+  bool j1_threshold_seen_ = false;  // trace: first |J1| >= n-t crossing
+  bool j2_threshold_seen_ = false;
   std::optional<Decision> decision_;
 
   // Exported series, indexed by DecisionPath (null when metrics disabled).

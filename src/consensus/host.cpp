@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "trace/trace.hpp"
 
 namespace dex {
 
@@ -33,6 +34,11 @@ ConsensusProcess* ConsensusHost::open(InstanceId id) {
   live_high_water_ = std::max(live_high_water_, live_count_);
   metrics::inc(m_opened_);
   metrics::set(m_live_, static_cast<double>(live_count_));
+  if (trace::on()) {
+    trace::instant("host", "open",
+                   {.proc = raw->self(), .instance = id,
+                    .a = static_cast<std::int64_t>(live_count_)});
+  }
   return raw;
 }
 
@@ -46,6 +52,11 @@ bool ConsensusHost::route(ProcessId src, const Message& msg) {
   if (stack == nullptr) {
     ++dropped_;
     metrics::inc(m_dropped_);
+    if (trace::on()) {
+      trace::instant("host", "drop",
+                     {.peer = src, .instance = msg.instance, .tag = msg.tag,
+                      .a = static_cast<std::int64_t>(msg.kind)});
+    }
     return false;
   }
   stack->on_packet(src, msg);
@@ -78,6 +89,11 @@ void ConsensusHost::retire(InstanceId id) {
   --live_count_;
   metrics::inc(m_retired_);
   metrics::set(m_live_, static_cast<double>(live_count_));
+  if (trace::on()) {
+    trace::instant("host", "retire",
+                   {.proc = it->second.stack->self(), .instance = id,
+                    .a = static_cast<std::int64_t>(live_count_)});
+  }
 }
 
 void ConsensusHost::for_each_live(

@@ -2,6 +2,7 @@
 
 #include "common/assert.hpp"
 #include "common/hash.hpp"
+#include "trace/trace.hpp"
 
 namespace dex {
 
@@ -40,11 +41,27 @@ void IdbEngine::id_send(std::uint64_t tag, Payload payload) {
   m.payload = std::move(payload);
   ++inits_sent_;
   metrics::inc(m_inits_);
+  if (trace::on()) {
+    trace::instant("idb", "init",
+                   {.proc = self_,
+                    .peer = self_,
+                    .instance = instance_,
+                    .tag = tag,
+                    .a = static_cast<std::int64_t>(m.payload.size())});
+  }
   outbox_->broadcast(std::move(m));
 }
 
 IdbEngine::Slot& IdbEngine::slot(ProcessId origin, std::uint64_t tag) {
-  return slots_[{origin, tag}];
+  const auto [it, inserted] =
+      slots_.try_emplace(std::pair<ProcessId, std::uint64_t>{origin, tag});
+  if (inserted && trace::on()) {
+    // One IDB round: first sight of the (origin, tag) broadcast → acceptance.
+    trace::span_begin("idb", "round",
+                      {.proc = self_, .peer = origin, .instance = instance_,
+                       .tag = tag});
+  }
+  return it->second;
 }
 
 IdbEngine::EchoBucket& IdbEngine::bucket(Slot& s, std::uint64_t digest,
@@ -72,7 +89,7 @@ bool IdbEngine::record_voter(EchoBucket& b, ProcessId src) {
 }
 
 void IdbEngine::send_echo(ProcessId origin, std::uint64_t tag,
-                          const Payload& payload) {
+                          const Payload& payload, bool amplified) {
   Message m;
   m.kind = MsgKind::kIdbEcho;
   m.instance = instance_;
@@ -81,6 +98,15 @@ void IdbEngine::send_echo(ProcessId origin, std::uint64_t tag,
   m.payload = payload;  // shared bytes
   ++echoes_sent_;
   metrics::inc(m_echoes_);
+  if (trace::on()) {
+    trace::instant("idb", "echo",
+                   {.proc = self_,
+                    .peer = origin,
+                    .instance = instance_,
+                    .tag = tag,
+                    .a = amplified ? 1 : 0,
+                    .b = static_cast<std::int64_t>(payload.size())});
+  }
   outbox_->broadcast(std::move(m));
 }
 
@@ -96,7 +122,7 @@ void IdbEngine::on_message(ProcessId src, const Message& msg) {
     Slot& s = slot(origin, msg.tag);
     if (s.echoed) return;  // first-echo(j)
     s.echoed = true;
-    send_echo(origin, msg.tag, msg.payload);
+    send_echo(origin, msg.tag, msg.payload, /*amplified=*/false);
     return;
   }
 
@@ -112,13 +138,26 @@ void IdbEngine::on_message(ProcessId src, const Message& msg) {
     if (num >= n_ - 2 * t_ && !s.echoed) {
       s.echoed = true;
       metrics::inc(m_amplified_);
-      send_echo(origin, msg.tag, b.payload);
+      send_echo(origin, msg.tag, b.payload, /*amplified=*/true);
     }
     // Acceptance: n-t matching echoes.
     if (num >= n_ - t_ && !s.accepted) {
       s.accepted = true;
       ++accepted_count_;
       metrics::inc(m_accepts_);
+      if (trace::on()) {
+        trace::instant("idb", "accept",
+                       {.proc = self_,
+                        .peer = origin,
+                        .instance = instance_,
+                        .tag = msg.tag,
+                        .a = static_cast<std::int64_t>(num),
+                        .b = static_cast<std::int64_t>(b.payload.size())});
+        trace::span_end("idb", "round",
+                        {.proc = self_, .peer = origin, .instance = instance_,
+                         .tag = msg.tag,
+                         .a = static_cast<std::int64_t>(num)});
+      }
       deliveries_.push_back(IdbDelivery{origin, msg.tag, b.payload});
     }
     return;

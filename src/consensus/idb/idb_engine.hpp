@@ -113,7 +113,8 @@ class IdbEngine {
     }
   };
 
-  void send_echo(ProcessId origin, std::uint64_t tag, const Payload& payload);
+  void send_echo(ProcessId origin, std::uint64_t tag, const Payload& payload,
+                 bool amplified);
 
   Slot& slot(ProcessId origin, std::uint64_t tag);
 

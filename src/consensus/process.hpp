@@ -56,6 +56,8 @@ class ConsensusProcess {
 
   [[nodiscard]] virtual std::string algorithm() const = 0;
   [[nodiscard]] virtual ProcessId self() const = 0;
+  /// The consensus instance this stack runs (trace/metrics attribution).
+  [[nodiscard]] virtual InstanceId instance() const { return 0; }
 };
 
 }  // namespace dex

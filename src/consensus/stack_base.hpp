@@ -46,6 +46,7 @@ class StackBase : public ConsensusProcess {
   void poll() final { check_uc_decision(); }
   [[nodiscard]] std::vector<Outgoing> drain_outbox() final { return outbox_.drain(); }
   [[nodiscard]] ProcessId self() const final { return cfg_.self; }
+  [[nodiscard]] InstanceId instance() const final { return cfg_.instance; }
 
   [[nodiscard]] IdbEngine& idb() { return idb_; }
   /// The underlying consensus. Unavailable after release_decided_state().

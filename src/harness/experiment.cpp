@@ -35,6 +35,14 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   DEX_ENSURE_MSG(cfg.n >= algorithm_min_n(cfg.algorithm, cfg.t),
                  "n below the algorithm's resilience requirement");
 
+  const int prev_trace_level = trace::Tracer::global().level();
+  if (cfg.capture_trace) {
+    trace::Tracer::global().reset();
+    if (prev_trace_level < trace::kOn) {
+      trace::Tracer::global().set_level(trace::kOn);
+    }
+  }
+
   sim::SimOptions opts;
   opts.seed = cfg.seed;
   opts.delay = cfg.delay;
@@ -116,6 +124,10 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
   ExperimentResult result;
   result.stats = simulation.run();
+  if (cfg.capture_trace) {
+    result.trace_events = trace::Tracer::global().snapshot();
+    trace::Tracer::global().set_level(prev_trace_level);
+  }
   result.faulty = faulty;
   for (std::size_t i = 0; i < cfg.n; ++i) {
     const auto pid = static_cast<ProcessId>(i);

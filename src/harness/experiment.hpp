@@ -12,6 +12,7 @@
 #include "consensus/factory.hpp"
 #include "consensus/view.hpp"
 #include "sim/simulation.hpp"
+#include "trace/trace.hpp"
 
 namespace dex::harness {
 
@@ -68,6 +69,12 @@ struct ExperimentConfig {
   SimTime oracle_step_time = 5'000'000;
   /// Optional trace sink (not owned; must outlive the call).
   sim::TraceRecorder* trace = nullptr;
+  /// Capture a unified trace (src/trace) of this run: the global tracer is
+  /// reset, raised to at least trace::kOn for the duration, restored
+  /// afterwards, and its (time, seq)-sorted snapshot lands in
+  /// ExperimentResult::trace_events. The tracer is process-global — do not
+  /// run capturing experiments concurrently.
+  bool capture_trace = false;
   /// Optional metrics sink (not owned; must outlive the call). When set, the
   /// simulator exports sim_* series and every correct process's stack exports
   /// dex_*/idb_* series under a {"process": "p<i>"} label.
@@ -77,6 +84,8 @@ struct ExperimentConfig {
 struct ExperimentResult {
   sim::RunStats stats;
   std::set<ProcessId> faulty;
+  /// Unified-tracer snapshot of the run (empty unless capture_trace was set).
+  std::vector<trace::Event> trace_events;
 
   // Aggregates over correct processes.
   std::size_t correct = 0;

@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
+#include "trace/trace.hpp"
 
 namespace dex::sim {
 
@@ -80,6 +81,8 @@ Simulation::Simulation(std::size_t n, SimOptions opts)
                                  DecisionPath::kUnderlying}) {
       m_decisions_[static_cast<std::size_t>(p)] = &reg.counter(
           "sim_decisions_total", {{"path", decision_path_metric_label(p)}});
+      m_path_latency_[static_cast<std::size_t>(p)] = &reg.histogram(
+          "dex_decide_latency_ms", {{"path", decision_path_metric_label(p)}});
     }
     m_events_ = &reg.counter("sim_events_total");
     m_wire_packets_ = &reg.counter("sim_wire_packets_total");
@@ -126,8 +129,18 @@ void Simulation::record_decision(ProcessId i, RunStats& stats) {
   if (const auto& d = proc->decision()) {
     slot = DecisionRecord{*d, now_, proc->logical_steps()};
     if (opts_.trace) opts_.trace->record_decide(now_, i, *d);
+    if (trace::on()) {
+      trace::instant_at(now_, "sim", "decide",
+                        {.proc = i,
+                         .instance = proc->instance(),
+                         .a = d->value,
+                         .b = static_cast<std::int64_t>(d->path),
+                         .c = static_cast<std::int64_t>(d->uc_rounds)});
+    }
     metrics::inc(m_decisions_[static_cast<std::size_t>(d->path)]);
     metrics::observe(m_latency_, static_cast<double>(now_) / 1e6);
+    metrics::observe(m_path_latency_[static_cast<std::size_t>(d->path)],
+                     static_cast<double>(now_) / 1e6);
     metrics::observe(m_steps_, proc->logical_steps());
   }
 }
@@ -197,6 +210,16 @@ void Simulation::deliver_one(ProcessId src, ProcessId dst, const Message& msg,
     metrics::inc(m_bytes_[ki], msg.payload.size());
   }
   if (opts_.trace) opts_.trace->record_deliver(now_, src, dst, msg);
+  if (trace::on()) {
+    trace::instant_at(now_, "sim", "deliver",
+                      {.proc = dst,
+                       .peer = src,
+                       .instance = msg.instance,
+                       .tag = msg.tag,
+                       .a = static_cast<std::int64_t>(msg.kind),
+                       .b = static_cast<std::int64_t>(msg.payload.size()),
+                       .c = msg.origin});
+  }
   actors_[static_cast<std::size_t>(dst)]->on_packet(src, msg);
 }
 
@@ -219,6 +242,12 @@ bool Simulation::all_decided_now() const {
 }
 
 RunStats Simulation::run() {
+  // Drive the tracer on virtual time so engine hooks fired from actor
+  // callbacks stamp the simulated instant, not the wall clock.
+  if (trace::on()) {
+    trace::Tracer::global().set_clock(trace::Tracer::Clock::kVirtual);
+    trace::Tracer::global().set_virtual_now(now_);
+  }
   RunStats stats;
   stats.decisions.assign(n_, std::nullopt);
   stats.is_consensus.assign(n_, false);
@@ -246,6 +275,7 @@ RunStats Simulation::run() {
     queue_.pop();
     if (ev.at > opts_.max_time) break;
     now_ = ev.at;
+    if (trace::on()) trace::Tracer::global().set_virtual_now(now_);
     ++stats.events;
     metrics::inc(m_events_);
 
@@ -270,6 +300,7 @@ RunStats Simulation::run() {
     } else if (auto* st = std::get_if<StartEvent>(&ev.body)) {
       started_[static_cast<std::size_t>(st->who)] = true;
       if (opts_.trace) opts_.trace->record_start(now_, st->who);
+      if (trace::on()) trace::instant_at(now_, "sim", "start", {.proc = st->who});
       actors_[static_cast<std::size_t>(st->who)]->start();
       pump_actor(st->who, stats);
     } else if (auto* fn = std::get_if<FuncEvent>(&ev.body)) {

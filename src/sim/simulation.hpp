@@ -174,6 +174,9 @@ class Simulation {
   metrics::Counter* m_wire_bytes_ = nullptr;
   metrics::HistogramMetric* m_latency_ = nullptr;
   metrics::HistogramMetric* m_steps_ = nullptr;
+  /// Per-decision-path virtual-time latency, indexed by DecisionPath
+  /// (dex_decide_latency_ms{path=...}).
+  metrics::HistogramMetric* m_path_latency_[3] = {nullptr, nullptr, nullptr};
   metrics::Gauge* m_end_time_ = nullptr;
 };
 

@@ -1,8 +1,25 @@
 #include "sim/trace.hpp"
 
+#include <cstring>
 #include <sstream>
+#include <string_view>
 
 namespace dex::sim {
+
+std::string csv_escape(std::string_view field) {
+  if (field.find_first_of(",\"\r\n") == std::string_view::npos) {
+    return std::string(field);
+  }
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
 
 const char* trace_kind_name(TraceKind k) {
   switch (k) {
@@ -43,6 +60,47 @@ void TraceRecorder::record_decide(SimTime at, ProcessId who,
   e.dst = who;
   e.decision = decision;
   events_.push_back(e);
+}
+
+std::vector<TraceEvent> TraceRecorder::from_backend(
+    const std::vector<trace::Event>& snapshot) {
+  std::vector<TraceEvent> out;
+  for (const trace::Event& ev : snapshot) {
+    if (ev.kind != trace::EventKind::kInstant ||
+        std::strcmp(ev.cat, "sim") != 0) {
+      continue;
+    }
+    TraceEvent e;
+    e.at = static_cast<SimTime>(ev.t);
+    if (std::strcmp(ev.name, "start") == 0) {
+      e.kind = TraceKind::kStart;
+      e.dst = ev.proc;
+    } else if (std::strcmp(ev.name, "deliver") == 0) {
+      e.kind = TraceKind::kDeliver;
+      e.src = ev.peer;
+      e.dst = ev.proc;
+      e.msg_kind = static_cast<MsgKind>(ev.a);
+      e.tag = ev.tag;
+      e.instance = ev.instance;
+      e.payload_size = static_cast<std::size_t>(ev.b);
+    } else if (std::strcmp(ev.name, "decide") == 0) {
+      e.kind = TraceKind::kDecide;
+      e.dst = ev.proc;
+      Decision d;
+      d.value = static_cast<Value>(ev.a);
+      d.path = static_cast<DecisionPath>(ev.b);
+      d.uc_rounds = static_cast<std::uint32_t>(ev.c);
+      e.decision = d;
+    } else {
+      continue;
+    }
+    out.push_back(e);
+  }
+  return out;
+}
+
+void TraceRecorder::load_backend(const std::vector<trace::Event>& snapshot) {
+  events_ = from_backend(snapshot);
 }
 
 std::size_t TraceRecorder::count(TraceKind kind) const {
@@ -95,14 +153,17 @@ std::string TraceRecorder::to_csv() const {
   os << "at_ns,kind,src,dst,msg_kind,tag,instance,payload_size,decided_value,"
         "decision_path\n";
   for (const auto& e : events_) {
-    os << e.at << "," << trace_kind_name(e.kind) << "," << e.src << "," << e.dst
-       << ",";
+    os << e.at << "," << csv_escape(trace_kind_name(e.kind)) << "," << e.src
+       << "," << e.dst << ",";
     if (e.kind == TraceKind::kDeliver) {
-      os << msg_kind_name(e.msg_kind) << "," << e.tag << "," << e.instance << ","
-         << e.payload_size << ",,";
+      os << csv_escape(msg_kind_name(e.msg_kind)) << "," << e.tag << ","
+         << e.instance << "," << e.payload_size << ",,";
     } else if (e.kind == TraceKind::kDecide) {
-      os << ",,,," << e.decision->value << ","
-         << decision_path_name(e.decision->path);
+      // Decision values are numeric today, but route them through the escaper
+      // anyway: a future symbolic value (or a "?" path name) must not be able
+      // to smuggle a comma into the row.
+      os << ",,,," << csv_escape(std::to_string(e.decision->value)) << ","
+         << csv_escape(decision_path_name(e.decision->path));
     } else {
       os << ",,,,,";
     }

@@ -4,21 +4,35 @@
 // delivery and decision is recorded with its virtual timestamp. Traces power
 // debugging (human-readable dump), analysis (CSV export) and tests
 // (determinism can be asserted as trace equality).
+//
+// This is the legacy, simulation-local view of a run. The process-wide
+// tracer (src/trace) records the same three simulator events — "sim" category
+// instants named start/deliver/decide — alongside engine spans; from_backend()
+// rebuilds the legacy event list from such a snapshot, making TraceRecorder a
+// thin adapter over the unified backend: record_* during a run and
+// from_backend() on its snapshot produce identical event streams.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "consensus/decision.hpp"
 #include "consensus/message.hpp"
+#include "trace/trace.hpp"
 
 namespace dex::sim {
 
 enum class TraceKind : std::uint8_t { kStart, kDeliver, kDecide };
 
 const char* trace_kind_name(TraceKind k);
+
+/// RFC 4180 CSV field quoting: a field containing a comma, quote, CR or LF is
+/// wrapped in double quotes with embedded quotes doubled; plain fields pass
+/// through untouched (the all-numeric rows stay byte-stable).
+[[nodiscard]] std::string csv_escape(std::string_view field);
 
 struct TraceEvent {
   SimTime at = 0;
@@ -41,6 +55,15 @@ class TraceRecorder {
   void record_start(SimTime at, ProcessId who);
   void record_deliver(SimTime at, ProcessId src, ProcessId dst, const Message& msg);
   void record_decide(SimTime at, ProcessId who, const Decision& decision);
+
+  /// Rebuilds the legacy event list from a unified-tracer snapshot (events of
+  /// category "sim" named start/deliver/decide; everything else is ignored).
+  /// The snapshot is (time, seq)-ordered, so the reconstruction matches the
+  /// order record_* would have seen during the run.
+  [[nodiscard]] static std::vector<TraceEvent> from_backend(
+      const std::vector<trace::Event>& snapshot);
+  /// Replaces this recorder's events with the reconstruction of `snapshot`.
+  void load_backend(const std::vector<trace::Event>& snapshot);
 
   [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
   [[nodiscard]] std::size_t count(TraceKind kind) const;

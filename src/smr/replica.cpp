@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
+#include "trace/trace.hpp"
 
 namespace dex::smr {
 
@@ -58,6 +59,9 @@ ConsensusProcess* Replica::open_slot(InstanceId s) {
   if (stack != nullptr && meta_.count(s) == 0) {
     SlotMeta& meta = meta_[s];
     if (cfg_.clock) meta.opened_at = cfg_.clock();
+    if (trace::on()) {
+      trace::span_begin("smr", "slot", {.proc = cfg_.self, .instance = s});
+    }
     export_live_gauges();
   }
   return stack;
@@ -71,6 +75,7 @@ void Replica::export_live_gauges() {
 void Replica::submit(const Command& cmd) {
   const Value d = cmd.digest();
   metrics::inc(m_submitted_);
+  if (trace::on()) trace::instant("smr", "submit", {.proc = cfg_.self, .a = d});
   bodies_.try_emplace(d, cmd);
   if (committed_digests_.count(d) == 0 && pending_set_.insert(d).second) {
     pending_.push_back(d);
@@ -212,6 +217,11 @@ void Replica::try_commit() {
         entry.command = body->second;
       } else {
         metrics::inc(m_holes_);
+        if (trace::on()) {
+          trace::instant("smr", "hole",
+                         {.proc = cfg_.self, .instance = next_slot_,
+                          .a = d.value});
+        }
         DEX_LOG(kWarn, "smr") << "r" << cfg_.self << " slot " << next_slot_
                               << " committed unknown digest " << d.value;
       }
@@ -228,6 +238,13 @@ void Replica::try_commit() {
     }
     metrics::inc(m_commits_[static_cast<std::size_t>(d.path)]);
     const auto meta = meta_.find(next_slot_);
+    // Only slots we opened ourselves carry a span begin (open_slot); a slot
+    // committed purely from remote traffic gets no smr span.
+    if (meta != meta_.end() && trace::on()) {
+      trace::span_end("smr", "slot",
+                      {.proc = cfg_.self, .instance = next_slot_,
+                       .a = d.value, .b = static_cast<std::int64_t>(d.path)});
+    }
     if (m_slot_latency_ != nullptr && cfg_.clock && meta != meta_.end()) {
       const SimTime now = cfg_.clock();
       const SimTime dur =

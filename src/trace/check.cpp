@@ -1,0 +1,150 @@
+#include "trace/check.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <set>
+#include <sstream>
+
+// Header-only protocol constants (MsgKind values, channel masks); no link
+// dependency on dex_consensus.
+#include "consensus/decision.hpp"
+#include "consensus/message.hpp"
+
+namespace dex::trace {
+
+namespace {
+
+bool is(const Event& e, const char* cat, const char* name) {
+  return std::strcmp(e.cat, cat) == 0 && std::strcmp(e.name, name) == 0;
+}
+
+// Delivery bookkeeping keys. For echoes the key scopes a broadcast slot:
+// (receiver, instance, origin, tag).
+using ProcInst = std::pair<ProcessId, InstanceId>;
+struct SlotKey {
+  ProcessId proc;
+  InstanceId instance;
+  ProcessId origin;
+  std::uint64_t tag;
+  bool operator<(const SlotKey& o) const {
+    return std::tie(proc, instance, origin, tag) <
+           std::tie(o.proc, o.instance, o.origin, o.tag);
+  }
+};
+
+}  // namespace
+
+CheckResult check_causal_invariants(std::vector<Event> events,
+                                    const CheckConfig& cfg) {
+  CheckResult res;
+  if (cfg.n == 0) {
+    res.ok = false;
+    res.violations.push_back("check config: n must be set");
+    return res;
+  }
+  std::sort(events.begin(), events.end(), [](const Event& x, const Event& y) {
+    if (x.t != y.t) return x.t < y.t;
+    return x.seq < y.seq;
+  });
+
+  const std::size_t quorum = cfg.n - cfg.t;          // n−t
+  const std::size_t amplify = cfg.n - 2 * cfg.t;     // n−2t
+
+  // Distinct senders delivered to (proc, instance), any kind / plain-proposal
+  // channel only, and distinct echo senders per slot.
+  std::map<ProcInst, std::set<ProcessId>> delivered;
+  std::map<ProcInst, std::set<ProcessId>> plain_proposals;
+  std::map<SlotKey, std::set<ProcessId>> echoes;
+  std::set<SlotKey> init_seen;
+
+  auto fail = [&res](const Event& e, const std::string& what) {
+    std::ostringstream os;
+    os << what << " (t=" << e.t << "ns seq=" << e.seq << " proc=" << e.proc
+       << " instance=" << e.instance << ")";
+    res.violations.push_back(os.str());
+    res.ok = false;
+  };
+
+  for (const Event& e : events) {
+    if (is(e, "sim", "deliver")) {
+      // a = MsgKind, b = payload bytes, c = origin, peer = sender.
+      const ProcInst pk{e.proc, e.instance};
+      delivered[pk].insert(e.peer);
+      const auto kind = static_cast<MsgKind>(e.a);
+      if (kind == MsgKind::kPlain &&
+          chan::channel(e.tag) == chan::kDexProposalPlain) {
+        plain_proposals[pk].insert(e.peer);
+      } else if (kind == MsgKind::kIdbInit) {
+        // The true origin of an init is its network sender (the engines
+        // ignore a claimed origin field for inits).
+        init_seen.insert(SlotKey{e.proc, e.instance, e.peer, e.tag});
+      } else if (kind == MsgKind::kIdbEcho) {
+        echoes[SlotKey{e.proc, e.instance, static_cast<ProcessId>(e.c), e.tag}]
+            .insert(e.peer);
+      }
+      continue;
+    }
+
+    if (is(e, "idb", "echo")) {
+      // peer = origin; a = 1 when triggered by amplification.
+      ++res.echoes_checked;
+      const SlotKey key{e.proc, e.instance, e.peer, e.tag};
+      const auto it = echoes.find(key);
+      const std::size_t echo_count = it == echoes.end() ? 0 : it->second.size();
+      if (init_seen.count(key) == 0 && echo_count < amplify) {
+        std::ostringstream os;
+        os << "I3 echo-justified: echo for origin " << e.peer
+           << " without init and with only " << echo_count << " < " << amplify
+           << " echo deliveries";
+        fail(e, os.str());
+      }
+      continue;
+    }
+
+    if (is(e, "idb", "accept")) {
+      ++res.accepts_checked;
+      const SlotKey key{e.proc, e.instance, e.peer, e.tag};
+      const auto it = echoes.find(key);
+      const std::size_t echo_count = it == echoes.end() ? 0 : it->second.size();
+      if (echo_count < quorum) {
+        std::ostringstream os;
+        os << "I4 accept-quorum: accepted origin " << e.peer << " with only "
+           << echo_count << " < " << quorum << " echo deliveries";
+        fail(e, os.str());
+      }
+      continue;
+    }
+
+    if (is(e, "sim", "decide")) {
+      // a = value, b = DecisionPath, c = underlying-consensus rounds.
+      ++res.decides_checked;
+      const ProcInst pk{e.proc, e.instance};
+      const auto it = delivered.find(pk);
+      const std::size_t ndel = it == delivered.end() ? 0 : it->second.size();
+      if (ndel < quorum) {
+        std::ostringstream os;
+        os << "I1 decide-quorum: decide after deliveries from only " << ndel
+           << " < " << quorum << " distinct senders";
+        fail(e, os.str());
+      }
+      if (static_cast<DecisionPath>(e.b) == DecisionPath::kOneStep) {
+        ++res.one_step_decides;
+        const auto pit = plain_proposals.find(pk);
+        const std::size_t nprop =
+            pit == plain_proposals.end() ? 0 : pit->second.size();
+        if (nprop < quorum) {
+          std::ostringstream os;
+          os << "I2 one-step-at-1: one-step decide with only " << nprop
+             << " < " << quorum << " plain proposal deliveries";
+          fail(e, os.str());
+        }
+      }
+      continue;
+    }
+  }
+
+  return res;
+}
+
+}  // namespace dex::trace

@@ -1,0 +1,48 @@
+// Causal-invariant checker for recorded traces.
+//
+// Replays a snapshot in (t, seq) order and verifies that every protocol-level
+// effect is justified by previously delivered messages:
+//
+//   I1 decide-quorum    — a decide at process p for instance k is preceded by
+//                         deliveries from ≥ n−t distinct senders to p in k.
+//   I2 one-step-at-1    — a one-step decide is justified by ≥ n−t distinct
+//                         *plain proposal* deliveries alone (step 1 traffic;
+//                         no echoes were needed).
+//   I3 echo-justified   — an IDB echo sent by p for (origin, tag) is preceded
+//                         by the matching init delivery or by ≥ n−2t distinct
+//                         echo deliveries (the amplification rule).
+//   I4 accept-quorum    — an IDB acceptance at p for (origin, tag) is
+//                         preceded by ≥ n−t distinct echo deliveries.
+//
+// The checker is deliberately independent of the engines: it re-derives the
+// thresholds from the trace alone, so a bug that both mis-decides and
+// mis-reports would still trip it as long as deliveries are recorded by the
+// simulator (which does not consult engine state).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace dex::trace {
+
+struct CheckConfig {
+  std::size_t n = 0;
+  std::size_t t = 0;
+};
+
+struct CheckResult {
+  bool ok = true;
+  std::vector<std::string> violations;
+  std::size_t decides_checked = 0;
+  std::size_t one_step_decides = 0;
+  std::size_t echoes_checked = 0;
+  std::size_t accepts_checked = 0;
+};
+
+/// Verifies I1–I4 over `events` (any order; sorted internally by (t, seq)).
+[[nodiscard]] CheckResult check_causal_invariants(std::vector<Event> events,
+                                                  const CheckConfig& cfg);
+
+}  // namespace dex::trace

@@ -1,0 +1,229 @@
+#include "trace/export.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace dex::trace {
+
+namespace {
+
+/// Synthetic Chrome pid for events not owned by a process (host layer).
+constexpr int kHostPid = 9999;
+
+int chrome_pid(ProcessId proc) {
+  return proc >= 0 ? static_cast<int>(proc) : kHostPid;
+}
+
+void append_escaped(std::string& out, const char* s) {
+  for (const char* p = s; *p != '\0'; ++p) {
+    const char c = *p;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+/// ns → µs with fixed millisecond-of-a-µs precision; deterministic.
+void append_ts_us(std::string& out, std::uint64_t t_ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", t_ns / 1000,
+                static_cast<unsigned>(t_ns % 1000));
+  out += buf;
+}
+
+void append_common_args(std::string& out, const Event& e) {
+  const ArgLabels al = arg_labels(e.cat, e.name);
+  out += "\"peer\":";
+  append_i64(out, e.peer);
+  out += ",\"instance\":";
+  append_u64(out, e.instance);
+  out += ",\"tag\":";
+  append_u64(out, e.tag);
+  out += ",\"seq\":";
+  append_u64(out, e.seq);
+  out += ",\"";
+  append_escaped(out, al.a);
+  out += "\":";
+  append_i64(out, e.a);
+  out += ",\"";
+  append_escaped(out, al.b);
+  out += "\":";
+  append_i64(out, e.b);
+  out += ",\"";
+  append_escaped(out, al.c);
+  out += "\":";
+  append_i64(out, e.c);
+}
+
+}  // namespace
+
+ArgLabels arg_labels(const char* cat, const char* name) {
+  struct Row {
+    const char* cat;
+    const char* name;
+    ArgLabels labels;
+  };
+  static constexpr Row kRows[] = {
+      {"sim", "deliver", {"msg_kind", "bytes", "origin"}},
+      {"sim", "decide", {"value", "path", "uc_rounds"}},
+      {"dex", "propose", {"value", "b", "c"}},
+      {"dex", "instance", {"value", "path", "steps"}},
+      {"dex", "fallback", {"value", "path", "uc_rounds"}},
+      {"dex", "j1.threshold", {"count", "b", "c"}},
+      {"dex", "j2.threshold", {"count", "b", "c"}},
+      {"dex", "c1.hit", {"value", "count", "c"}},
+      {"dex", "c2.hit", {"value", "count", "c"}},
+      {"dex", "j1.set", {"value", "count", "c"}},
+      {"dex", "j2.set", {"value", "count", "c"}},
+      {"dex", "uc.propose", {"value", "b", "c"}},
+      {"dex", "uc.decide", {"value", "uc_rounds", "c"}},
+      {"idb", "round", {"votes", "bytes", "c"}},
+      {"idb", "init", {"bytes", "b", "c"}},
+      {"idb", "echo", {"amplified", "bytes", "c"}},
+      {"idb", "accept", {"votes", "bytes", "c"}},
+      {"smr", "slot", {"value", "path", "c"}},
+      {"smr", "submit", {"value", "b", "c"}},
+      {"smr", "hole", {"committed", "expected", "c"}},
+      {"net", "send", {"msg_kind", "bytes", "c"}},
+      {"net", "recv", {"msg_kind", "bytes", "c"}},
+      {"net", "deliver", {"msg_kind", "bytes", "c"}},
+      {"net", "batch.send", {"count", "bytes", "c"}},
+      {"net", "batch.recv", {"count", "bytes", "c"}},
+  };
+  for (const Row& r : kRows) {
+    if (std::strcmp(r.cat, cat) == 0 && std::strcmp(r.name, name) == 0) {
+      return r.labels;
+    }
+  }
+  return ArgLabels{"a", "b", "c"};
+}
+
+std::string to_chrome_json(const std::vector<Event>& events) {
+  std::string out;
+  out.reserve(events.size() * 160 + 256);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+
+  // Track metadata: one process_name record per distinct pid, in pid order.
+  std::vector<int> pids;
+  for (const Event& e : events) {
+    const int pid = chrome_pid(e.proc);
+    bool seen = false;
+    for (const int p : pids) seen = seen || p == pid;
+    if (!seen) pids.push_back(pid);
+  }
+  std::sort(pids.begin(), pids.end());
+  bool first = true;
+  for (const int pid : pids) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+    append_i64(out, pid);
+    out += ",\"tid\":0,\"args\":{\"name\":\"";
+    if (pid == kHostPid) {
+      out += "host";
+    } else {
+      out += "replica ";
+      append_i64(out, pid);
+    }
+    out += "\"}}";
+  }
+
+  for (const Event& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped(out, e.name);
+    out += "\",\"cat\":\"";
+    append_escaped(out, e.cat);
+    out += "\",\"ph\":\"";
+    out += event_phase(e.kind);
+    out += "\",\"pid\":";
+    append_i64(out, chrome_pid(e.proc));
+    out += ",\"tid\":";
+    append_u64(out, e.tid);
+    out += ",\"ts\":";
+    append_ts_us(out, e.t);
+    if (e.kind == EventKind::kInstant) {
+      out += ",\"s\":\"t\"";
+    } else {
+      // Async span id: pairs a begin with its end across interleavings.
+      out += ",\"id\":\"p";
+      append_i64(out, e.proc);
+      out += "/i";
+      append_u64(out, e.instance);
+      out += "/t";
+      append_u64(out, e.tag);
+      out += "/";
+      append_escaped(out, e.name);
+      out += "\"";
+    }
+    out += ",\"args\":{";
+    append_common_args(out, e);
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string to_jsonl(const std::vector<Event>& events) {
+  std::string out;
+  out.reserve(events.size() * 140);
+  for (const Event& e : events) {
+    out += "{\"t\":";
+    append_u64(out, e.t);
+    out += ",\"seq\":";
+    append_u64(out, e.seq);
+    out += ",\"ph\":\"";
+    out += event_phase(e.kind);
+    out += "\",\"cat\":\"";
+    append_escaped(out, e.cat);
+    out += "\",\"name\":\"";
+    append_escaped(out, e.name);
+    out += "\",\"proc\":";
+    append_i64(out, e.proc);
+    out += ",\"peer\":";
+    append_i64(out, e.peer);
+    out += ",\"instance\":";
+    append_u64(out, e.instance);
+    out += ",\"tag\":";
+    append_u64(out, e.tag);
+    out += ",\"a\":";
+    append_i64(out, e.a);
+    out += ",\"b\":";
+    append_i64(out, e.b);
+    out += ",\"c\":";
+    append_i64(out, e.c);
+    out += ",\"tid\":";
+    append_u64(out, e.tid);
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace dex::trace

@@ -1,0 +1,39 @@
+// Trace exporters: Chrome trace-event JSON (loads in Perfetto / chrome://
+// tracing) and JSONL (one event per line, for scripts and byte-equality
+// determinism tests).
+//
+// Both formats are fully deterministic functions of the event list: integer
+// fields are printed as integers and the only floating-point field (Chrome's
+// `ts`, in microseconds) is formatted with a fixed "%.3f", so equal snapshots
+// produce byte-identical output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace dex::trace {
+
+/// Chrome trace-event JSON. One track ("process") per ProcessId; events with
+/// proc == kNoProcess land on a synthetic "host" track. Span begin/end pairs
+/// are emitted as async events ("b"/"e") whose id encodes
+/// (name, proc, instance, tag), so nested per-instance spans pair up even
+/// when interleaved. Generic args a/b/c are labelled per event name (the
+/// schema of docs/protocol.md §9).
+[[nodiscard]] std::string to_chrome_json(const std::vector<Event>& events);
+
+/// One JSON object per line, integer fields only, stable key order.
+[[nodiscard]] std::string to_jsonl(const std::vector<Event>& events);
+
+/// Human-oriented argument labels for an event name; always three entries
+/// (falls back to "a"/"b"/"c"). Shared by the exporters and documented in
+/// docs/protocol.md §9.
+struct ArgLabels {
+  const char* a;
+  const char* b;
+  const char* c;
+};
+[[nodiscard]] ArgLabels arg_labels(const char* cat, const char* name);
+
+}  // namespace dex::trace

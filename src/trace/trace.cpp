@@ -1,0 +1,163 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "common/logging.hpp"
+
+namespace dex::trace {
+
+namespace detail {
+std::atomic<int> g_level{kOff};
+}  // namespace detail
+
+const char* event_phase(EventKind k) {
+  switch (k) {
+    case EventKind::kSpanBegin: return "b";
+    case EventKind::kSpanEnd: return "e";
+    case EventKind::kInstant: return "i";
+  }
+  return "?";
+}
+
+Tracer::Tracer() {
+  wall_origin_ns_ = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Tracer& Tracer::global() {
+  static Tracer t;
+  return t;
+}
+
+void Tracer::set_level(int level) {
+  const int clamped = std::clamp(level, static_cast<int>(kOff),
+                                 static_cast<int>(kVerbose));
+  level_.store(clamped, std::memory_order_relaxed);
+  detail::g_level.store(clamped, std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::now() const {
+  if (clock_.load(std::memory_order_relaxed) == Clock::kVirtual) {
+    return vnow_.load(std::memory_order_relaxed);
+  }
+  const auto t = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return t - wall_origin_ns_;
+}
+
+Tracer::ThreadLog& Tracer::local() {
+  // The raw cached pointer stays valid for the thread's lifetime: logs_ only
+  // grows and reset() never removes entries, and the tracer is a process-wide
+  // singleton.
+  thread_local ThreadLog* cached = nullptr;
+  if (cached != nullptr) return *cached;
+  const std::scoped_lock lock(mu_);
+  auto log = std::make_shared<ThreadLog>();
+  log->ring.resize(capacity_);
+  log->tid = static_cast<std::uint32_t>(logs_.size());
+  logs_.push_back(log);
+  cached = log.get();
+  return *cached;
+}
+
+void Tracer::record(EventKind kind, const char* cat, const char* name,
+                    const Args& args) {
+  record_at(now(), kind, cat, name, args);
+}
+
+void Tracer::record_at(std::uint64_t t_ns, EventKind kind, const char* cat,
+                       const char* name, const Args& args) {
+  if (level_.load(std::memory_order_relaxed) == kOff) return;
+  ThreadLog& log = local();
+  if (log.ring.empty()) return;
+  Event ev;
+  ev.t = t_ns;
+  ev.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  ev.kind = kind;
+  ev.tid = log.tid;
+  ev.cat = cat;
+  ev.name = name;
+  ev.proc = args.proc;
+  ev.peer = args.peer;
+  ev.instance = args.instance;
+  ev.tag = args.tag;
+  ev.a = args.a;
+  ev.b = args.b;
+  ev.c = args.c;
+  if (log.count >= log.ring.size()) dropped_.fetch_add(1, std::memory_order_relaxed);
+  log.ring[log.count % log.ring.size()] = ev;
+  ++log.count;
+}
+
+void Tracer::reset(std::size_t thread_capacity) {
+  const std::scoped_lock lock(mu_);
+  if (thread_capacity != 0) capacity_ = thread_capacity;
+  for (const auto& log : logs_) {
+    log->count = 0;
+    if (log->ring.size() != capacity_) log->ring.assign(capacity_, Event{});
+  }
+  seq_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  vnow_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<Event> Tracer::snapshot() const {
+  std::vector<Event> out;
+  {
+    const std::scoped_lock lock(mu_);
+    for (const auto& log : logs_) {
+      const std::size_t cap = log->ring.size();
+      if (cap == 0 || log->count == 0) continue;
+      const std::uint64_t kept = std::min<std::uint64_t>(log->count, cap);
+      // Oldest surviving slot first: when wrapped that is count % cap.
+      const std::uint64_t first = log->count - kept;
+      for (std::uint64_t i = 0; i < kept; ++i) {
+        out.push_back(log->ring[(first + i) % cap]);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Event& x, const Event& y) {
+    if (x.t != y.t) return x.t < y.t;
+    return x.seq < y.seq;
+  });
+  return out;
+}
+
+std::size_t Tracer::thread_count() const {
+  const std::scoped_lock lock(mu_);
+  return logs_.size();
+}
+
+void span_begin(const char* cat, const char* name, const Args& args) {
+  Tracer::global().record(EventKind::kSpanBegin, cat, name, args);
+}
+
+void span_end(const char* cat, const char* name, const Args& args) {
+  Tracer::global().record(EventKind::kSpanEnd, cat, name, args);
+}
+
+void instant(const char* cat, const char* name, const Args& args) {
+  Tracer::global().record(EventKind::kInstant, cat, name, args);
+}
+
+void instant_at(std::uint64_t t_ns, const char* cat, const char* name,
+                const Args& args) {
+  Tracer::global().record_at(t_ns, EventKind::kInstant, cat, name, args);
+}
+
+int init_from_env() {
+  const char* value = std::getenv("DEX_TRACE");
+  if (value == nullptr) return -1;
+  const auto level = parse_trace_level(value);
+  if (!level.has_value()) return -1;
+  Tracer::global().set_level(*level);
+  return *level;
+}
+
+}  // namespace dex::trace

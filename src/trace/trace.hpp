@@ -1,0 +1,187 @@
+// Process-wide causal tracing: spans and point events recorded into a
+// per-thread ring-buffer flight recorder.
+//
+// Design goals, in order:
+//   1. ~Free when disabled. Every hook is guarded by `trace::on(level)` — a
+//      single relaxed atomic load and a predictable branch — and the whole
+//      layer compiles down to nothing under -DDEX_TRACE_ENABLED=0.
+//   2. Safe in transport threads. Each recording thread owns a private ring
+//      buffer registered once under a mutex; steady-state writes touch only
+//      thread-local state plus one relaxed fetch_add for the global sequence
+//      number, so `TcpTransport` reader loops can record without contention.
+//   3. Flight recorder semantics. Rings overwrite their oldest events when
+//      full (the drop count is kept), so tracing a long run keeps the recent
+//      past — the part you want when something goes wrong — at bounded memory.
+//   4. Deterministic in simulation. With the clock in virtual mode the
+//      simulator drives timestamps, and the single-threaded event loop makes
+//      the (t, seq) order — and therefore every export — bit-for-bit
+//      reproducible for a given seed.
+//
+// Event names and categories are string *literals* by contract: the recorder
+// stores the pointers, never copies, so a hook costs no allocation. The span
+// taxonomy and per-name argument schema live in docs/protocol.md §9.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/types.hpp"
+
+// Compile-time gate: -DDEX_TRACE_ENABLED=0 turns every hook into dead code.
+#ifndef DEX_TRACE_ENABLED
+#define DEX_TRACE_ENABLED 1
+#endif
+
+namespace dex::trace {
+
+/// Runtime verbosity. kOff records nothing; kOn records spans and the O(1)
+/// per-instance/per-slot instants; kVerbose adds per-message engine events.
+enum Level : int { kOff = 0, kOn = 1, kVerbose = 2 };
+
+enum class EventKind : std::uint8_t { kSpanBegin = 0, kSpanEnd = 1, kInstant = 2 };
+
+/// Chrome trace-event phase letter ("b"/"e"/"i") for a kind.
+const char* event_phase(EventKind k);
+
+/// One recorded event. Plain data; `name` and `cat` point at string literals.
+/// The generic args a/b/c are interpreted per event name (docs/protocol.md §9)
+/// — e.g. a "sim.deliver" carries {a = msg kind, b = payload bytes,
+/// c = origin} while a "sim.decide" carries {a = value, b = path,
+/// c = underlying rounds}.
+struct Event {
+  std::uint64_t t = 0;    // ns; virtual or wall per the tracer's clock mode
+  std::uint64_t seq = 0;  // global record order (merge key across threads)
+  EventKind kind = EventKind::kInstant;
+  std::uint32_t tid = 0;  // recording thread, in registration order
+  const char* cat = "";
+  const char* name = "";
+  ProcessId proc = kNoProcess;  // the acting process (track in the export)
+  ProcessId peer = kNoProcess;  // counterpart (src of a deliver, dst of a send)
+  InstanceId instance = 0;
+  std::uint64_t tag = 0;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::int64_t c = 0;
+};
+
+/// Optional fields of a record call, for designated-initializer call sites:
+///   trace::instant("sim", "deliver", {.proc = dst, .peer = src, ...});
+struct Args {
+  ProcessId proc = kNoProcess;
+  ProcessId peer = kNoProcess;
+  InstanceId instance = 0;
+  std::uint64_t tag = 0;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::int64_t c = 0;
+};
+
+namespace detail {
+/// The global recording level. Namespace-scope (no init guard): hooks pay one
+/// relaxed load, nothing else, when tracing is off.
+extern std::atomic<int> g_level;
+}  // namespace detail
+
+#if DEX_TRACE_ENABLED
+/// The hook gate: true when the global tracer records at `level`.
+inline bool on(int level = kOn) noexcept {
+  return detail::g_level.load(std::memory_order_relaxed) >= level;
+}
+#else
+constexpr bool on(int = kOn) noexcept { return false; }
+#endif
+
+/// The flight recorder. One process-wide instance (`global()`); every
+/// recording thread lazily registers a private ring on first use.
+class Tracer {
+ public:
+  enum class Clock : std::uint8_t { kWall = 0, kVirtual = 1 };
+
+  static Tracer& global();
+
+  /// Set the recording level (kOff disables). Mirrored into the hook gate.
+  void set_level(int level);
+  [[nodiscard]] int level() const {
+    return level_.load(std::memory_order_relaxed);
+  }
+
+  /// Wall (steady_clock since tracer construction) vs virtual (simulator-
+  /// driven) timestamps. Switch while quiesced.
+  void set_clock(Clock c) { clock_.store(c, std::memory_order_relaxed); }
+  [[nodiscard]] Clock clock() const {
+    return clock_.load(std::memory_order_relaxed);
+  }
+  /// Advance the virtual clock (the simulator calls this per event).
+  void set_virtual_now(std::uint64_t t_ns) {
+    vnow_.store(t_ns, std::memory_order_relaxed);
+  }
+  /// Current timestamp under the active clock mode.
+  [[nodiscard]] std::uint64_t now() const;
+
+  /// Record at now(). `kind`/`cat`/`name` positional, the rest via Args.
+  void record(EventKind kind, const char* cat, const char* name, const Args& args);
+  /// Record with an explicit timestamp (sim hooks that know the event time).
+  void record_at(std::uint64_t t_ns, EventKind kind, const char* cat,
+                 const char* name, const Args& args);
+
+  /// Drop all recorded events and restart the sequence counter. When
+  /// `thread_capacity` is nonzero the per-thread ring size is changed too
+  /// (existing and future rings). Callers must quiesce recording threads.
+  void reset(std::size_t thread_capacity = 0);
+
+  /// Merged copy of every thread's ring, sorted by (t, seq). Intended at
+  /// quiescence (end of run); concurrent writers may tear the newest slots.
+  [[nodiscard]] std::vector<Event> snapshot() const;
+
+  /// Events lost to ring wrap-around since the last reset().
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  /// Threads that have recorded at least once since process start.
+  [[nodiscard]] std::size_t thread_count() const;
+
+  static constexpr std::size_t kDefaultThreadCapacity = 1u << 16;
+
+ private:
+  Tracer();
+
+  struct ThreadLog {
+    std::vector<Event> ring;
+    std::uint64_t count = 0;  // monotonic; ring index is count % ring.size()
+    std::uint32_t tid = 0;
+  };
+
+  ThreadLog& local();
+
+  std::atomic<int> level_{kOff};
+  std::atomic<Clock> clock_{Clock::kWall};
+  std::atomic<std::uint64_t> vnow_{0};
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::uint64_t wall_origin_ns_ = 0;
+
+  mutable std::mutex mu_;  // guards logs_ (registration, reset, snapshot)
+  std::size_t capacity_ = kDefaultThreadCapacity;
+  std::vector<std::shared_ptr<ThreadLog>> logs_;
+};
+
+// --- hook helpers (the only API most call sites use) -----------------------
+// All of them early-return when recording is off; call sites still guard with
+// `if (trace::on())` so the argument evaluation itself is skipped.
+
+void span_begin(const char* cat, const char* name, const Args& args);
+void span_end(const char* cat, const char* name, const Args& args);
+void instant(const char* cat, const char* name, const Args& args);
+/// Explicit-timestamp variants for the simulator (virtual event times).
+void instant_at(std::uint64_t t_ns, const char* cat, const char* name,
+                const Args& args);
+
+/// Applies the DEX_TRACE environment variable (parsed by
+/// dex::parse_trace_level in common/logging.hpp) to the global tracer.
+/// Returns the level applied, or a negative value when unset/unrecognized.
+int init_from_env();
+
+}  // namespace dex::trace

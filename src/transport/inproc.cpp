@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "trace/trace.hpp"
 
 namespace dex::transport {
 
@@ -108,6 +109,15 @@ void InProcNetwork::deliver(ProcessId src, ProcessId dst, Message msg) {
   if (const auto ki = static_cast<std::size_t>(msg.kind); ki < 3) {
     metrics::inc(m_msgs_[ki]);
     metrics::inc(m_bytes_[ki], msg.payload.size());
+  }
+  if (trace::on()) {
+    trace::instant("net", "deliver",
+                   {.proc = dst,
+                    .peer = src,
+                    .instance = msg.instance,
+                    .tag = msg.tag,
+                    .a = static_cast<std::int64_t>(msg.kind),
+                    .b = static_cast<std::int64_t>(msg.payload.size())});
   }
   mailboxes_[static_cast<std::size_t>(dst)]->push(Incoming{src, std::move(msg)});
 }

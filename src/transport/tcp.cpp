@@ -12,6 +12,7 @@
 #include "common/assert.hpp"
 #include "common/hash.hpp"
 #include "common/logging.hpp"
+#include "trace/trace.hpp"
 
 namespace dex::transport {
 
@@ -213,6 +214,25 @@ void TcpTransport::reader_loop(ProcessId peer_id) {
       std::vector<Message> msgs = decode_wire(payload);
       const bool batched = BatchFrame::is_batch(payload);
       if (batched) metrics::inc(m_batches_recv_);
+      // Recorded from this per-peer reader thread: each reader owns a private
+      // ring in the flight recorder, so this is contention-free.
+      if (trace::on()) {
+        if (batched) {
+          trace::instant("net", "batch.recv",
+                         {.proc = cfg_.self,
+                          .peer = peer_id,
+                          .a = static_cast<std::int64_t>(msgs.size()),
+                          .b = static_cast<std::int64_t>(payload.size())});
+        } else if (!msgs.empty()) {
+          trace::instant("net", "recv",
+                         {.proc = cfg_.self,
+                          .peer = peer_id,
+                          .instance = msgs.front().instance,
+                          .tag = msgs.front().tag,
+                          .a = static_cast<std::int64_t>(msgs.front().kind),
+                          .b = static_cast<std::int64_t>(payload.size())});
+        }
+      }
       for (Message& msg : msgs) {
         if (const auto ki = static_cast<std::size_t>(msg.kind); ki < 3) {
           metrics::inc(m_recv_[ki]);
@@ -254,6 +274,15 @@ void TcpTransport::send(ProcessId dst, Message msg) {
     metrics::inc(m_sent_[ki]);
     metrics::inc(m_sent_bytes_[ki], 12 + encoded.size());  // header + body
   }
+  if (trace::on()) {
+    trace::instant("net", "send",
+                   {.proc = cfg_.self,
+                    .peer = dst,
+                    .instance = msg.instance,
+                    .tag = msg.tag,
+                    .a = static_cast<std::int64_t>(msg.kind),
+                    .b = static_cast<std::int64_t>(12 + encoded.size())});
+  }
   write_frame(*peers_[static_cast<std::size_t>(dst)], encoded);
 }
 
@@ -272,6 +301,13 @@ void TcpTransport::send_batch(ProcessId dst, std::vector<Message> msgs) {
   frame.messages = std::move(msgs);
   const std::vector<std::byte> encoded = frame.to_bytes();
   metrics::inc(m_batches_sent_);
+  if (trace::on()) {
+    trace::instant("net", "batch.send",
+                   {.proc = cfg_.self,
+                    .peer = dst,
+                    .a = static_cast<std::int64_t>(frame.messages.size()),
+                    .b = static_cast<std::int64_t>(12 + encoded.size())});
+  }
   for (const Message& m : frame.messages) {
     if (const auto ki = static_cast<std::size_t>(m.kind); ki < 3) {
       metrics::inc(m_sent_[ki]);
@@ -286,6 +322,16 @@ void TcpTransport::broadcast(const Message& msg) {
   // buffer (the old path re-encoded per destination: O(n) encodes + copies).
   const std::shared_ptr<const std::vector<std::byte>> frame = msg.wire_frame();
   const auto ki = static_cast<std::size_t>(msg.kind);
+  if (trace::on()) {
+    trace::instant("net", "send",
+                   {.proc = cfg_.self,
+                    .peer = kBroadcastDst,
+                    .instance = msg.instance,
+                    .tag = msg.tag,
+                    .a = static_cast<std::int64_t>(msg.kind),
+                    .b = static_cast<std::int64_t>(12 + frame->size()),
+                    .c = static_cast<std::int64_t>(cfg_.n - 1)});
+  }
   for (std::size_t d = 0; d < cfg_.n; ++d) {
     if (static_cast<ProcessId>(d) == cfg_.self) {
       inbox_.push(Incoming{cfg_.self, msg});  // payload bytes shared, not cloned

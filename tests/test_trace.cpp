@@ -93,5 +93,60 @@ TEST(Trace, ClearEmptiesRecorder) {
   EXPECT_EQ(trace.count(sim::TraceKind::kDeliver), 0u);
 }
 
+// The CSV header is a published contract (downstream scripts key on it); any
+// change must be deliberate. Full-string match, not a prefix check.
+TEST(Trace, CsvHeaderIsStable) {
+  const sim::TraceRecorder empty;
+  EXPECT_EQ(empty.to_csv(),
+            "at_ns,kind,src,dst,msg_kind,tag,instance,payload_size,"
+            "decided_value,decision_path\n");
+}
+
+TEST(Trace, CsvEscapingQuotesHostileFields) {
+  EXPECT_EQ(sim::csv_escape("plain"), "plain");
+  EXPECT_EQ(sim::csv_escape("1234"), "1234");
+  EXPECT_EQ(sim::csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(sim::csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(sim::csv_escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(sim::csv_escape(""), "");
+}
+
+TEST(Trace, CsvDecideRowsStayParsable) {
+  sim::TraceRecorder rec;
+  rec.record_decide(1000, 3, Decision{.value = -42,
+                                      .path = DecisionPath::kUnderlying,
+                                      .uc_rounds = 5});
+  const auto csv = rec.to_csv();
+  // One header + one row, and the row keeps exactly 9 commas (10 columns).
+  const auto row = csv.substr(csv.find('\n') + 1);
+  EXPECT_EQ(static_cast<std::size_t>(std::count(row.begin(), row.end(), ',')),
+            9u);
+  EXPECT_NE(row.find("-42,underlying"), std::string::npos);
+}
+
+// TraceRecorder is a thin adapter over the unified tracer: reconstructing the
+// legacy event list from a backend snapshot must reproduce what record_*
+// captured live, decision payloads included.
+TEST(Trace, FromBackendMatchesLiveRecording) {
+  sim::TraceRecorder live;
+  ExperimentConfig cfg;
+  cfg.algorithm = Algorithm::kDexFreq;
+  cfg.n = 13;
+  cfg.t = 2;
+  cfg.input = unanimous_input(13, 7);
+  cfg.seed = 21;
+  cfg.faults.count = 2;
+  cfg.faults.kind = harness::FaultKind::kEquivocate;
+  cfg.trace = &live;
+  cfg.capture_trace = true;
+  const auto r = harness::run_experiment(cfg);
+  ASSERT_FALSE(r.trace_events.empty());
+
+  sim::TraceRecorder rebuilt;
+  rebuilt.load_backend(r.trace_events);
+  EXPECT_EQ(rebuilt.events(), live.events());
+  EXPECT_EQ(sim::TraceRecorder::from_backend(r.trace_events), live.events());
+}
+
 }  // namespace
 }  // namespace dex

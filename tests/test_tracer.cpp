@@ -1,0 +1,256 @@
+// Tests for the process-wide tracing subsystem (src/trace): flight-recorder
+// ring semantics, the runtime gate, multi-threaded recording, exporter output
+// and the causal-invariant checker — plus byte-level trace determinism of
+// simulated runs across n ∈ {4, 7, 13} under an adversary.
+//
+// The tracer is process-global, so every test goes through the Quiesced
+// fixture: it resets the recorder to a known state and restores the
+// disabled/default configuration on exit, keeping tests order-independent.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "consensus/condition/input_gen.hpp"
+#include "harness/experiment.hpp"
+#include "trace/check.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
+
+namespace dex {
+namespace {
+
+class Quiesced : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace::Tracer::global().set_level(trace::kOff);
+    trace::Tracer::global().set_clock(trace::Tracer::Clock::kWall);
+    trace::Tracer::global().reset(trace::Tracer::kDefaultThreadCapacity);
+  }
+  void TearDown() override { SetUp(); }
+};
+
+using TracerTest = Quiesced;
+using ExportTest = Quiesced;
+using CheckerTest = Quiesced;
+using DeterminismTest = Quiesced;
+
+TEST_F(TracerTest, DisabledRecordsNothing) {
+  trace::instant("test", "noop", {.proc = 1});
+  EXPECT_FALSE(trace::on());
+  EXPECT_TRUE(trace::Tracer::global().snapshot().empty());
+}
+
+TEST_F(TracerTest, LevelsGateVerboseEvents) {
+  trace::Tracer::global().set_level(trace::kOn);
+  EXPECT_TRUE(trace::on());
+  EXPECT_FALSE(trace::on(trace::kVerbose));
+  trace::Tracer::global().set_level(trace::kVerbose);
+  EXPECT_TRUE(trace::on(trace::kVerbose));
+}
+
+TEST_F(TracerTest, RecordsInSequenceOrder) {
+  trace::Tracer::global().set_level(trace::kOn);
+  trace::span_begin("test", "outer", {.proc = 0, .instance = 9});
+  trace::instant("test", "tick", {.proc = 0, .a = 1});
+  trace::span_end("test", "outer", {.proc = 0, .instance = 9});
+  const auto events = trace::Tracer::global().snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, trace::EventKind::kSpanBegin);
+  EXPECT_EQ(events[1].kind, trace::EventKind::kInstant);
+  EXPECT_EQ(events[2].kind, trace::EventKind::kSpanEnd);
+  EXPECT_LT(events[0].seq, events[1].seq);
+  EXPECT_LT(events[1].seq, events[2].seq);
+  EXPECT_EQ(events[0].instance, 9);
+}
+
+TEST_F(TracerTest, RingWrapKeepsNewestAndCountsDrops) {
+  trace::Tracer::global().reset(/*thread_capacity=*/16);
+  trace::Tracer::global().set_level(trace::kOn);
+  for (int i = 0; i < 40; ++i) {
+    trace::instant("test", "tick", {.a = i});
+  }
+  const auto events = trace::Tracer::global().snapshot();
+  ASSERT_EQ(events.size(), 16u);
+  EXPECT_EQ(trace::Tracer::global().dropped(), 24u);
+  // Flight recorder: the *oldest* events were overwritten.
+  EXPECT_EQ(events.front().a, 24);
+  EXPECT_EQ(events.back().a, 39);
+}
+
+TEST_F(TracerTest, VirtualClockStampsEvents) {
+  trace::Tracer::global().set_level(trace::kOn);
+  trace::Tracer::global().set_clock(trace::Tracer::Clock::kVirtual);
+  trace::Tracer::global().set_virtual_now(12345);
+  trace::instant("test", "tick", {});
+  trace::instant_at(777, "test", "tock", {});
+  const auto events = trace::Tracer::global().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Snapshot is (t, seq)-sorted: the explicit 777 sorts first.
+  EXPECT_EQ(events[0].t, 777u);
+  EXPECT_EQ(events[1].t, 12345u);
+}
+
+TEST_F(TracerTest, ThreadsRecordConcurrentlyWithoutLoss) {
+  trace::Tracer::global().set_level(trace::kOn);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([w] {
+      for (int i = 0; i < kPerThread; ++i) {
+        trace::instant("test", "worker", {.proc = w, .a = i});
+      }
+    });
+  }
+  for (auto& th : workers) th.join();
+  const auto events = trace::Tracer::global().snapshot();
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(trace::Tracer::global().dropped(), 0u);
+  std::set<std::uint32_t> tids;
+  std::set<std::uint64_t> seqs;
+  for (const auto& e : events) {
+    tids.insert(e.tid);
+    seqs.insert(e.seq);
+  }
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+  // The global sequence is collision-free across threads.
+  EXPECT_EQ(seqs.size(), events.size());
+}
+
+TEST_F(ExportTest, ChromeJsonCarriesSpansInstantsAndMetadata) {
+  trace::Tracer::global().set_level(trace::kOn);
+  trace::span_begin("dex", "instance", {.proc = 2, .instance = 0, .a = 7});
+  trace::instant("sim", "decide",
+                 {.proc = 2, .instance = 0, .a = 7, .b = 0, .c = 0});
+  trace::span_end("dex", "instance",
+                  {.proc = 2, .instance = 0, .a = 7, .b = 0, .c = 1});
+  const auto json = trace::to_chrome_json(trace::Tracer::global().snapshot());
+  EXPECT_EQ(json.find("{\"displayTimeUnit\""), 0u);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);  // instant scope
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("replica 2"), std::string::npos);
+  // Matching async-span ids and per-name arg labels.
+  EXPECT_NE(json.find("\"id\":\"p2/i0/t0/instance\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":7"), std::string::npos);
+}
+
+TEST_F(ExportTest, JsonlIsOneValidObjectPerEvent) {
+  trace::Tracer::global().set_level(trace::kOn);
+  for (int i = 0; i < 5; ++i) trace::instant("test", "tick", {.a = i});
+  const auto events = trace::Tracer::global().snapshot();
+  const auto jsonl = trace::to_jsonl(events);
+  std::size_t lines = 0;
+  for (const char c : jsonl) lines += c == '\n';
+  EXPECT_EQ(lines, events.size());
+  EXPECT_EQ(jsonl.find("{\"t\":"), 0u);
+  EXPECT_NE(jsonl.find("\"name\":\"tick\""), std::string::npos);
+}
+
+harness::ExperimentResult adversarial_run(Algorithm algo, std::size_t n,
+                                          std::size_t t, std::size_t faults,
+                                          harness::FaultKind kind,
+                                          std::uint64_t seed) {
+  harness::ExperimentConfig cfg;
+  cfg.algorithm = algo;
+  cfg.n = n;
+  cfg.t = t;
+  cfg.input = split_input(n, 0, n / 2, 1);
+  cfg.seed = seed;
+  cfg.faults.count = faults;
+  cfg.faults.kind = kind;
+  cfg.capture_trace = true;
+  return harness::run_experiment(cfg);
+}
+
+TEST_F(CheckerTest, AdversarialRunSatisfiesCausalInvariants) {
+  const auto r = adversarial_run(Algorithm::kDexFreq, 13, 2, 2,
+                                 harness::FaultKind::kEquivocate, 33);
+  ASSERT_FALSE(r.trace_events.empty());
+  const auto check =
+      trace::check_causal_invariants(r.trace_events, {.n = 13, .t = 2});
+  EXPECT_TRUE(check.ok) << (check.violations.empty()
+                                ? ""
+                                : check.violations.front());
+  EXPECT_GE(check.decides_checked, r.correct);
+  EXPECT_GT(check.accepts_checked, 0u);
+  EXPECT_GT(check.echoes_checked, 0u);
+}
+
+TEST_F(CheckerTest, FlagsDecideWithoutQuorum) {
+  // Synthetic trace: a decide with no deliveries behind it violates I1.
+  std::vector<trace::Event> events;
+  trace::Event decide;
+  decide.t = 10;
+  decide.seq = 1;
+  decide.kind = trace::EventKind::kInstant;
+  decide.cat = "sim";
+  decide.name = "decide";
+  decide.proc = 0;
+  decide.a = 7;
+  decide.b = static_cast<std::int64_t>(DecisionPath::kTwoStep);
+  events.push_back(decide);
+  const auto check = trace::check_causal_invariants(events, {.n = 7, .t = 1});
+  EXPECT_FALSE(check.ok);
+  ASSERT_EQ(check.violations.size(), 1u);
+  EXPECT_NE(check.violations.front().find("I1"), std::string::npos);
+}
+
+TEST_F(CheckerTest, FlagsUnjustifiedEcho) {
+  // An echo with no init delivery and no amplification quorum violates I3.
+  std::vector<trace::Event> events;
+  trace::Event echo;
+  echo.t = 5;
+  echo.seq = 1;
+  echo.kind = trace::EventKind::kInstant;
+  echo.cat = "idb";
+  echo.name = "echo";
+  echo.proc = 1;
+  echo.peer = 2;  // claimed origin
+  echo.c = 2;
+  events.push_back(echo);
+  const auto check = trace::check_causal_invariants(events, {.n = 7, .t = 1});
+  EXPECT_FALSE(check.ok);
+  ASSERT_FALSE(check.violations.empty());
+  EXPECT_NE(check.violations.front().find("I3"), std::string::npos);
+}
+
+// Same seed ⇒ byte-identical JSONL export, across system sizes and under an
+// adversary. This is the tracer-level determinism contract: virtual-clock
+// timestamps plus the single-threaded event loop make (t, seq) — and hence
+// the whole export — reproducible.
+void expect_deterministic(Algorithm algo, std::size_t n, std::size_t t,
+                          std::size_t faults, harness::FaultKind kind,
+                          std::uint64_t seed) {
+  const auto a = adversarial_run(algo, n, t, faults, kind, seed);
+  const auto b = adversarial_run(algo, n, t, faults, kind, seed);
+  ASSERT_FALSE(a.trace_events.empty());
+  EXPECT_EQ(trace::to_jsonl(a.trace_events), trace::to_jsonl(b.trace_events));
+  const auto c = adversarial_run(algo, n, t, faults, kind, seed + 1);
+  EXPECT_NE(trace::to_jsonl(a.trace_events), trace::to_jsonl(c.trace_events));
+}
+
+TEST_F(DeterminismTest, N4FaultFree) {
+  // No algorithm admits a fault at n = 4 (the underlying-consensus bound
+  // needs n ≥ 5t+1), so the smallest size runs fault-free; the adversarial
+  // cases are covered at n ∈ {7, 13}.
+  expect_deterministic(Algorithm::kDexFreq, 4, 0, 0,
+                       harness::FaultKind::kSilent, 101);
+}
+
+TEST_F(DeterminismTest, N7Equivocate) {
+  expect_deterministic(Algorithm::kDexFreq, 7, 1, 1,
+                       harness::FaultKind::kEquivocate, 102);
+}
+
+TEST_F(DeterminismTest, N13Equivocate) {
+  expect_deterministic(Algorithm::kDexFreq, 13, 2, 2,
+                       harness::FaultKind::kEquivocate, 103);
+}
+
+}  // namespace
+}  // namespace dex

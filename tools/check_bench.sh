@@ -46,7 +46,7 @@ num = (int, float)
 hp = load(sys.argv[1])
 require(hp, "BENCH_hotpath.json", {
     "bench": str, "git_rev": str, "seed": int, "n": int, "t": int,
-    "predicate": dict, "idb": dict, "broadcast": dict,
+    "predicate": dict, "idb": dict, "broadcast": dict, "trace_overhead": dict,
 })
 assert hp["bench"] == "hotpath"
 require(hp["predicate"], "BENCH_hotpath.json predicate", {
@@ -60,6 +60,9 @@ require(hp["broadcast"], "BENCH_hotpath.json broadcast", {
     "payload_bytes": int, "dests": int, "bytes_copied_per_dest": int,
     "baseline_bytes_per_dest": int, "fanouts_per_sec": num,
     "encode_once_ns": num, "encode_per_dest_ns": num,
+})
+require(hp["trace_overhead"], "BENCH_hotpath.json trace_overhead", {
+    "plain_ns_per_eval": num, "hooked_ns_per_eval": num, "overhead_pct": num,
 })
 # Structural invariant (machine-independent): fan-out shares payload bytes.
 assert hp["broadcast"]["bytes_copied_per_dest"] == 0, \

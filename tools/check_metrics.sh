@@ -36,6 +36,7 @@ REQUIRED = [
     "idb_inits_total", "idb_echoes_total",
     "sim_packets_total", "sim_packet_bytes_total",
     "sim_decisions_total", "sim_decision_latency_ms", "sim_end_time_ms",
+    "dex_decide_latency_ms",
 ]
 
 def load(path):

@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# End-to-end check of the tracing pipeline: runs dexsim on fixed-seed
+# adversarial executions with --trace / --trace-jsonl / --trace-check and
+# validates (a) the Chrome trace-event JSON schema (Perfetto-loadable:
+# traceEvents array, matched b/e span pairs, instant scopes, process
+# metadata), (b) the JSONL schema, and (c) that the in-process causal
+# checker passed. Registered with ctest as `check_trace`.
+#
+# Exits 77 (ctest SKIP) when the dexsim binary is not built or python3 is
+# unavailable.
+#
+# Usage: check_trace.sh /path/to/dexsim
+set -euo pipefail
+
+DEXSIM="${1:?usage: check_trace.sh /path/to/dexsim}"
+
+if [[ ! -x "$DEXSIM" ]]; then
+  echo "check_trace: $DEXSIM not built; skipping"
+  exit 77
+fi
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "check_trace: python3 not available; skipping"
+  exit 77
+fi
+
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+# Adversarial fixed-seed runs: equivocators attack the fast path, the
+# uc-saboteur drags executions through the underlying-consensus fallback.
+# --trace-check makes dexsim exit nonzero if a causal invariant is violated.
+"$DEXSIM" --algo dex-freq --n 13 --t 2 --input margin --margin 5 \
+  --faults 2 --fault-kind equivocate --trials 1 --seed 7 \
+  --trace "$WORKDIR/equiv.json" --trace-jsonl "$WORKDIR/equiv.jsonl" \
+  --trace-check >"$WORKDIR/equiv.txt"
+"$DEXSIM" --algo dex-freq --n 13 --t 2 --input split \
+  --faults 2 --fault-kind uc-saboteur --trials 1 --seed 42 \
+  --trace "$WORKDIR/saboteur.json" --trace-jsonl "$WORKDIR/saboteur.jsonl" \
+  --trace-check >"$WORKDIR/saboteur.txt"
+
+grep -q "trace-check: OK" "$WORKDIR/equiv.txt"
+grep -q "trace-check: OK" "$WORKDIR/saboteur.txt"
+
+python3 - "$WORKDIR/equiv.json" "$WORKDIR/equiv.jsonl" \
+          "$WORKDIR/saboteur.json" "$WORKDIR/saboteur.jsonl" <<'PY'
+import json, sys
+
+def check_chrome(path):
+    with open(path) as f:
+        doc = json.load(f)
+    assert isinstance(doc, dict), f"{path}: top level must be an object"
+    assert "traceEvents" in doc, f"{path}: missing traceEvents"
+    events = doc["traceEvents"]
+    assert isinstance(events, list) and events, f"{path}: traceEvents empty"
+    open_spans = {}
+    names = set()
+    pids_with_meta = set()
+    for ev in events:
+        ph = ev.get("ph")
+        assert ph in ("b", "e", "i", "M"), f"{path}: bad phase {ph!r}"
+        if ph == "M":
+            assert ev.get("name") == "process_name"
+            pids_with_meta.add(ev["pid"])
+            continue
+        for key in ("ts", "pid", "tid", "cat", "name"):
+            assert key in ev, f"{path}: event missing {key}: {ev}"
+        float(ev["ts"])  # µs, decimal string or number
+        names.add(f'{ev["cat"]}.{ev["name"]}')
+        if ph in ("b", "e"):
+            key = (ev["pid"], ev["cat"], ev["id"], ev["name"])
+            if ph == "b":
+                open_spans[key] = open_spans.get(key, 0) + 1
+            else:
+                assert open_spans.get(key, 0) > 0, \
+                    f"{path}: span end without begin: {key}"
+                open_spans[key] -= 1
+        else:
+            assert ev.get("s") == "t", f"{path}: instant missing thread scope"
+    # Spans may legitimately stay open (an IDB round that never accepts under
+    # an equivocating origin), but an end without a begin is always a bug —
+    # checked inline above.
+    # The run must have produced the load-bearing event types.
+    for required in ("sim.deliver", "sim.decide", "dex.instance"):
+        assert required in names, f"{path}: no {required} events"
+    assert pids_with_meta, f"{path}: no process_name metadata"
+    return len(events)
+
+def check_jsonl(path):
+    n = 0
+    with open(path) as f:
+        for line in f:
+            ev = json.loads(line)
+            for key in ("t", "seq", "ph", "cat", "name", "proc", "tid"):
+                assert key in ev, f"{path}: line missing {key}: {line!r}"
+            n += 1
+    assert n > 0, f"{path}: empty"
+    return n
+
+total = 0
+for i in range(1, len(sys.argv), 2):
+    total += check_chrome(sys.argv[i])
+    check_jsonl(sys.argv[i + 1])
+print(f"trace schemas OK ({total} Chrome events across "
+      f"{(len(sys.argv) - 1) // 2} runs)")
+PY
+
+echo "check_trace: OK"

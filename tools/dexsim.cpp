@@ -22,6 +22,9 @@
 #include "metrics/export.hpp"
 #include "metrics/metrics.hpp"
 #include "sim/delay_model.hpp"
+#include "trace/check.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -83,6 +86,7 @@ std::shared_ptr<sim::DelayModel> make_delay(const std::string& model) {
 
 int main(int argc, char** argv) {
   dex::init_log_level_from_env();  // DEX_LOG_LEVEL=debug|info|warn|error
+  dex::trace::init_from_env();     // DEX_TRACE=off|on|verbose
   Cli cli;
   cli.option("algo", "dex-freq | dex-prv | bosco-weak | bosco-strong | crash | underlying", "name")
       .option("n", "number of processes (default: algorithm minimum)", "int")
@@ -103,8 +107,14 @@ int main(int argc, char** argv) {
       .option("batch", "coalesce same-destination messages into batch frames")
       .option("no-reeval", "ablation: evaluate fast paths once at n-t")
       .option("no-two-step", "ablation: disable the two-step scheme")
-      .option("trace", "dump the first run's event trace (text)")
+      .option("trace",
+              "capture the first run's trace: bare dumps text, with a path "
+              "writes Chrome trace-event JSON (open in Perfetto)",
+              "[path]")
+      .option("trace-jsonl", "write the first run's trace as JSONL", "path")
       .option("trace-csv", "dump the first run's event trace as CSV")
+      .option("trace-check",
+              "verify causal invariants on the first run's trace")
       .option("metrics", "dump the aggregated metrics (Prometheus text) to stderr")
       .option("metrics-json", "write the aggregated metrics as JSON", "path")
       .option("help", "show this help");
@@ -143,6 +153,14 @@ int main(int argc, char** argv) {
     const bool want_metrics = cli.flag("metrics") || !metrics_json.empty();
     metrics::MetricsSnapshot aggregate;  // merged across trials
 
+    // Bare --trace keeps the legacy first-run text dump; with a path it
+    // captures the unified trace and writes Chrome trace-event JSON instead.
+    const std::string trace_json = cli.str("trace", "");
+    const std::string trace_jsonl = cli.str("trace-jsonl", "");
+    const bool want_unified = !trace_json.empty() || !trace_jsonl.empty() ||
+                              cli.flag("trace-check");
+    bool trace_check_failed = false;
+
     for (std::uint64_t trial = 0; trial < trials; ++trial) {
       Rng rng(mix64(base_seed + trial * 1013));
       harness::ExperimentConfig cfg;
@@ -160,18 +178,51 @@ int main(int argc, char** argv) {
       cfg.dex_continuous_reevaluation = !cli.flag("no-reeval");
       cfg.dex_enable_two_step = !cli.flag("no-two-step");
       sim::TraceRecorder trace;
-      const bool want_trace = cli.flag("trace") || cli.flag("trace-csv");
-      if (trial == 0 && want_trace) cfg.trace = &trace;
+      const bool want_legacy =
+          (cli.flag("trace") && trace_json.empty()) || cli.flag("trace-csv");
+      if (trial == 0 && want_legacy) cfg.trace = &trace;
+      if (trial == 0 && want_unified) cfg.capture_trace = true;
       metrics::MetricsRegistry registry;  // fresh per trial, merged below
       if (want_metrics) cfg.metrics = &registry;
 
       const auto r = harness::run_experiment(cfg);
       if (want_metrics) aggregate.merge(registry.snapshot());
-      if (trial == 0 && want_trace) {
+      if (trial == 0 && want_legacy) {
         if (cli.flag("trace-csv")) {
           std::printf("%s", trace.to_csv().c_str());
         } else {
           std::printf("%s", trace.to_text(200).c_str());
+        }
+      }
+      if (trial == 0 && want_unified) {
+        if (!trace_json.empty()) {
+          std::ofstream out(trace_json);
+          if (!out) throw CliError("cannot write --trace '" + trace_json + "'");
+          out << trace::to_chrome_json(r.trace_events);
+          std::printf("trace: %zu events -> %s (load in ui.perfetto.dev)\n",
+                      r.trace_events.size(), trace_json.c_str());
+        }
+        if (!trace_jsonl.empty()) {
+          std::ofstream out(trace_jsonl);
+          if (!out) {
+            throw CliError("cannot write --trace-jsonl '" + trace_jsonl + "'");
+          }
+          out << trace::to_jsonl(r.trace_events);
+          std::printf("trace: %zu events -> %s (JSONL)\n",
+                      r.trace_events.size(), trace_jsonl.c_str());
+        }
+        if (cli.flag("trace-check")) {
+          const auto check = trace::check_causal_invariants(
+              r.trace_events, {.n = n, .t = t});
+          std::printf("trace-check: %s (%zu decides, %zu one-step, %zu echoes, "
+                      "%zu accepts checked)\n",
+                      check.ok ? "OK" : "VIOLATED", check.decides_checked,
+                      check.one_step_decides, check.echoes_checked,
+                      check.accepts_checked);
+          for (const auto& v : check.violations) {
+            std::fprintf(stderr, "trace-check: %s\n", v.c_str());
+          }
+          if (!check.ok) trace_check_failed = true;
         }
       }
       if (!r.agreement()) ++safety_failures;
@@ -223,7 +274,7 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s", metrics::to_prometheus(aggregate).c_str());
       }
     }
-    return safety_failures == 0 ? 0 : 1;
+    return safety_failures == 0 && !trace_check_failed ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "dexsim: %s\n", e.what());
     return 2;
