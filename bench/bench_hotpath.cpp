@@ -30,6 +30,7 @@
 #include "consensus/idb/idb_engine.hpp"
 #include "consensus/message.hpp"
 #include "json_out.hpp"
+#include "ops/admin.hpp"
 #include "trace/trace.hpp"
 
 namespace {
@@ -163,6 +164,57 @@ TraceOverheadResult bench_trace_overhead(std::size_t n, std::size_t t,
   r.hooked_ns_per_eval = hooked_s * 1e9 / static_cast<double>(iters);
   r.overhead_pct =
       plain_s > 0 ? std::max(0.0, (hooked_s - plain_s) / plain_s * 100.0) : 0;
+  return r;
+}
+
+struct OpsOverheadResult {
+  double plain_ns_per_eval = 0;
+  double probed_ns_per_eval = 0;
+  double overhead_pct = 0;  // clamped at zero
+};
+
+/// The cached-statistics ingest loop again, with and without an
+/// AdminServer::running() probe per iteration — the cost the ops plane adds
+/// to a hot path when --admin is not given (the server object exists but was
+/// never started: one relaxed atomic load). Same min-over-alternated-reps
+/// discipline as bench_trace_overhead.
+OpsOverheadResult bench_ops_overhead(std::size_t n, std::size_t t,
+                                     std::uint64_t iters, std::uint64_t seed) {
+  ops::AdminServer admin{ops::AdminConfig{}};  // constructed, never started
+  Rng rng(seed);
+  std::vector<Value> stream(1024);
+  for (auto& v : stream) {
+    const auto r = rng.next_below(10);
+    v = r < 5 ? 1 : (r < 9 ? 2 : 3);
+  }
+
+  std::uint64_t sink = 0;
+  const auto run = [&](bool probed) {
+    View view(n);
+    for (std::size_t i = 0; i < n; ++i) view.set(i, stream[i % stream.size()]);
+    const auto t0 = Clock::now();
+    for (std::uint64_t k = 0; k < iters; ++k) {
+      view.set(static_cast<std::size_t>(k % n),
+               stream[static_cast<std::size_t>(k % stream.size())]);
+      const FreqStats& s = view.freq();
+      sink += static_cast<std::uint64_t>(!s.empty() && s.margin() > 4 * t);
+      if (probed && admin.running()) sink += admin.port();
+    }
+    return seconds_since(t0);
+  };
+
+  double plain_s = 1e18, probed_s = 1e18;
+  for (int rep = 0; rep < 5; ++rep) {
+    plain_s = std::min(plain_s, run(false));
+    probed_s = std::min(probed_s, run(true));
+  }
+  if (sink == 0) std::fprintf(stderr, "(impossible sink)\n");
+
+  OpsOverheadResult r;
+  r.plain_ns_per_eval = plain_s * 1e9 / static_cast<double>(iters);
+  r.probed_ns_per_eval = probed_s * 1e9 / static_cast<double>(iters);
+  r.overhead_pct =
+      plain_s > 0 ? std::max(0.0, (probed_s - plain_s) / plain_s * 100.0) : 0;
   return r;
 }
 
@@ -340,8 +392,8 @@ int main(int argc, char** argv) {
       .option("seed", "rng seed", "1")
       .option("json", "write BENCH_hotpath.json (optional path)")
       .option("check",
-              "exit 1 unless predicate speedup >= 5x and disabled-trace "
-              "overhead < 3%")
+              "exit 1 unless predicate speedup >= 5x and the disabled-trace "
+              "and disabled-admin overheads are < 3%")
       .option("help", "show usage");
   try {
     cli.parse(argc, argv);
@@ -370,6 +422,7 @@ int main(int argc, char** argv) {
   const auto idb = bench_idb(n, t, slots);
   const auto bc = bench_broadcast(n, rounds, payload);
   const auto tro = bench_trace_overhead(n, t, iters, seed);
+  const auto ops = bench_ops_overhead(n, t, iters, seed);
 
   std::printf("=== hot path: n=%zu t=%zu seed=%llu (git %s) ===\n\n", n, t,
               static_cast<unsigned long long>(seed), DEX_GIT_REV);
@@ -395,6 +448,9 @@ int main(int argc, char** argv) {
   std::printf("\ndisabled-trace hook overhead (predicate loop):\n");
   std::printf("  plain / hooked : %.1f / %.1f ns per eval  (+%.2f%%)\n",
               tro.plain_ns_per_eval, tro.hooked_ns_per_eval, tro.overhead_pct);
+  std::printf("\ndisabled-admin probe overhead (predicate loop):\n");
+  std::printf("  plain / probed : %.1f / %.1f ns per eval  (+%.2f%%)\n",
+              ops.plain_ns_per_eval, ops.probed_ns_per_eval, ops.overhead_pct);
 
   if (cli.has("json")) {
     benchjson::JsonWriter jw;
@@ -427,6 +483,11 @@ int main(int argc, char** argv) {
         .field("plain_ns_per_eval", tro.plain_ns_per_eval)
         .field("hooked_ns_per_eval", tro.hooked_ns_per_eval)
         .field("overhead_pct", tro.overhead_pct)
+        .end_object()
+        .begin_object("ops_overhead")
+        .field("plain_ns_per_eval", ops.plain_ns_per_eval)
+        .field("probed_ns_per_eval", ops.probed_ns_per_eval)
+        .field("overhead_pct", ops.overhead_pct)
         .end_object();
     const std::string path = cli.str("json", "BENCH_hotpath.json");
     if (!jw.write_file(path)) {
@@ -446,6 +507,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "\nFAIL: disabled-trace overhead %.2f%% >= 3%%\n",
                    tro.overhead_pct);
+      return 1;
+    }
+    if (ops.overhead_pct >= 3.0) {
+      std::fprintf(stderr,
+                   "\nFAIL: disabled-admin overhead %.2f%% >= 3%%\n",
+                   ops.overhead_pct);
       return 1;
     }
   }

@@ -13,16 +13,20 @@
 // bytes-per-commit from the metrics snapshot. The flagless invocation is the
 // historical contention sweep, byte for byte.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "common/cli.hpp"
 #include "json_out.hpp"
 #include "common/histogram.hpp"
 #include "common/rng.hpp"
 #include "metrics/metrics.hpp"
+#include "ops/admin.hpp"
 #include "sim/simulation.hpp"
 #include "smr/replica.hpp"
 
@@ -142,8 +146,22 @@ int contention_sweep() {
 }
 
 int pipeline_run(std::size_t window, bool batch, std::size_t slots,
-                 std::uint64_t seed, const std::optional<std::string>& json_path) {
+                 std::uint64_t seed, const std::optional<std::string>& json_path,
+                 std::optional<std::uint16_t> admin_port,
+                 std::uint64_t admin_linger) {
   metrics::MetricsRegistry registry;
+  std::unique_ptr<ops::AdminServer> admin;
+  if (admin_port.has_value()) {
+    ops::AdminConfig acfg;
+    acfg.port = *admin_port;
+    acfg.bind = ops::admin_bind_from_env();
+    acfg.registry = &registry;
+    admin = std::make_unique<ops::AdminServer>(std::move(acfg));
+    admin->start();
+    std::fprintf(stderr, "admin: listening on 127.0.0.1:%u\n",
+                 static_cast<unsigned>(admin->port()));
+    std::fflush(stderr);
+  }
   sim::SimOptions opts;
   opts.seed = seed;
   opts.batch = batch;
@@ -177,7 +195,23 @@ int pipeline_run(std::size_t window, bool batch, std::size_t slots,
     }
   }
 
+  // Publish replica-0's slot window to /vars. The refresh runs inside the
+  // simulator's event loop (the thread that owns the replica), so the admin
+  // thread only ever sees set_var snapshots — no racing into live state.
+  if (admin != nullptr) {
+    admin->set_var("smr", "{\"status\":\"starting\"}");
+    for (std::size_t c = 0; c < slots; ++c) {
+      const SimTime at = static_cast<SimTime>(c) * 2'000'000 + 1'000'000;
+      smr::Replica* rep = replicas[0];
+      ops::AdminServer* srv = admin.get();
+      simulation.schedule_at(at, [rep, srv] {
+        srv->set_var("smr", rep->vars_json());
+      });
+    }
+  }
+
   const auto stats = simulation.run();
+  if (admin != nullptr) admin->set_var("smr", replicas[0]->vars_json());
   const auto snap = registry.snapshot();
 
   // Prefix agreement across replicas.
@@ -248,6 +282,14 @@ int pipeline_run(std::size_t window, bool batch, std::size_t slots,
     }
     std::printf("wrote %s\n", json_path->c_str());
   }
+  if (admin != nullptr && admin_linger > 0) {
+    std::fflush(stdout);
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::seconds(admin_linger);
+    while (std::chrono::steady_clock::now() < until) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
   return (logs_ok && committed_all) ? 0 : 1;
 }
 
@@ -260,6 +302,10 @@ int main(int argc, char** argv) {
       .option("slots", "slots to commit in pipeline mode", "64")
       .option("seed", "simulation seed (pipeline mode)", "1")
       .option("json", "write BENCH_smr.json (optional path; implies pipeline)")
+      .option("admin", "serve the ops plane on this loopback port (pipeline "
+                       "mode; 0 = ephemeral)", "port")
+      .option("admin-linger",
+              "keep the ops plane up this many seconds after the run", "sec")
       .option("help", "show usage");
   try {
     cli.parse(argc, argv);
@@ -272,11 +318,21 @@ int main(int argc, char** argv) {
     return 0;
   }
   const bool pipeline = cli.has("window") || cli.has("batch") ||
-                        cli.has("slots") || cli.has("seed") || cli.has("json");
+                        cli.has("slots") || cli.has("seed") || cli.has("json") ||
+                        cli.has("admin");
   if (!pipeline) return contention_sweep();
   std::optional<std::string> json_path;
   if (cli.has("json")) json_path = cli.str("json", "BENCH_smr.json");
+  std::optional<std::uint16_t> admin_port;
+  if (cli.has("admin")) {
+    admin_port = ops::parse_admin_port(cli.str("admin", ""));
+    if (!admin_port.has_value()) {
+      std::fprintf(stderr, "bench_smr: bad --admin port\n");
+      return 2;
+    }
+  }
   return pipeline_run(std::max<std::size_t>(cli.unsigned_num("window", 1), 1),
                       cli.flag("batch"), cli.unsigned_num("slots", 64),
-                      cli.unsigned_num("seed", 1), json_path);
+                      cli.unsigned_num("seed", 1), json_path, admin_port,
+                      cli.unsigned_num("admin-linger", 0));
 }

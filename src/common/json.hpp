@@ -1,0 +1,51 @@
+// Minimal JSON string escaping, shared by the hand-rolled emitters (metrics
+// exporter, structured log lines, ops /vars endpoint). Escapes the two
+// mandatory characters (backslash, double quote) plus control characters;
+// everything else passes through byte-for-byte, so UTF-8 input stays UTF-8.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace dex {
+
+inline void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out.append("\\\\"); break;
+      case '"': out.append("\\\""); break;
+      case '\n': out.append("\\n"); break;
+      case '\t': out.append("\\t"); break;
+      case '\r': out.append("\\r"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out.append(buf);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+}
+
+[[nodiscard]] inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  append_json_escaped(out, s);
+  return out;
+}
+
+/// `"escaped"` — the quoted JSON string literal for `s`.
+[[nodiscard]] inline std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  append_json_escaped(out, s);
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace dex

@@ -1,16 +1,27 @@
 #include "common/logging.hpp"
 
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <string>
 
+#include "common/json.hpp"
+
 namespace dex {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<LogFormat> g_format{LogFormat::kText};
 std::mutex g_emit_mutex;
+std::function<void(std::string_view)> g_sink;  // guarded by g_emit_mutex
+
+std::int64_t wall_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
 }  // namespace
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
@@ -42,12 +53,50 @@ std::optional<LogLevel> log_level_from_name(std::string_view name) {
   return std::nullopt;
 }
 
+void warn_bad_env(const char* var, std::string_view value,
+                  std::string_view expected) {
+  DEX_LOG(kWarn, "env") << "ignoring " << var << "='" << value
+                        << "' (expected: " << expected << ")";
+}
+
 std::optional<LogLevel> init_log_level_from_env() {
   const char* value = std::getenv("DEX_LOG_LEVEL");
   if (value == nullptr) return std::nullopt;
   const auto level = log_level_from_name(value);
-  if (level.has_value()) set_log_level(*level);
+  if (level.has_value()) {
+    set_log_level(*level);
+  } else {
+    warn_bad_env("DEX_LOG_LEVEL", value, "trace|debug|info|warn|error|off");
+  }
   return level;
+}
+
+LogFormat log_format() { return g_format.load(std::memory_order_relaxed); }
+void set_log_format(LogFormat format) {
+  g_format.store(format, std::memory_order_relaxed);
+}
+
+std::optional<LogFormat> log_format_from_name(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "text") return LogFormat::kText;
+  if (lower == "json") return LogFormat::kJson;
+  return std::nullopt;
+}
+
+std::optional<LogFormat> init_log_format_from_env() {
+  const char* value = std::getenv("DEX_LOG_FORMAT");
+  if (value == nullptr) return std::nullopt;
+  const auto format = log_format_from_name(value);
+  if (format.has_value()) {
+    set_log_format(*format);
+  } else {
+    warn_bad_env("DEX_LOG_FORMAT", value, "text|json");
+  }
+  return format;
 }
 
 std::optional<int> parse_trace_level(const char* value) {
@@ -62,18 +111,95 @@ std::optional<int> parse_trace_level(const char* value) {
   return std::nullopt;
 }
 
+void set_log_sink(std::function<void(std::string_view)> sink) {
+  const std::scoped_lock lock(g_emit_mutex);
+  g_sink = std::move(sink);
+}
+
 namespace detail {
-void log_emit(LogLevel level, std::string_view component, std::string_view msg) {
-  std::string line;
-  line.reserve(msg.size() + component.size() + 16);
+namespace {
+
+void format_text(std::string& line, LogLevel level, std::string_view component,
+                 std::string_view msg, const LogCtx* ctx) {
   line.append("[");
   line.append(log_level_name(level));
   line.append("] ");
   line.append(component);
   line.append(": ");
   line.append(msg);
+  if (ctx != nullptr) {
+    std::string fields;
+    if (ctx->proc != kNoProcess) {
+      fields.append(fields.empty() ? "" : " ");
+      fields.append("proc=").append(std::to_string(ctx->proc));
+    }
+    if (ctx->instance >= 0) {
+      fields.append(fields.empty() ? "" : " ");
+      fields.append("instance=").append(std::to_string(ctx->instance));
+    }
+    if (ctx->slot >= 0) {
+      fields.append(fields.empty() ? "" : " ");
+      fields.append("slot=").append(std::to_string(ctx->slot));
+    }
+    if (ctx->path != nullptr) {
+      fields.append(fields.empty() ? "" : " ");
+      fields.append("path=").append(ctx->path);
+    }
+    if (!ctx->span.empty()) {
+      fields.append(fields.empty() ? "" : " ");
+      fields.append("span=").append(ctx->span);
+    }
+    if (!fields.empty()) line.append(" {").append(fields).append("}");
+  }
   line.push_back('\n');
+}
+
+void format_json(std::string& line, LogLevel level, std::string_view component,
+                 std::string_view msg, const LogCtx* ctx) {
+  line.append("{\"ts_ms\":").append(std::to_string(wall_ms()));
+  line.append(",\"level\":\"").append(log_level_name(level)).append("\"");
+  line.append(",\"component\":");
+  line.append(json_quote(component));
+  line.append(",\"msg\":");
+  line.append(json_quote(msg));
+  if (ctx != nullptr) {
+    if (ctx->proc != kNoProcess) {
+      line.append(",\"proc\":").append(std::to_string(ctx->proc));
+    }
+    if (ctx->instance >= 0) {
+      line.append(",\"instance_id\":").append(std::to_string(ctx->instance));
+    }
+    if (ctx->slot >= 0) {
+      line.append(",\"slot\":").append(std::to_string(ctx->slot));
+    }
+    if (ctx->path != nullptr) {
+      line.append(",\"path\":");
+      line.append(json_quote(ctx->path));
+    }
+    if (!ctx->span.empty()) {
+      line.append(",\"span_id\":");
+      line.append(json_quote(ctx->span));
+    }
+  }
+  line.append("}\n");
+}
+
+}  // namespace
+
+void log_emit(LogLevel level, std::string_view component, std::string_view msg,
+              const LogCtx* ctx) {
+  std::string line;
+  line.reserve(msg.size() + component.size() + 48);
+  if (log_format() == LogFormat::kJson) {
+    format_json(line, level, component, msg, ctx);
+  } else {
+    format_text(line, level, component, msg, ctx);
+  }
   const std::scoped_lock lock(g_emit_mutex);
+  if (g_sink) {
+    g_sink(line);
+    return;
+  }
   std::fwrite(line.data(), 1, line.size(), stderr);
 }
 }  // namespace detail

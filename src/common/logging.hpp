@@ -2,12 +2,26 @@
 //
 // The library is quiet by default (kWarn); examples and benches raise the
 // level explicitly. Log lines go to stderr so program output stays clean.
+//
+// Two output formats (DEX_LOG_FORMAT=text|json):
+//   text  [INFO] sim: decided value=7 {proc=0 instance=3 path=one_step}
+//   json  {"ts_ms":…,"level":"INFO","component":"sim","msg":"decided value=7",
+//          "proc":0,"instance":3,"path":"one_step"}
+// The JSON mode emits exactly one object per line so log shippers need no
+// framing, and the optional correlation fields (LogCtx) carry the same
+// proc / instance_id / slot / path / span identifiers the metrics series and
+// trace events use — a decide can be joined across all three surfaces.
 #pragma once
 
 #include <atomic>
+#include <cstdint>
+#include <functional>
 #include <optional>
 #include <sstream>
+#include <string>
 #include <string_view>
+
+#include "common/types.hpp"
 
 namespace dex {
 
@@ -25,8 +39,24 @@ std::optional<LogLevel> log_level_from_name(std::string_view name);
 /// Applies the DEX_LOG_LEVEL environment variable (e.g. DEX_LOG_LEVEL=debug)
 /// so tools and tests can raise verbosity without code changes. Returns the
 /// level applied, or nullopt when the variable is unset or unrecognized (the
-/// current level is left untouched).
+/// current level is left untouched; an unrecognized value logs one warning).
 std::optional<LogLevel> init_log_level_from_env();
+
+/// Output format of emitted log lines. kText is the human default; kJson
+/// emits one JSON object per line for machine ingestion.
+enum class LogFormat : int { kText = 0, kJson };
+
+LogFormat log_format();
+void set_log_format(LogFormat format);
+
+/// Inverse of the DEX_LOG_FORMAT contract ("text" | "json", case-insensitive);
+/// nullopt for unknown names.
+std::optional<LogFormat> log_format_from_name(std::string_view name);
+
+/// Applies the DEX_LOG_FORMAT environment variable (text | json). Returns the
+/// format applied, or nullopt when unset/unrecognized (one warning on a bad
+/// value, format untouched).
+std::optional<LogFormat> init_log_format_from_env();
 
 /// Parses a DEX_TRACE value into a tracing level: 0 (off), 1 (on) or
 /// 2 (verbose, adds per-message engine events). Accepts the numerals and the
@@ -36,17 +66,47 @@ std::optional<LogLevel> init_log_level_from_env();
 /// environment contract sits next to DEX_LOG_LEVEL's.
 std::optional<int> parse_trace_level(const char* value);
 
+/// Emits the single standard warning for an unrecognized environment-variable
+/// value ("env: ignoring VAR='value' (expected: …)"). Shared by the
+/// DEX_LOG_LEVEL / DEX_LOG_FORMAT / DEX_TRACE / DEX_ADMIN appliers so every
+/// bad value is diagnosed the same way instead of being silently dropped.
+void warn_bad_env(const char* var, std::string_view value,
+                  std::string_view expected);
+
+/// Correlation fields attached to a log line (all optional; unset fields are
+/// omitted from the output). `instance` doubles as the SMR slot id when the
+/// line is about a slot; `span` matches the trace exporters' async-span id
+/// ("p<proc>/i<instance>/t<tag>/<name>") so a line can name its span.
+struct LogCtx {
+  ProcessId proc = kNoProcess;
+  std::int64_t instance = -1;  // consensus instance id (== slot for SMR)
+  std::int64_t slot = -1;      // SMR slot, when distinct from instance
+  const char* path = nullptr;  // decision path label (one_step | two_step | …)
+  std::string span;            // trace span correlation id; empty = unset
+};
+
+/// Test hook: redirect emitted lines (the fully formatted line, including the
+/// trailing newline) into `sink` instead of stderr; nullptr restores stderr.
+/// The sink runs under the emit mutex — keep it fast.
+void set_log_sink(std::function<void(std::string_view)> sink);
+
 namespace detail {
-void log_emit(LogLevel level, std::string_view component, std::string_view msg);
+void log_emit(LogLevel level, std::string_view component, std::string_view msg,
+              const LogCtx* ctx = nullptr);
 
 /// Accumulates one log line via operator<< and emits on destruction.
 class LogLine {
  public:
   LogLine(LogLevel level, std::string_view component)
       : level_(level), component_(component) {}
+  LogLine(LogLevel level, std::string_view component, LogCtx ctx)
+      : level_(level), component_(component), ctx_(std::move(ctx)),
+        has_ctx_(true) {}
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;
-  ~LogLine() { log_emit(level_, component_, os_.str()); }
+  ~LogLine() {
+    log_emit(level_, component_, os_.str(), has_ctx_ ? &ctx_ : nullptr);
+  }
 
   template <typename T>
   LogLine& operator<<(const T& v) {
@@ -57,6 +117,8 @@ class LogLine {
  private:
   LogLevel level_;
   std::string_view component_;
+  LogCtx ctx_;
+  bool has_ctx_ = false;
   std::ostringstream os_;
 };
 }  // namespace detail
@@ -68,3 +130,13 @@ class LogLine {
   if (::dex::LogLevel::level < ::dex::log_level()) {    \
   } else                                                \
     ::dex::detail::LogLine(::dex::LogLevel::level, (component))
+
+// Correlated variant; the third argument is a LogCtx designated initializer
+// (variadic so its commas survive the preprocessor):
+//   DEX_LOG_CTX(kInfo, "sim", {.proc = p, .instance = id, .path = "one_step"})
+//       << "decided value=" << v;
+#define DEX_LOG_CTX(level, component, ...)              \
+  if (::dex::LogLevel::level < ::dex::log_level()) {    \
+  } else                                                \
+    ::dex::detail::LogLine(::dex::LogLevel::level, (component), \
+                           ::dex::LogCtx __VA_ARGS__)

@@ -107,4 +107,42 @@ void ConsensusHost::set_floor(InstanceId floor) {
   floor_ = std::max(floor_, floor);
 }
 
+std::string ConsensusHost::vars_json(std::size_t max_listed) const {
+  std::string out = "{\"floor\":" + std::to_string(floor_);
+  out.append(",\"live\":").append(std::to_string(live_count_));
+  out.append(",\"live_peak\":").append(std::to_string(live_high_water_));
+  out.append(",\"retired\":").append(std::to_string(retired_count()));
+  out.append(",\"dropped_packets\":").append(std::to_string(dropped_));
+  out.append(",\"instance_count\":").append(std::to_string(instances_.size()));
+  out.append(",\"instances\":[");
+  // Newest instances are the interesting ones on a long-lived host; skip the
+  // committed prefix when the table exceeds the cap.
+  std::size_t skip =
+      instances_.size() > max_listed ? instances_.size() - max_listed : 0;
+  bool first = true;
+  for (const auto& [id, entry] : instances_) {
+    if (skip > 0) {
+      --skip;
+      continue;
+    }
+    const auto decision = entry.stack->decision();
+    const char* phase = entry.husk             ? "husk"
+                        : !decision.has_value() ? "open"
+                        : entry.stack->halted() ? "halted"
+                                                : "decided";
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"id\":").append(std::to_string(id));
+    out.append(",\"phase\":\"").append(phase).append("\"");
+    if (decision.has_value()) {
+      out.append(",\"path\":\"")
+          .append(decision_path_metric_label(decision->path))
+          .append("\"");
+    }
+    out.push_back('}');
+  }
+  out.append("]}");
+  return out;
+}
+
 }  // namespace dex

@@ -100,6 +100,12 @@ class ConsensusHost {
   [[nodiscard]] std::uint64_t dropped_packets() const { return dropped_; }
   [[nodiscard]] const HostConfig& config() const { return cfg_; }
 
+  /// JSON object for the ops plane's /vars: counters plus an instance table
+  /// (id, phase open|decided|halted|husk, decision path) capped at the
+  /// newest `max_listed` instances. NOT thread-safe — call from the thread
+  /// that owns the host (ops publishers use AdminServer::set_var snapshots).
+  [[nodiscard]] std::string vars_json(std::size_t max_listed = 32) const;
+
  private:
   struct Entry {
     std::unique_ptr<ConsensusProcess> stack;

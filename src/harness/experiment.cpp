@@ -7,6 +7,25 @@
 namespace dex::harness {
 
 namespace {
+
+/// The "experiment" var published to the ops plane.
+std::string experiment_var(const ExperimentConfig& cfg, const char* status,
+                           const ExperimentResult* result) {
+  std::string out = "{\"algorithm\":\"";
+  out.append(algorithm_name(cfg.algorithm));
+  out.append("\",\"n\":").append(std::to_string(cfg.n));
+  out.append(",\"t\":").append(std::to_string(cfg.t));
+  out.append(",\"faults\":").append(std::to_string(cfg.faults.count));
+  out.append(",\"seed\":").append(std::to_string(cfg.seed));
+  out.append(",\"status\":\"").append(status).append("\"");
+  if (result != nullptr) {
+    out.append(",\"decided\":").append(std::to_string(result->decided));
+    out.append(",\"correct\":").append(std::to_string(result->correct));
+    out.append(",\"one_step\":").append(std::to_string(result->one_step));
+  }
+  out.push_back('}');
+  return out;
+}
 std::unique_ptr<byz::Strategy> make_strategy(const FaultPlan& plan, Value dealt) {
   switch (plan.kind) {
     case FaultKind::kSilent:
@@ -34,6 +53,10 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   DEX_ENSURE_MSG(cfg.faults.count <= cfg.t, "fault plan exceeds resilience bound t");
   DEX_ENSURE_MSG(cfg.n >= algorithm_min_n(cfg.algorithm, cfg.t),
                  "n below the algorithm's resilience requirement");
+
+  if (cfg.admin != nullptr) {
+    cfg.admin->set_var("experiment", experiment_var(cfg, "running", nullptr));
+  }
 
   const int prev_trace_level = trace::Tracer::global().level();
   if (cfg.capture_trace) {
@@ -141,6 +164,9 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
       case DecisionPath::kTwoStep: ++result.two_step; break;
       case DecisionPath::kUnderlying: ++result.via_underlying; break;
     }
+  }
+  if (cfg.admin != nullptr) {
+    cfg.admin->set_var("experiment", experiment_var(cfg, "done", &result));
   }
   return result;
 }

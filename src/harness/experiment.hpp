@@ -11,6 +11,7 @@
 
 #include "consensus/factory.hpp"
 #include "consensus/view.hpp"
+#include "ops/admin.hpp"
 #include "sim/simulation.hpp"
 #include "trace/trace.hpp"
 
@@ -79,6 +80,10 @@ struct ExperimentConfig {
   /// simulator exports sim_* series and every correct process's stack exports
   /// dex_*/idb_* series under a {"process": "p<i>"} label.
   metrics::MetricsRegistry* metrics = nullptr;
+  /// Optional ops plane (not owned; must outlive the call). When set, the
+  /// run publishes an "experiment" var (algorithm, n, t, seed, status) via
+  /// AdminServer::set_var — updated at start and completion.
+  ops::AdminServer* admin = nullptr;
 };
 
 struct ExperimentResult {

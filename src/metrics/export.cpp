@@ -6,6 +6,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/json.hpp"
+
 namespace dex::metrics {
 
 namespace {
@@ -23,8 +25,25 @@ std::string fmt_num(double v) {
   return buf;
 }
 
-/// `name` or `name{k="v",k2="v2"}` with labels in sorted (map) order — the
-/// flat-map key and the Prometheus sample name are the same string.
+/// Prometheus text-format label-value escaping: backslash, double quote and
+/// newline get backslash escapes; everything else is verbatim (the exposition
+/// format defines exactly these three).
+void append_prom_escaped(std::string& out, std::string_view v) {
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out.append("\\\\"); break;
+      case '"': out.append("\\\""); break;
+      case '\n': out.append("\\n"); break;
+      default: out.push_back(c);
+    }
+  }
+}
+
+/// `name` or `name{k="v",k2="v2"}` with labels in sorted (map) order and
+/// label values escaped per the Prometheus exposition format — the flat-map
+/// key and the Prometheus sample name are the same string, so hostile label
+/// values (quotes, backslashes, newlines) flatten to identical keys on every
+/// export surface.
 std::string flat_name(const std::string& name, const Labels& labels) {
   if (labels.empty()) return name;
   std::string out = name;
@@ -35,7 +54,7 @@ std::string flat_name(const std::string& name, const Labels& labels) {
     first = false;
     out.append(k);
     out.append("=\"");
-    out.append(v);
+    append_prom_escaped(out, v);
     out.push_back('"');
   }
   out.push_back('}');
@@ -155,6 +174,23 @@ class JsonParser {
           case 'n': c = '\n'; break;
           case 't': c = '\t'; break;
           case 'r': c = '\r'; break;
+          case 'u': {
+            // \uXXXX — our own exporter only emits these for ASCII control
+            // characters, so the low byte is the character.
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u escape");
+            }
+            if (code > 0x7F) fail("non-ASCII \\u escape unsupported");
+            c = static_cast<char>(code);
+            break;
+          }
           default: fail("unsupported escape");
         }
       }
@@ -239,14 +275,14 @@ std::string to_json(const MetricsSnapshot& snapshot) {
   for (const MetricSample& s : snapshot.samples()) {
     out.append(first ? "\n    {" : ",\n    {");
     first = false;
-    out.append("\"name\":\"").append(s.name).append("\",");
+    out.append("\"name\":").append(json_quote(s.name)).append(",");
     out.append("\"type\":\"").append(metric_kind_name(s.kind)).append("\",");
     out.append("\"labels\":{");
     bool first_label = true;
     for (const auto& [k, v] : s.labels) {
       if (!first_label) out.push_back(',');
       first_label = false;
-      out.append("\"").append(k).append("\":\"").append(v).append("\"");
+      out.append(json_quote(k)).append(":").append(json_quote(v));
     }
     out.append("}");
     if (s.kind == MetricKind::kHistogram) {

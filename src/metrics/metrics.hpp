@@ -28,8 +28,9 @@
 namespace dex::metrics {
 
 /// Label set of one time series. std::map keeps keys sorted, so the derived
-/// series key is canonical. Keys and values must not contain '=', ',', '"'
-/// or newlines (they flow into exporter output verbatim).
+/// series key is canonical. Keys must be valid Prometheus label names
+/// ([a-zA-Z_][a-zA-Z0-9_]*); values may contain arbitrary bytes — the
+/// exporters escape backslash, double quote and newline per format.
 using Labels = std::map<std::string, std::string>;
 
 /// Canonical "k1=v1,k2=v2" form; empty string for no labels.

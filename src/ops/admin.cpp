@@ -1,0 +1,413 @@
+#include "ops/admin.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/logging.hpp"
+#include "metrics/export.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
+
+#ifndef DEX_GIT_REV
+#define DEX_GIT_REV "unknown"
+#endif
+#ifndef DEX_VERSION
+#define DEX_VERSION "0.0.0"
+#endif
+
+namespace dex::ops {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+constexpr std::size_t kMaxConnections = 32;
+constexpr int kPollMs = 50;  // stop-flag latency bound
+
+http::Response json_response(int status, std::string body) {
+  http::Response resp;
+  resp.status = status;
+  resp.content_type = "application/json";
+  resp.body = std::move(body);
+  return resp;
+}
+
+http::Response error_response(int status, std::string_view detail) {
+  std::string body = "{\"error\":";
+  body.append(json_quote(std::string(detail)));
+  body.append("}\n");
+  return json_response(status, std::move(body));
+}
+
+http::Response method_not_allowed(const char* allow) {
+  http::Response resp = error_response(405, "method not allowed");
+  resp.extra_headers["Allow"] = allow;
+  return resp;
+}
+
+}  // namespace
+
+BuildInfo build_info() { return {DEX_GIT_REV, DEX_VERSION}; }
+
+AdminServer::AdminServer(AdminConfig cfg) : cfg_(std::move(cfg)) {
+  // Decorate the registry up front so /metrics carries the build identity
+  // even through the socket-free handle() path (tests, future in-proc use).
+  if (cfg_.registry != nullptr) {
+    const BuildInfo info = build_info();
+    cfg_.registry
+        ->gauge("dex_build_info", {{"rev", info.rev}, {"version", info.version}})
+        .set(1.0);
+    cfg_.registry->gauge("dex_uptime_seconds").set(0.0);
+  }
+}
+
+AdminServer::~AdminServer() { stop(); }
+
+void AdminServer::start() {
+  if (running_.load(std::memory_order_relaxed)) return;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("admin: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg_.port);
+  if (inet_pton(AF_INET, cfg_.bind.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("admin: bad bind address '" + cfg_.bind + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("admin: cannot listen on " + cfg_.bind + ":" +
+                             std::to_string(cfg_.port));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    bound_port_ = ntohs(bound.sin_port);
+  }
+  set_nonblocking(listen_fd_);
+  start_ns_ = steady_ns();
+
+  stopping_.store(false, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread([this] { serve_loop(); });
+  DEX_LOG(kInfo, "admin") << "listening on " << cfg_.bind << ":" << bound_port_;
+}
+
+void AdminServer::stop() {
+  if (!running_.load(std::memory_order_relaxed)) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_relaxed);
+}
+
+double AdminServer::uptime_seconds() const {
+  if (start_ns_ == 0) return 0.0;
+  return static_cast<double>(steady_ns() - start_ns_) / 1e9;
+}
+
+void AdminServer::set_var(const std::string& name, std::string json_value) {
+  const std::scoped_lock lock(vars_mu_);
+  static_vars_[name] = std::move(json_value);
+}
+
+void AdminServer::register_var(const std::string& name,
+                               std::function<std::string()> provider) {
+  const std::scoped_lock lock(vars_mu_);
+  var_providers_[name] = std::move(provider);
+}
+
+metrics::MetricsSnapshot AdminServer::merged_snapshot() {
+  metrics::MetricsSnapshot snap;
+  if (cfg_.registry != nullptr) {
+    cfg_.registry->gauge("dex_uptime_seconds").set(uptime_seconds());
+    snap.merge(cfg_.registry->snapshot());
+  }
+  if (cfg_.snapshot) snap.merge(cfg_.snapshot());
+  return snap;
+}
+
+std::string AdminServer::vars_json() {
+  const BuildInfo info = build_info();
+  std::string out = "{\n  \"build\": {\"rev\": ";
+  out.append(json_quote(info.rev));
+  out.append(", \"version\": ");
+  out.append(json_quote(info.version));
+  out.append("},\n  \"uptime_seconds\": ");
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", uptime_seconds());
+  out.append(buf);
+  out.append(",\n  \"admin\": {\"port\": ");
+  out.append(std::to_string(bound_port_));
+  out.append(", \"requests_served\": ");
+  out.append(std::to_string(requests_served()));
+  out.append("}");
+
+  // Providers override same-named static vars; both render verbatim (the
+  // publisher owns JSON validity).
+  std::map<std::string, std::string> merged;
+  {
+    const std::scoped_lock lock(vars_mu_);
+    merged = static_vars_;
+    for (const auto& [name, provider] : var_providers_) {
+      merged[name] = provider ? provider() : "null";
+    }
+  }
+  for (const auto& [name, value] : merged) {
+    out.append(",\n  ");
+    out.append(json_quote(name));
+    out.append(": ");
+    out.append(value.empty() ? "null" : value);
+  }
+  out.append("\n}\n");
+  return out;
+}
+
+http::Response AdminServer::handle(const http::Request& req) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const std::string path = req.path();
+  const bool is_get = req.method == "GET";
+  const bool is_put = req.method == "PUT";
+
+  if (path == "/" || path == "/help") {
+    if (!is_get) return method_not_allowed("GET");
+    http::Response resp;
+    resp.body =
+        "dex admin endpoints:\n"
+        "  GET /metrics       Prometheus text\n"
+        "  GET /healthz       liveness\n"
+        "  GET /readyz        readiness\n"
+        "  GET /vars          JSON process vars\n"
+        "  GET /trace/chrome  Chrome trace-event JSON snapshot\n"
+        "  GET /trace/jsonl   JSONL trace snapshot\n"
+        "  GET /logs/level    current log level\n"
+        "  PUT /logs/level    set log level (body: trace|debug|info|warn|error|off)\n";
+    return resp;
+  }
+  if (path == "/metrics") {
+    if (!is_get) return method_not_allowed("GET");
+    http::Response resp;
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    resp.body = metrics::to_prometheus(merged_snapshot());
+    return resp;
+  }
+  if (path == "/healthz") {
+    if (!is_get) return method_not_allowed("GET");
+    http::Response resp;
+    resp.body = "ok\n";
+    return resp;
+  }
+  if (path == "/readyz") {
+    if (!is_get) return method_not_allowed("GET");
+    const bool ready = !cfg_.ready || cfg_.ready();
+    http::Response resp;
+    resp.status = ready ? 200 : 503;
+    resp.body = ready ? "ready\n" : "not ready\n";
+    return resp;
+  }
+  if (path == "/vars") {
+    if (!is_get) return method_not_allowed("GET");
+    return json_response(200, vars_json());
+  }
+  if (path == "/trace/chrome") {
+    if (!is_get) return method_not_allowed("GET");
+    return json_response(
+        200, trace::to_chrome_json(trace::Tracer::global().snapshot()));
+  }
+  if (path == "/trace/jsonl") {
+    if (!is_get) return method_not_allowed("GET");
+    http::Response resp;
+    resp.content_type = "application/x-ndjson";
+    resp.body = trace::to_jsonl(trace::Tracer::global().snapshot());
+    return resp;
+  }
+  if (path == "/logs/level") {
+    if (is_get) {
+      std::string body = "{\"level\":\"";
+      body.append(log_level_name(log_level()));
+      body.append("\",\"format\":\"");
+      body.append(log_format() == LogFormat::kJson ? "json" : "text");
+      body.append("\"}\n");
+      return json_response(200, std::move(body));
+    }
+    if (is_put) {
+      std::string want = req.body;
+      while (!want.empty() &&
+             (want.back() == '\n' || want.back() == '\r' || want.back() == ' ')) {
+        want.pop_back();
+      }
+      // Accept both the bare name ("debug") and {"level":"debug"}.
+      const std::size_t key = want.find("\"level\"");
+      if (key != std::string::npos) {
+        const std::size_t open = want.find('"', want.find(':', key));
+        const std::size_t close =
+            open == std::string::npos ? std::string::npos
+                                      : want.find('"', open + 1);
+        if (close == std::string::npos) return error_response(400, "bad body");
+        want = want.substr(open + 1, close - open - 1);
+      }
+      const auto level = log_level_from_name(want);
+      if (!level.has_value()) {
+        return error_response(400, "unknown level '" + want + "'");
+      }
+      set_log_level(*level);
+      DEX_LOG(kInfo, "admin") << "log level set to " << log_level_name(*level);
+      std::string body = "{\"level\":\"";
+      body.append(log_level_name(*level));
+      body.append("\"}\n");
+      return json_response(200, std::move(body));
+    }
+    return method_not_allowed("GET, PUT");
+  }
+  return error_response(404, "not found");
+}
+
+void AdminServer::serve_loop() {
+  struct Conn {
+    int fd = -1;
+    http::RequestParser parser;
+    std::string out;
+    std::size_t sent = 0;
+    bool writing = false;
+  };
+  std::vector<Conn> conns;
+
+  const auto close_conn = [&conns](std::size_t i) {
+    ::close(conns[i].fd);
+    conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
+  };
+
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    std::vector<pollfd> fds;
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const Conn& c : conns) {
+      fds.push_back({c.fd, static_cast<short>(c.writing ? POLLOUT : POLLIN), 0});
+    }
+    const int rc = ::poll(fds.data(), fds.size(), kPollMs);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (rc == 0) continue;
+
+    // Connections accepted below have no pollfd entry this round; remember
+    // how many were actually polled so the walk stays inside `fds`.
+    const std::size_t polled = conns.size();
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        if (conns.size() >= kMaxConnections) {
+          ::close(fd);
+          continue;
+        }
+        set_nonblocking(fd);
+        Conn c;
+        c.fd = fd;
+        conns.push_back(std::move(c));
+      }
+    }
+
+    // Walk backwards so close_conn()'s erase cannot skip an entry.
+    for (std::size_t i = polled; i-- > 0;) {
+      const short rev = fds[i + 1].revents;
+      Conn& c = conns[i];
+      if ((rev & (POLLERR | POLLHUP | POLLNVAL)) != 0 && !c.writing) {
+        close_conn(i);
+        continue;
+      }
+      if (!c.writing && (rev & POLLIN) != 0) {
+        char buf[4096];
+        const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+        if (n == 0) {
+          close_conn(i);
+          continue;
+        }
+        if (n < 0) {
+          if (errno != EAGAIN && errno != EWOULDBLOCK) close_conn(i);
+          continue;
+        }
+        const auto state =
+            c.parser.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+        if (state == http::RequestParser::State::kDone) {
+          c.out = http::render(handle(c.parser.request()));
+          c.writing = true;
+        } else if (state == http::RequestParser::State::kError) {
+          c.out = http::render(
+              error_response(c.parser.error_status(), "malformed request"));
+          c.writing = true;
+        }
+      } else if (c.writing && (rev & (POLLOUT | POLLERR | POLLHUP)) != 0) {
+        const ssize_t n =
+            ::send(c.fd, c.out.data() + c.sent, c.out.size() - c.sent, 0);
+        if (n < 0) {
+          if (errno != EAGAIN && errno != EWOULDBLOCK) close_conn(i);
+          continue;
+        }
+        c.sent += static_cast<std::size_t>(n);
+        if (c.sent >= c.out.size()) close_conn(i);
+      }
+    }
+  }
+  for (const Conn& c : conns) ::close(c.fd);
+  conns.clear();
+}
+
+std::optional<std::uint16_t> parse_admin_port(std::string_view value) {
+  if (value.empty()) return std::nullopt;
+  std::uint32_t port = 0;
+  for (const char c : value) {
+    if (c < '0' || c > '9') return std::nullopt;
+    port = port * 10 + static_cast<std::uint32_t>(c - '0');
+    if (port > 65535) return std::nullopt;
+  }
+  return static_cast<std::uint16_t>(port);
+}
+
+std::optional<std::uint16_t> admin_port_from_env() {
+  const char* value = std::getenv("DEX_ADMIN");
+  if (value == nullptr) return std::nullopt;
+  const auto port = parse_admin_port(value);
+  if (!port.has_value()) {
+    warn_bad_env("DEX_ADMIN", value, "a TCP port number (0..65535)");
+  }
+  return port;
+}
+
+std::string admin_bind_from_env() {
+  const char* value = std::getenv("DEX_ADMIN_BIND");
+  return value == nullptr ? "127.0.0.1" : value;
+}
+
+}  // namespace dex::ops

@@ -1,0 +1,136 @@
+// AdminServer — the embedded ops plane: a dependency-free, poll()-driven
+// HTTP/1.0 server on a loopback port that answers diagnostics queries about
+// the live process.
+//
+//   GET /metrics       Prometheus text from the configured registry/snapshot
+//   GET /healthz       liveness ("ok" while the server thread runs)
+//   GET /readyz        readiness (503 until the app's ready() callback flips)
+//   GET /vars          JSON: build info, uptime, registered app vars
+//   GET /trace/chrome  flight-recorder snapshot as Chrome trace-event JSON
+//   GET /trace/jsonl   flight-recorder snapshot as JSONL
+//   GET /logs/level    current log level + format
+//   PUT /logs/level    retarget DEX_LOG_LEVEL at runtime (body: "debug", ...)
+//
+// Off by default and zero steady-state cost: nothing is spawned or bound
+// until start(); a constructed-but-not-started server is a few words of
+// memory, and its running() probe is one relaxed atomic load (bench_hotpath
+// asserts this stays in the noise). The server is single-threaded — one
+// poll() loop owns the listen socket and every connection — and serves one
+// request per connection (Connection: close), which keeps it immune to
+// slow-loris-style accumulation beyond its small connection cap.
+//
+// Handlers run on the admin thread. Everything they read must therefore be
+// thread-safe: metrics instruments are atomics behind a mutexed registry,
+// the tracer snapshots under its own lock, and app-published vars either go
+// through set_var() (value stored under the server's mutex — the safe choice
+// for single-threaded hosts like the simulator) or register_var() (callback
+// invoked on the admin thread — for callees that are themselves
+// thread-safe).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "metrics/metrics.hpp"
+#include "ops/http.hpp"
+
+namespace dex::ops {
+
+/// Build identity baked in at compile time (DEX_GIT_REV) — the same rev the
+/// bench BENCH_*.json files carry, so every surface names its binary.
+struct BuildInfo {
+  std::string rev;      // short git revision, or "unknown"
+  std::string version;  // project version
+};
+[[nodiscard]] BuildInfo build_info();
+
+struct AdminConfig {
+  /// TCP port to bind; 0 picks an ephemeral port (tests). Loopback only by
+  /// default — this is a diagnostics plane, not a public API.
+  std::uint16_t port = 0;
+  std::string bind = "127.0.0.1";
+  /// Registry the server decorates with dex_build_info / dex_uptime_seconds
+  /// and scrapes for /metrics. Optional.
+  metrics::MetricsRegistry* registry = nullptr;
+  /// Extra snapshot source merged over the registry's (e.g. dexsim's
+  /// cross-trial aggregate). Runs on the admin thread — must be thread-safe.
+  std::function<metrics::MetricsSnapshot()> snapshot;
+  /// Readiness probe for /readyz; default ready. Runs on the admin thread.
+  std::function<bool()> ready;
+};
+
+class AdminServer {
+ public:
+  explicit AdminServer(AdminConfig cfg);
+  ~AdminServer();
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Binds the socket and spawns the serving thread. Throws std::runtime_error
+  /// when the port cannot be bound.
+  void start();
+  /// Stops the thread and closes every socket. Idempotent.
+  void stop();
+
+  /// True between start() and stop(). One relaxed atomic load.
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_relaxed);
+  }
+  /// The bound port (resolves port 0 to the ephemeral pick). 0 before start().
+  [[nodiscard]] std::uint16_t port() const noexcept { return bound_port_; }
+
+  /// Publish a JSON value (object/array/string/number — inserted verbatim)
+  /// under `name` in /vars. Thread-safe; last write wins.
+  void set_var(const std::string& name, std::string json_value);
+  /// Publish a computed JSON value; `provider` runs on the admin thread per
+  /// scrape and must be thread-safe. Overrides any set_var of the same name.
+  void register_var(const std::string& name,
+                    std::function<std::string()> provider);
+
+  /// Route one request to its endpoint handler (the socket loop calls this;
+  /// tests call it directly for socket-free coverage).
+  [[nodiscard]] http::Response handle(const http::Request& req);
+
+  [[nodiscard]] double uptime_seconds() const;
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_loop();
+  [[nodiscard]] std::string vars_json();
+  [[nodiscard]] metrics::MetricsSnapshot merged_snapshot();
+
+  AdminConfig cfg_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::uint16_t bound_port_ = 0;
+  int listen_fd_ = -1;
+  std::thread thread_;
+  std::uint64_t start_ns_ = 0;
+
+  mutable std::mutex vars_mu_;
+  std::map<std::string, std::string> static_vars_;
+  std::map<std::string, std::function<std::string()>> var_providers_;
+};
+
+/// Parses an admin-port value ("8080"): 1..65535, or 0 for an ephemeral
+/// port. nullopt for garbage.
+[[nodiscard]] std::optional<std::uint16_t> parse_admin_port(
+    std::string_view value);
+
+/// Applies DEX_ADMIN (a port number). nullopt when unset or invalid; an
+/// invalid value logs one warning. DEX_ADMIN_BIND overrides the bind address
+/// via admin_bind_from_env().
+[[nodiscard]] std::optional<std::uint16_t> admin_port_from_env();
+/// DEX_ADMIN_BIND, defaulting to loopback.
+[[nodiscard]] std::string admin_bind_from_env();
+
+}  // namespace dex::ops

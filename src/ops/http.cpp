@@ -1,0 +1,196 @@
+#include "ops/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace dex::ops::http {
+
+namespace {
+
+std::string lower(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string Request::path() const {
+  const std::size_t q = target.find('?');
+  return q == std::string::npos ? target : target.substr(0, q);
+}
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string render(const Response& resp) {
+  std::string out = "HTTP/1.0 " + std::to_string(resp.status) + " " +
+                    status_text(resp.status) + "\r\n";
+  out.append("Content-Type: ").append(resp.content_type).append("\r\n");
+  out.append("Content-Length: ")
+      .append(std::to_string(resp.body.size()))
+      .append("\r\n");
+  for (const auto& [k, v] : resp.extra_headers) {
+    out.append(k).append(": ").append(v).append("\r\n");
+  }
+  out.append("Connection: close\r\n\r\n");
+  out.append(resp.body);
+  return out;
+}
+
+RequestParser::State RequestParser::feed(std::string_view data) {
+  if (state_ == State::kDone || state_ == State::kError) return state_;
+  if (buf_.size() + data.size() > max_bytes_) return fail(413);
+  buf_.append(data);
+  if (state_ == State::kHeaders) {
+    const std::size_t end = buf_.find("\r\n\r\n");
+    if (end == std::string::npos) return state_;
+    const State s = parse_headers();
+    if (s == State::kError) return s;
+    buf_.erase(0, end + 4);
+    state_ = State::kBody;
+  }
+  if (state_ == State::kBody) {
+    if (buf_.size() < body_needed_) return state_;
+    req_.body = buf_.substr(0, body_needed_);
+    state_ = State::kDone;
+  }
+  return state_;
+}
+
+RequestParser::State RequestParser::parse_headers() {
+  // Request line: METHOD SP TARGET SP HTTP/x.y
+  std::size_t pos = 0;
+  const std::size_t eol = buf_.find("\r\n");
+  const std::string_view line(buf_.data(), eol);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string_view::npos
+                              ? std::string_view::npos
+                              : line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) return fail(400);
+  req_.method = std::string(line.substr(0, sp1));
+  req_.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  req_.version = std::string(trim(line.substr(sp2 + 1)));
+  if (req_.method.empty() || req_.target.empty() ||
+      req_.version.rfind("HTTP/", 0) != 0) {
+    return fail(400);
+  }
+  pos = eol + 2;
+  // Header fields until the blank line.
+  while (true) {
+    const std::size_t next = buf_.find("\r\n", pos);
+    const std::string_view hline(buf_.data() + pos, next - pos);
+    if (hline.empty()) break;
+    const std::size_t colon = hline.find(':');
+    if (colon == std::string_view::npos) return fail(400);
+    req_.headers[lower(trim(hline.substr(0, colon)))] =
+        std::string(trim(hline.substr(colon + 1)));
+    pos = next + 2;
+  }
+  const auto it = req_.headers.find("content-length");
+  if (it != req_.headers.end()) {
+    char* endp = nullptr;
+    const unsigned long long n = std::strtoull(it->second.c_str(), &endp, 10);
+    if (endp == it->second.c_str() || *endp != '\0' || n > max_bytes_) {
+      return fail(n > max_bytes_ ? 413 : 400);
+    }
+    body_needed_ = static_cast<std::size_t>(n);
+  }
+  return State::kBody;
+}
+
+std::optional<FetchResult> fetch(const std::string& host, std::uint16_t port,
+                                 const std::string& method,
+                                 const std::string& path,
+                                 const std::string& body,
+                                 std::chrono::milliseconds timeout) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string ip = host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) return std::nullopt;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+
+  std::string req = method + " " + path + " HTTP/1.0\r\n";
+  req.append("Host: ").append(ip).append("\r\n");
+  if (!body.empty() || method == "PUT") {
+    req.append("Content-Length: ").append(std::to_string(body.size()))
+        .append("\r\n");
+  }
+  req.append("Connection: close\r\n\r\n").append(body);
+  std::size_t sent = 0;
+  while (sent < req.size()) {
+    const ssize_t n = ::send(fd, req.data() + sent, req.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    if (n == 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  // Status line: HTTP/1.x SP CODE SP reason.
+  if (raw.rfind("HTTP/", 0) != 0) return std::nullopt;
+  const std::size_t sp = raw.find(' ');
+  if (sp == std::string::npos) return std::nullopt;
+  FetchResult out;
+  out.status = std::atoi(raw.c_str() + sp + 1);
+  const std::size_t hdr_end = raw.find("\r\n\r\n");
+  if (hdr_end != std::string::npos) out.body = raw.substr(hdr_end + 4);
+  return out;
+}
+
+}  // namespace dex::ops::http

@@ -1,0 +1,88 @@
+// Minimal HTTP/1.0 plumbing for the embedded admin endpoint: an incremental
+// request parser and a response renderer that are pure byte-shufflers (no
+// sockets — unit-testable in isolation), plus a tiny blocking loopback client
+// shared by dexctl and the ops tests so neither needs curl.
+//
+// Scope is deliberately narrow: GET/PUT, Content-Length bodies, Connection:
+// close semantics (one request per connection), no chunked encoding, no TLS.
+// That is exactly what a loopback diagnostics port needs and nothing more.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dex::ops::http {
+
+struct Request {
+  std::string method;   // "GET", "PUT", ...
+  std::string target;   // request target as sent, e.g. "/metrics?x=1"
+  std::string version;  // "HTTP/1.0" or "HTTP/1.1"
+  std::map<std::string, std::string> headers;  // keys lower-cased
+  std::string body;
+
+  /// `target` with any query string stripped ("/metrics?x=1" -> "/metrics").
+  [[nodiscard]] std::string path() const;
+};
+
+struct Response {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  std::map<std::string, std::string> extra_headers;  // e.g. {"Allow","GET"}
+};
+
+/// Canonical reason phrase for the status codes the admin plane emits.
+const char* status_text(int status);
+
+/// Serializes a response as HTTP/1.0 with Content-Length and
+/// Connection: close.
+[[nodiscard]] std::string render(const Response& resp);
+
+/// Incremental request parser: feed() bytes as they arrive; kDone exposes the
+/// request, kError carries the status to answer with (400 malformed,
+/// 413 too large). Oversize requests are rejected at `max_bytes` total.
+class RequestParser {
+ public:
+  enum class State { kHeaders, kBody, kDone, kError };
+
+  explicit RequestParser(std::size_t max_bytes = 64 * 1024)
+      : max_bytes_(max_bytes) {}
+
+  State feed(std::string_view data);
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] const Request& request() const { return req_; }
+  [[nodiscard]] int error_status() const { return error_status_; }
+
+ private:
+  State fail(int status) {
+    error_status_ = status;
+    return state_ = State::kError;
+  }
+  State parse_headers();
+
+  std::size_t max_bytes_;
+  std::string buf_;
+  std::size_t body_needed_ = 0;
+  Request req_;
+  State state_ = State::kHeaders;
+  int error_status_ = 400;
+};
+
+/// Blocking one-shot HTTP client (loopback diagnostics use). Resolves `host`
+/// ("127.0.0.1", "localhost" or any dotted quad), sends one request, reads to
+/// EOF and parses the status line. nullopt on connect/transport failure.
+struct FetchResult {
+  int status = 0;
+  std::string body;
+  [[nodiscard]] bool ok() const { return status >= 200 && status < 300; }
+};
+std::optional<FetchResult> fetch(
+    const std::string& host, std::uint16_t port, const std::string& method,
+    const std::string& path, const std::string& body = "",
+    std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
+
+}  // namespace dex::ops::http

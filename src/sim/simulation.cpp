@@ -142,6 +142,20 @@ void Simulation::record_decision(ProcessId i, RunStats& stats) {
     metrics::observe(m_path_latency_[static_cast<std::size_t>(d->path)],
                      static_cast<double>(now_) / 1e6);
     metrics::observe(m_steps_, proc->logical_steps());
+    // The three-surface join point: this line, the "sim"/"decide" trace
+    // instant above and the dex_decide_latency_ms{path} series all carry the
+    // same (proc, instance, path); span names the instance's trace span.
+    if (LogLevel::kInfo >= log_level()) {
+      LogCtx ctx;
+      ctx.proc = i;
+      ctx.instance = static_cast<std::int64_t>(proc->instance());
+      ctx.path = decision_path_metric_label(d->path);
+      ctx.span = "p" + std::to_string(i) + "/i" +
+                 std::to_string(proc->instance()) + "/t0/instance";
+      detail::LogLine(LogLevel::kInfo, "sim", std::move(ctx))
+          << "decided value=" << d->value
+          << " steps=" << proc->logical_steps();
+    }
   }
 }
 

@@ -237,6 +237,12 @@ void Replica::try_commit() {
       }
     }
     metrics::inc(m_commits_[static_cast<std::size_t>(d.path)]);
+    DEX_LOG_CTX(kInfo, "smr",
+                {.proc = cfg_.self,
+                 .instance = static_cast<std::int64_t>(next_slot_),
+                 .slot = static_cast<std::int64_t>(next_slot_),
+                 .path = decision_path_metric_label(d.path)})
+        << "committed digest " << d.value;
     const auto meta = meta_.find(next_slot_);
     // Only slots we opened ourselves carry a span begin (open_slot); a slot
     // committed purely from remote traffic gets no smr span.
@@ -273,6 +279,20 @@ std::vector<Outgoing> Replica::drain() {
   auto more = host_.drain();
   out.insert(out.end(), std::make_move_iterator(more.begin()),
              std::make_move_iterator(more.end()));
+  return out;
+}
+
+std::string Replica::vars_json() const {
+  std::string out = "{\"self\":" + std::to_string(cfg_.self);
+  out.append(",\"window\":").append(std::to_string(cfg_.window));
+  out.append(",\"next_slot\":").append(std::to_string(next_slot_));
+  out.append(",\"pending\":").append(std::to_string(pending_.size()));
+  out.append(",\"committed\":").append(std::to_string(log_.size()));
+  out.append(",\"live_instances\":").append(std::to_string(live_instances()));
+  out.append(",\"live_instances_peak\":")
+      .append(std::to_string(live_instances_peak()));
+  out.append(",\"host\":").append(host_.vars_json());
+  out.push_back('}');
   return out;
 }
 

@@ -99,6 +99,11 @@ class Replica final : public sim::Actor {
     return host_.live_high_water();
   }
 
+  /// JSON object for the ops plane's /vars: slot window, queue depths, the
+  /// commit log length and the host's instance table. NOT thread-safe — take
+  /// snapshots from the replica's own thread (AdminServer::set_var).
+  [[nodiscard]] std::string vars_json() const;
+
  private:
   /// Per-slot bookkeeping the host doesn't carry. The proposed flag persists
   /// past commit (late traffic must not re-trigger a proposal); the digest

@@ -155,7 +155,10 @@ int init_from_env() {
   const char* value = std::getenv("DEX_TRACE");
   if (value == nullptr) return -1;
   const auto level = parse_trace_level(value);
-  if (!level.has_value()) return -1;
+  if (!level.has_value()) {
+    warn_bad_env("DEX_TRACE", value, "off|on|verbose (or 0|1|2)");
+    return -1;
+  }
   Tracer::global().set_level(*level);
   return *level;
 }

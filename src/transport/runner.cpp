@@ -1,5 +1,7 @@
 #include "transport/runner.hpp"
 
+#include <atomic>
+
 #include "common/assert.hpp"
 
 namespace dex::transport {
@@ -64,6 +66,25 @@ void drive_process(ConsensusProcess& proc, Transport& transport, Value proposal,
   }
 }
 
+namespace {
+/// Live cluster progress published to the ops plane. The provider callback
+/// outlives run_cluster (the admin server keeps it), so the state is shared
+/// and every field is an atomic.
+struct ClusterState {
+  std::atomic<std::size_t> processes{0};
+  std::atomic<std::size_t> finished{0};
+  std::atomic<std::size_t> decided{0};
+
+  [[nodiscard]] std::string json() const {
+    std::string out = "{\"processes\":" + std::to_string(processes.load());
+    out.append(",\"finished\":").append(std::to_string(finished.load()));
+    out.append(",\"decided\":").append(std::to_string(decided.load()));
+    out.push_back('}');
+    return out;
+  }
+};
+}  // namespace
+
 RunnerResult run_cluster(std::vector<std::unique_ptr<ConsensusProcess>>& procs,
                          std::vector<std::unique_ptr<Transport>>& transports,
                          const std::vector<Value>& proposals,
@@ -71,11 +92,22 @@ RunnerResult run_cluster(std::vector<std::unique_ptr<ConsensusProcess>>& procs,
   DEX_ENSURE(procs.size() == transports.size());
   DEX_ENSURE(procs.size() == proposals.size());
 
+  std::shared_ptr<ClusterState> state;
+  if (opts.admin != nullptr) {
+    state = std::make_shared<ClusterState>();
+    state->processes.store(procs.size());
+    opts.admin->register_var("cluster", [state] { return state->json(); });
+  }
+
   std::vector<std::thread> threads;
   threads.reserve(procs.size());
   for (std::size_t i = 0; i < procs.size(); ++i) {
-    threads.emplace_back([&, i] {
+    threads.emplace_back([&, state, i] {
       drive_process(*procs[i], *transports[i], proposals[i], opts);
+      if (state != nullptr) {
+        state->finished.fetch_add(1);
+        if (procs[i]->decision().has_value()) state->decided.fetch_add(1);
+      }
     });
   }
   for (auto& th : threads) th.join();

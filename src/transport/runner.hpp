@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "consensus/process.hpp"
+#include "ops/admin.hpp"
 #include "transport/transport.hpp"
 
 namespace dex::transport {
@@ -20,6 +21,9 @@ struct RunnerOptions {
   /// single Transport::send_batch call (one wire frame on batching
   /// transports). Receivers still see individual messages.
   bool batch = false;
+  /// Optional ops plane (not owned; must outlive the call). run_cluster
+  /// publishes a live "cluster" var (processes, halted, decided) to it.
+  ops::AdminServer* admin = nullptr;
 };
 
 struct RunnerResult {

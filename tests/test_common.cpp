@@ -1,12 +1,18 @@
-// Unit tests for the common substrate: RNG, serde, hashing, histograms.
+// Unit tests for the common substrate: RNG, serde, hashing, histograms,
+// logging environment contracts.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <map>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "common/hash.hpp"
 #include "common/histogram.hpp"
+#include "common/json.hpp"
+#include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "common/serde.hpp"
 
@@ -252,6 +258,111 @@ TEST(Counter, FractionsAndTotals) {
   EXPECT_EQ(c.get("one-step"), 3u);
   EXPECT_EQ(c.get("missing"), 0u);
   EXPECT_DOUBLE_EQ(c.fraction("one-step"), 0.75);
+}
+
+TEST(Logging, LevelFromNameEdgeCases) {
+  EXPECT_EQ(log_level_from_name("debug"), LogLevel::kDebug);
+  EXPECT_EQ(log_level_from_name("DEBUG"), LogLevel::kDebug);  // case-blind
+  EXPECT_EQ(log_level_from_name("WaRn"), LogLevel::kWarn);
+  EXPECT_EQ(log_level_from_name("trace"), LogLevel::kTrace);
+  EXPECT_EQ(log_level_from_name("off"), LogLevel::kOff);
+  EXPECT_EQ(log_level_from_name(""), std::nullopt);
+  EXPECT_EQ(log_level_from_name("debugg"), std::nullopt);
+  EXPECT_EQ(log_level_from_name(" debug"), std::nullopt);  // no trimming
+  EXPECT_EQ(log_level_from_name("3"), std::nullopt);
+}
+
+TEST(Logging, FormatFromNameEdgeCases) {
+  EXPECT_EQ(log_format_from_name("text"), LogFormat::kText);
+  EXPECT_EQ(log_format_from_name("json"), LogFormat::kJson);
+  EXPECT_EQ(log_format_from_name("JSON"), LogFormat::kJson);
+  EXPECT_EQ(log_format_from_name(""), std::nullopt);
+  EXPECT_EQ(log_format_from_name("jsonl"), std::nullopt);
+  EXPECT_EQ(log_format_from_name("yaml"), std::nullopt);
+}
+
+TEST(Logging, BadEnvValuesWarnOnceAndLeaveStateUntouched) {
+  const LogLevel level_before = log_level();
+  const LogFormat format_before = log_format();
+  std::vector<std::string> lines;
+  set_log_sink([&](std::string_view l) { lines.emplace_back(l); });
+
+  ::setenv("DEX_LOG_LEVEL", "loudest", 1);
+  EXPECT_EQ(init_log_level_from_env(), std::nullopt);
+  ::setenv("DEX_LOG_FORMAT", "xml", 1);
+  EXPECT_EQ(init_log_format_from_env(), std::nullopt);
+  ::unsetenv("DEX_LOG_LEVEL");
+  ::unsetenv("DEX_LOG_FORMAT");
+  set_log_sink(nullptr);
+
+  EXPECT_EQ(log_level(), level_before);
+  EXPECT_EQ(log_format(), format_before);
+  ASSERT_EQ(lines.size(), 2u);  // exactly one warning per bad value
+  EXPECT_NE(lines[0].find("DEX_LOG_LEVEL"), std::string::npos);
+  EXPECT_NE(lines[0].find("loudest"), std::string::npos);
+  EXPECT_NE(lines[1].find("DEX_LOG_FORMAT"), std::string::npos);
+}
+
+TEST(Logging, GoodEnvValuesApply) {
+  const LogLevel level_before = log_level();
+  const LogFormat format_before = log_format();
+  ::setenv("DEX_LOG_LEVEL", "ERROR", 1);
+  ::setenv("DEX_LOG_FORMAT", "json", 1);
+  EXPECT_EQ(init_log_level_from_env(), LogLevel::kError);
+  EXPECT_EQ(init_log_format_from_env(), LogFormat::kJson);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  EXPECT_EQ(log_format(), LogFormat::kJson);
+  ::unsetenv("DEX_LOG_LEVEL");
+  ::unsetenv("DEX_LOG_FORMAT");
+  set_log_level(level_before);
+  set_log_format(format_before);
+}
+
+TEST(Logging, ParseTraceLevelAliases) {
+  EXPECT_EQ(parse_trace_level("0"), 0);
+  EXPECT_EQ(parse_trace_level("on"), 1);
+  EXPECT_EQ(parse_trace_level("VERBOSE"), 2);
+  EXPECT_EQ(parse_trace_level("maybe"), std::nullopt);
+  EXPECT_EQ(parse_trace_level(nullptr), std::nullopt);
+}
+
+TEST(Logging, JsonLinesCarryCorrelationFields) {
+  const LogLevel level_before = log_level();
+  const LogFormat format_before = log_format();
+  set_log_level(LogLevel::kInfo);
+  set_log_format(LogFormat::kJson);
+  std::vector<std::string> lines;
+  set_log_sink([&](std::string_view l) { lines.emplace_back(l); });
+
+  DEX_LOG(kInfo, "unit") << "plain \"quoted\" message";
+  DEX_LOG_CTX(kInfo, "unit",
+              {.proc = 3, .instance = 7, .slot = 7, .path = "one_step",
+               .span = "p3/i7/t0/instance"})
+      << "correlated";
+
+  set_log_sink(nullptr);
+  set_log_format(format_before);
+  set_log_level(level_before);
+
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"msg\":\"plain \\\"quoted\\\" message\""),
+            std::string::npos);
+  EXPECT_EQ(lines[0].find("\"proc\""), std::string::npos);  // ctx-free line
+  EXPECT_NE(lines[1].find("\"proc\":3"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"instance_id\":7"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"slot\":7"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"path\":\"one_step\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"span_id\":\"p3/i7/t0/instance\""),
+            std::string::npos);
+  EXPECT_EQ(lines[1].back(), '\n');  // one framed object per line
+}
+
+TEST(Json, EscapeCoversControlsAndBackslash) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\\b\"c"), "a\\\\b\\\"c");
+  EXPECT_EQ(json_escape("n\nt\tr\r"), "n\\nt\\tr\\r");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(json_quote("x"), "\"x\"");
 }
 
 }  // namespace

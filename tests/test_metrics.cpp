@@ -215,6 +215,27 @@ TEST(Export, RoundTripFlattensIdentically) {
   EXPECT_DOUBLE_EQ(direct.at("lat_ms_count{process=\"p0\"}"), 3.0);
 }
 
+TEST(Export, HostileLabelValuesRoundTrip) {
+  // Label values may carry arbitrary bytes; the exporters must escape them
+  // so both text formats parse back to the same flat map.
+  MetricsRegistry reg;
+  reg.counter("evil_total", {{"v", "a\\b\"c\nd\te"}}).inc(1);
+  reg.counter("evil_total", {{"v", "trailing\\"}}).inc(2);
+  reg.gauge("evil_gauge", {{"v", "\"\"quoted\"\""}}).set(3.0);
+  const MetricsSnapshot snap = reg.snapshot();
+
+  const auto direct = flatten(snap);
+  EXPECT_EQ(direct, flatten_json(to_json(snap)));
+  EXPECT_EQ(direct, flatten_prometheus(to_prometheus(snap)));
+  EXPECT_EQ(direct.size(), 3u);
+
+  // The Prometheus text itself stays one-series-per-line: escaping leaves no
+  // raw newline or unescaped quote inside a label value.
+  const std::string prom = to_prometheus(snap);
+  EXPECT_NE(prom.find("a\\\\b\\\"c\\nd"), std::string::npos);
+  EXPECT_EQ(prom.find("c\nd"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // Integration: the registry and the trace recorder must agree on a seeded run.
 // ---------------------------------------------------------------------------

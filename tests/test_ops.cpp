@@ -1,0 +1,327 @@
+// Tests for the ops plane: HTTP parsing/rendering, AdminServer routing
+// (socket-free via handle()), a live loopback server exercised through the
+// shared http::fetch client, env-variable parsing, and the acceptance demo —
+// one decide event joined across the JSON log line, the "sim"/"decide" trace
+// instant and the dex_decide_latency_ms{path} metrics series.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "consensus/condition/input_gen.hpp"
+#include "consensus/decision.hpp"
+#include "harness/experiment.hpp"
+#include "metrics/export.hpp"
+#include "metrics/metrics.hpp"
+#include "ops/admin.hpp"
+#include "ops/http.hpp"
+#include "trace/trace.hpp"
+
+namespace dex::ops {
+namespace {
+
+using http::Request;
+using http::RequestParser;
+using http::Response;
+
+// ---------------------------------------------------------------- HTTP layer
+
+TEST(RequestParser, ParsesGetAcrossFeeds) {
+  RequestParser p;
+  EXPECT_EQ(p.feed("GET /metrics?x=1 HT"), RequestParser::State::kHeaders);
+  EXPECT_EQ(p.feed("TP/1.0\r\nHost: localhost\r\nX-Thing: v\r\n"),
+            RequestParser::State::kHeaders);
+  EXPECT_EQ(p.feed("\r\n"), RequestParser::State::kDone);
+  const Request& r = p.request();
+  EXPECT_EQ(r.method, "GET");
+  EXPECT_EQ(r.target, "/metrics?x=1");
+  EXPECT_EQ(r.path(), "/metrics");
+  EXPECT_EQ(r.version, "HTTP/1.0");
+  ASSERT_TRUE(r.headers.count("host"));       // keys lower-cased
+  ASSERT_TRUE(r.headers.count("x-thing"));
+  EXPECT_EQ(r.headers.at("host"), "localhost");
+}
+
+TEST(RequestParser, ParsesPutBodyByContentLength) {
+  RequestParser p;
+  const auto st =
+      p.feed("PUT /logs/level HTTP/1.1\r\nContent-Length: 5\r\n\r\ndebug");
+  ASSERT_EQ(st, RequestParser::State::kDone);
+  EXPECT_EQ(p.request().method, "PUT");
+  EXPECT_EQ(p.request().body, "debug");
+}
+
+TEST(RequestParser, MalformedRequestLineIs400) {
+  RequestParser p;
+  EXPECT_EQ(p.feed("NONSENSE\r\n\r\n"), RequestParser::State::kError);
+  EXPECT_EQ(p.error_status(), 400);
+}
+
+TEST(RequestParser, OversizeRequestIs413) {
+  RequestParser p(/*max_bytes=*/64);
+  const std::string big(256, 'a');
+  EXPECT_EQ(p.feed("GET /" + big + " HTTP/1.0\r\n"),
+            RequestParser::State::kError);
+  EXPECT_EQ(p.error_status(), 413);
+}
+
+TEST(HttpRender, CarriesStatusLengthAndClose) {
+  Response resp;
+  resp.status = 404;
+  resp.body = "nope";
+  const std::string wire = http::render(resp);
+  EXPECT_NE(wire.find("HTTP/1.0 404 Not Found\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 4\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_EQ(wire.substr(wire.size() - 4), "nope");
+}
+
+// ------------------------------------------------------------ env contracts
+
+TEST(AdminEnv, ParsePort) {
+  EXPECT_EQ(parse_admin_port("8080"), std::uint16_t{8080});
+  EXPECT_EQ(parse_admin_port("0"), std::uint16_t{0});
+  EXPECT_EQ(parse_admin_port("65535"), std::uint16_t{65535});
+  EXPECT_EQ(parse_admin_port("65536"), std::nullopt);
+  EXPECT_EQ(parse_admin_port(""), std::nullopt);
+  EXPECT_EQ(parse_admin_port("80x"), std::nullopt);
+  EXPECT_EQ(parse_admin_port("-1"), std::nullopt);
+}
+
+TEST(AdminEnv, BadDexAdminWarnsOnceAndIsIgnored) {
+  std::vector<std::string> lines;
+  set_log_sink([&](std::string_view l) { lines.emplace_back(l); });
+  ::setenv("DEX_ADMIN", "not-a-port", 1);
+  EXPECT_EQ(admin_port_from_env(), std::nullopt);
+  ::unsetenv("DEX_ADMIN");
+  set_log_sink(nullptr);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("DEX_ADMIN"), std::string::npos);
+  EXPECT_NE(lines[0].find("not-a-port"), std::string::npos);
+}
+
+// ------------------------------------------------- routing (no sockets)
+
+Request get(const std::string& target) {
+  Request r;
+  r.method = "GET";
+  r.target = target;
+  r.version = "HTTP/1.0";
+  return r;
+}
+
+TEST(AdminRouting, HealthVarsMetricsAndErrors) {
+  metrics::MetricsRegistry reg;
+  reg.counter("widget_total", {{"kind", "gear"}}).inc(3);
+  AdminConfig cfg;
+  cfg.registry = &reg;
+  AdminServer srv(cfg);  // never started: handle() works socket-free
+
+  EXPECT_EQ(srv.handle(get("/healthz")).status, 200);
+  EXPECT_EQ(srv.handle(get("/healthz")).body, "ok\n");
+
+  const Response metrics_resp = srv.handle(get("/metrics"));
+  EXPECT_EQ(metrics_resp.status, 200);
+  EXPECT_NE(metrics_resp.content_type.find("version=0.0.4"),
+            std::string::npos);
+  const auto flat = metrics::flatten_prometheus(metrics_resp.body);
+  EXPECT_EQ(flat.at("widget_total{kind=\"gear\"}"), 3.0);
+  EXPECT_EQ(flat.count("dex_build_info{rev=\"" + build_info().rev +
+                       "\",version=\"" + build_info().version + "\"}"),
+            1u);
+  EXPECT_TRUE(flat.count("dex_uptime_seconds"));
+
+  srv.set_var("answer", "42");
+  const Response vars = srv.handle(get("/vars"));
+  EXPECT_EQ(vars.status, 200);
+  EXPECT_NE(vars.body.find("\"build\""), std::string::npos);
+  EXPECT_NE(vars.body.find("\"uptime_seconds\""), std::string::npos);
+  EXPECT_NE(vars.body.find("\"answer\": 42"), std::string::npos);
+  srv.register_var("answer", [] { return std::string("43"); });
+  EXPECT_NE(srv.handle(get("/vars")).body.find("\"answer\": 43"),
+            std::string::npos);  // provider overrides the static var
+
+  EXPECT_EQ(srv.handle(get("/no/such")).status, 404);
+  Request post = get("/metrics");
+  post.method = "POST";
+  const Response not_allowed = srv.handle(post);
+  EXPECT_EQ(not_allowed.status, 405);
+  EXPECT_TRUE(not_allowed.extra_headers.count("Allow"));
+}
+
+TEST(AdminRouting, ReadyzFollowsCallback) {
+  bool ready = false;
+  AdminConfig cfg;
+  cfg.ready = [&] { return ready; };
+  AdminServer srv(cfg);
+  EXPECT_EQ(srv.handle(get("/readyz")).status, 503);
+  ready = true;
+  EXPECT_EQ(srv.handle(get("/readyz")).status, 200);
+}
+
+TEST(AdminRouting, LogLevelRoundTrip) {
+  const LogLevel before = log_level();
+  AdminServer srv(AdminConfig{});
+
+  Request put = get("/logs/level");
+  put.method = "PUT";
+  put.body = "debug\n";  // trailing whitespace tolerated
+  EXPECT_EQ(srv.handle(put).status, 200);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+
+  const Response now = srv.handle(get("/logs/level"));
+  EXPECT_EQ(now.status, 200);
+  EXPECT_NE(now.body.find("\"level\":\"DEBUG\""), std::string::npos);
+
+  put.body = "{\"level\": \"warn\"}";  // JSON body form
+  EXPECT_EQ(srv.handle(put).status, 200);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+
+  put.body = "loudest";
+  EXPECT_EQ(srv.handle(put).status, 400);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);  // unchanged on bad input
+
+  set_log_level(before);
+}
+
+// ------------------------------------------------------------- live server
+
+TEST(AdminServerLive, ServesOverLoopback) {
+  metrics::MetricsRegistry reg;
+  reg.counter("live_total").inc(7);
+  AdminConfig cfg;
+  cfg.registry = &reg;
+  AdminServer srv(cfg);
+  EXPECT_FALSE(srv.running());
+  srv.start();
+  ASSERT_TRUE(srv.running());
+  ASSERT_NE(srv.port(), 0);  // ephemeral port resolved
+
+  const auto health = http::fetch("127.0.0.1", srv.port(), "GET", "/healthz");
+  ASSERT_TRUE(health.has_value());
+  EXPECT_EQ(health->status, 200);
+  EXPECT_EQ(health->body, "ok\n");
+
+  const auto scrape = http::fetch("localhost", srv.port(), "GET", "/metrics");
+  ASSERT_TRUE(scrape.has_value());
+  ASSERT_TRUE(scrape->ok());
+  EXPECT_EQ(metrics::flatten_prometheus(scrape->body).at("live_total"), 7.0);
+
+  const auto missing = http::fetch("127.0.0.1", srv.port(), "GET", "/gone");
+  ASSERT_TRUE(missing.has_value());
+  EXPECT_EQ(missing->status, 404);
+
+  EXPECT_GE(srv.requests_served(), 3u);
+  srv.stop();
+  EXPECT_FALSE(srv.running());
+}
+
+TEST(AdminServerLive, ServesTraceSnapshots) {
+  trace::Tracer::global().reset();
+  trace::Tracer::global().set_level(trace::kOn);
+  trace::instant("sim", "decide", {.proc = 1, .a = 9});
+  trace::Tracer::global().set_level(trace::kOff);
+
+  AdminServer srv(AdminConfig{});
+  srv.start();
+  const auto jsonl =
+      http::fetch("127.0.0.1", srv.port(), "GET", "/trace/jsonl");
+  ASSERT_TRUE(jsonl.has_value());
+  ASSERT_TRUE(jsonl->ok());
+  EXPECT_NE(jsonl->body.find("\"decide\""), std::string::npos);
+  const auto chrome =
+      http::fetch("127.0.0.1", srv.port(), "GET", "/trace/chrome");
+  ASSERT_TRUE(chrome.has_value());
+  ASSERT_TRUE(chrome->ok());
+  EXPECT_NE(chrome->body.find("\"traceEvents\""), std::string::npos);
+  srv.stop();
+  trace::Tracer::global().reset();
+}
+
+// ------------------------------------- the three-surface correlation demo
+
+/// Runs one unanimous experiment with JSON logs, trace capture and a metrics
+/// registry, then joins a single decide across all three surfaces on the
+/// shared (proc, instance, path) identity.
+TEST(Correlation, DecideJoinsLogTraceAndMetrics) {
+  std::vector<std::string> lines;
+  const LogLevel level_before = log_level();
+  const LogFormat format_before = log_format();
+  set_log_level(LogLevel::kInfo);
+  set_log_format(LogFormat::kJson);
+  set_log_sink([&](std::string_view l) { lines.emplace_back(l); });
+
+  metrics::MetricsRegistry reg;
+  harness::ExperimentConfig cfg;
+  cfg.n = 13;
+  cfg.t = 2;
+  cfg.input = unanimous_input(cfg.n, 7);
+  cfg.seed = 11;
+  cfg.capture_trace = true;
+  cfg.metrics = &reg;
+  const auto result = harness::run_experiment(cfg);
+
+  set_log_sink(nullptr);
+  set_log_format(format_before);
+  set_log_level(level_before);
+  ASSERT_TRUE(result.all_decided());
+
+  // Surface 1: the JSON log line. Pick the first decide and read its
+  // correlation fields.
+  std::string decide_line;
+  for (const auto& l : lines) {
+    if (l.find("decided value=7") != std::string::npos) {
+      decide_line = l;
+      break;
+    }
+  }
+  ASSERT_FALSE(decide_line.empty()) << "no decide log line captured";
+  const auto extract_int = [&](const std::string& key) {
+    const auto pos = decide_line.find("\"" + key + "\":");
+    EXPECT_NE(pos, std::string::npos) << key << " missing: " << decide_line;
+    return std::atoll(decide_line.c_str() + pos + key.size() + 3);
+  };
+  const auto proc = static_cast<ProcessId>(extract_int("proc"));
+  const auto instance = static_cast<InstanceId>(extract_int("instance_id"));
+  const auto path_pos = decide_line.find("\"path\":\"");
+  ASSERT_NE(path_pos, std::string::npos);
+  const std::string path = decide_line.substr(
+      path_pos + 8, decide_line.find('"', path_pos + 8) - (path_pos + 8));
+  const std::string span_id = "p" + std::to_string(proc) + "/i" +
+                              std::to_string(instance) + "/t0/instance";
+  EXPECT_NE(decide_line.find("\"span_id\":\"" + span_id + "\""),
+            std::string::npos);
+  EXPECT_NE(decide_line.find("\"component\":\"sim\""), std::string::npos);
+
+  // Surface 2: the trace. The same process has a "sim"/"decide" instant with
+  // the same instance and path, and a "dex"/"instance" span the log line's
+  // span_id names.
+  bool trace_decide = false, trace_span = false;
+  for (const auto& e : result.trace_events) {
+    if (std::string_view(e.cat) == "sim" &&
+        std::string_view(e.name) == "decide" && e.proc == proc &&
+        e.instance == instance &&
+        decision_path_metric_label(static_cast<DecisionPath>(e.b)) == path) {
+      trace_decide = true;
+    }
+    if (std::string_view(e.cat) == "dex" &&
+        std::string_view(e.name) == "instance" && e.proc == proc &&
+        e.instance == instance && e.tag == 0) {
+      trace_span = true;
+    }
+  }
+  EXPECT_TRUE(trace_decide) << "no matching sim/decide trace instant";
+  EXPECT_TRUE(trace_span) << "span_id " << span_id << " names no trace span";
+
+  // Surface 3: the metrics series keyed by the same path label.
+  const auto flat = metrics::flatten(reg.snapshot());
+  const auto it =
+      flat.find("dex_decide_latency_ms_count{path=\"" + path + "\"}");
+  ASSERT_NE(it, flat.end());
+  EXPECT_GE(it->second, 1.0);
+}
+
+}  // namespace
+}  // namespace dex::ops

@@ -1,0 +1,150 @@
+#!/usr/bin/env bash
+# End-to-end check of the live ops plane: boots dexsim with --admin on an
+# ephemeral port, scrapes /metrics, /trace/jsonl, /vars and /logs/level
+# through dexctl, and proves the live surfaces consistent with the file
+# exports of the same run:
+#   - every series in --metrics-json appears in the live Prometheus scrape
+#     with the same value (live-only extras like dex_build_info and
+#     dex_uptime_seconds are allowed);
+#   - the live /trace/jsonl snapshot is byte-identical to --trace-jsonl, and
+#     --trace-check proved the causal invariants (I1-I4) on that same data;
+#   - PUT /logs/level round-trips.
+# Registered with ctest as `check_ops`.
+#
+# Exits 77 (ctest SKIP) when the binaries are not built or python3 is
+# unavailable.
+#
+# Usage: check_ops.sh /path/to/dexsim /path/to/dexctl
+set -euo pipefail
+
+DEXSIM="${1:?usage: check_ops.sh /path/to/dexsim /path/to/dexctl}"
+DEXCTL="${2:?usage: check_ops.sh /path/to/dexsim /path/to/dexctl}"
+
+if [[ ! -x "$DEXSIM" || ! -x "$DEXCTL" ]]; then
+  echo "check_ops: dexsim/dexctl not built; skipping"
+  exit 77
+fi
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "check_ops: python3 not available; skipping"
+  exit 77
+fi
+
+WORKDIR="$(mktemp -d)"
+SIM_PID=""
+cleanup() {
+  [[ -n "$SIM_PID" ]] && kill "$SIM_PID" 2>/dev/null || true
+  [[ -n "$SIM_PID" ]] && wait "$SIM_PID" 2>/dev/null || true
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+# One adversarial fixed-seed run; --admin-linger keeps the ops plane up after
+# the trial so the scrapes below race nothing.
+"$DEXSIM" --algo dex-freq --n 13 --t 2 --input margin --margin 5 \
+  --faults 2 --fault-kind equivocate --trials 1 --seed 7 \
+  --metrics-json "$WORKDIR/metrics.json" \
+  --trace-jsonl "$WORKDIR/trace.jsonl" --trace-check \
+  --admin 0 --admin-linger 120 \
+  >"$WORKDIR/stdout.txt" 2>"$WORKDIR/stderr.txt" &
+SIM_PID=$!
+
+# The ephemeral port is announced on stderr: "admin: listening on HOST:PORT".
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/.*admin: listening on [0-9.]*:\([0-9][0-9]*\).*/\1/p' \
+          "$WORKDIR/stderr.txt" | head -1)"
+  [[ -n "$PORT" ]] && break
+  kill -0 "$SIM_PID" 2>/dev/null ||
+    { echo "FAIL: dexsim exited before announcing the admin port"; cat "$WORKDIR/stderr.txt"; exit 1; }
+  sleep 0.1
+done
+[[ -n "$PORT" ]] || { echo "FAIL: no admin port announced"; exit 1; }
+ADDR="127.0.0.1:$PORT"
+
+"$DEXCTL" "$ADDR" health | grep -q ok ||
+  { echo "FAIL: /healthz not ok"; exit 1; }
+
+# /readyz flips once the trial finished and the file exports are written.
+READY=0
+for _ in $(seq 1 300); do
+  if "$DEXCTL" "$ADDR" ready >/dev/null 2>&1; then READY=1; break; fi
+  sleep 0.1
+done
+[[ "$READY" == 1 ]] || { echo "FAIL: /readyz never became ready"; exit 1; }
+
+grep -q "trace-check: OK" "$WORKDIR/stdout.txt" ||
+  { echo "FAIL: in-process trace-check did not pass"; exit 1; }
+
+"$DEXCTL" "$ADDR" metrics >"$WORKDIR/live_metrics.txt"
+"$DEXCTL" "$ADDR" trace   >"$WORKDIR/live_trace.jsonl"
+"$DEXCTL" "$ADDR" vars    >"$WORKDIR/vars.json"
+
+# The live flight-recorder snapshot is the exact data --trace-jsonl wrote
+# (and --trace-check just proved I1-I4 on it).
+cmp "$WORKDIR/live_trace.jsonl" "$WORKDIR/trace.jsonl" ||
+  { echo "FAIL: live /trace/jsonl differs from the --trace-jsonl export"; exit 1; }
+
+grep -q '"build"' "$WORKDIR/vars.json" &&
+  grep -q '"experiment"' "$WORKDIR/vars.json" ||
+  { echo "FAIL: /vars missing build/experiment"; exit 1; }
+
+# Runtime log-level retargeting round-trips.
+"$DEXCTL" "$ADDR" log-level debug >/dev/null
+"$DEXCTL" "$ADDR" log-level | grep -q '"level":"DEBUG"' ||
+  { echo "FAIL: PUT /logs/level did not round-trip"; exit 1; }
+
+# Every series of the file export must appear, equal, in the live scrape.
+python3 - "$WORKDIR/metrics.json" "$WORKDIR/live_metrics.txt" <<'PY'
+import json, sys
+
+QUANTILES = ["0.5", "0.9", "0.99"]
+
+def esc(v):
+    return v.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+def key(name, labels):
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{esc(labels[k])}"' for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "dex-metrics/v1", "bad metrics.json schema"
+file_flat = {}
+for m in doc["metrics"]:
+    name, labels = m["name"], m["labels"]
+    if m["type"] == "histogram":
+        file_flat[key(name + "_count", labels)] = float(m["count"])
+        file_flat[key(name + "_sum", labels)] = float(m["sum"])
+        if m["count"] > 0:
+            for q in QUANTILES:
+                file_flat[key(name, {**labels, "quantile": q})] = \
+                    float(m["quantiles"][q])
+    else:
+        file_flat[key(name, labels)] = float(m["value"])
+
+live_flat = {}
+with open(sys.argv[2]) as f:
+    for line in f:
+        line = line.rstrip("\n")
+        if not line or line.startswith("#"):
+            continue
+        k, v = line.rsplit(" ", 1)
+        live_flat[k] = float(v)
+
+missing = [k for k in file_flat if k not in live_flat]
+assert not missing, f"live scrape missing series: {missing[:5]}"
+diffs = [k for k, v in file_flat.items() if live_flat[k] != v]
+assert not diffs, \
+    f"live scrape disagrees on: {[(k, file_flat[k], live_flat[k]) for k in diffs[:5]]}"
+for extra in ("dex_build_info", "dex_uptime_seconds"):
+    assert any(k.startswith(extra) for k in live_flat), f"live scrape missing {extra}"
+print(f"metrics consistent: {len(file_flat)} series match the live scrape")
+PY
+
+kill "$SIM_PID"
+wait "$SIM_PID" 2>/dev/null || true
+SIM_PID=""
+
+echo "check_ops: OK"

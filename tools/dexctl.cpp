@@ -1,0 +1,87 @@
+// dexctl — tiny client for the embedded admin endpoint, so check scripts and
+// operators need no curl.
+//
+//   dexctl <host:port> metrics              # GET /metrics (Prometheus text)
+//   dexctl <host:port> vars                 # GET /vars (JSON)
+//   dexctl <host:port> health               # GET /healthz (exit 0 iff 200)
+//   dexctl <host:port> ready                # GET /readyz  (exit 0 iff 200)
+//   dexctl <host:port> trace                # GET /trace/jsonl
+//   dexctl <host:port> trace-chrome         # GET /trace/chrome
+//   dexctl <host:port> log-level            # GET /logs/level
+//   dexctl <host:port> log-level debug      # PUT /logs/level
+//
+// Exit codes: 0 success, 1 HTTP error status, 2 usage/connect failure.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "ops/http.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dexctl <host:port> "
+               "metrics|vars|health|ready|trace|trace-chrome|log-level [level]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string target = argv[1];
+  const std::string cmd = argv[2];
+
+  const std::size_t colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "dexctl: bad target '%s' (want host:port)\n",
+                 target.c_str());
+    return 2;
+  }
+  const std::string host = target.substr(0, colon);
+  const int port = std::atoi(target.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "dexctl: bad port in '%s'\n", target.c_str());
+    return 2;
+  }
+
+  std::string method = "GET";
+  std::string path;
+  std::string body;
+  if (cmd == "metrics") {
+    path = "/metrics";
+  } else if (cmd == "vars") {
+    path = "/vars";
+  } else if (cmd == "health") {
+    path = "/healthz";
+  } else if (cmd == "ready") {
+    path = "/readyz";
+  } else if (cmd == "trace") {
+    path = "/trace/jsonl";
+  } else if (cmd == "trace-chrome") {
+    path = "/trace/chrome";
+  } else if (cmd == "log-level") {
+    path = "/logs/level";
+    if (argc >= 4) {
+      method = "PUT";
+      body = argv[3];
+    }
+  } else {
+    return usage();
+  }
+
+  const auto result = dex::ops::http::fetch(
+      host, static_cast<std::uint16_t>(port), method, path, body);
+  if (!result.has_value()) {
+    std::fprintf(stderr, "dexctl: cannot reach %s\n", target.c_str());
+    return 2;
+  }
+  if (!result->ok()) {
+    std::fprintf(stderr, "dexctl: HTTP %d\n%s", result->status,
+                 result->body.c_str());
+    return 1;
+  }
+  std::fwrite(result->body.data(), 1, result->body.size(), stdout);
+  return 0;
+}

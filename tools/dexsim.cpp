@@ -8,10 +8,14 @@
 //            --faults 2 --fault-kind equivocate --trials 50 --seed 7
 //
 //   $ dexsim --algo bosco-weak --input unanimous --trials 100 --oracle-uc
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "common/cli.hpp"
 #include "common/logging.hpp"
@@ -21,6 +25,7 @@
 #include "harness/experiment.hpp"
 #include "metrics/export.hpp"
 #include "metrics/metrics.hpp"
+#include "ops/admin.hpp"
 #include "sim/delay_model.hpp"
 #include "trace/check.hpp"
 #include "trace/export.hpp"
@@ -85,8 +90,9 @@ std::shared_ptr<sim::DelayModel> make_delay(const std::string& model) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  dex::init_log_level_from_env();  // DEX_LOG_LEVEL=debug|info|warn|error
-  dex::trace::init_from_env();     // DEX_TRACE=off|on|verbose
+  dex::init_log_level_from_env();   // DEX_LOG_LEVEL=debug|info|warn|error
+  dex::init_log_format_from_env();  // DEX_LOG_FORMAT=text|json
+  dex::trace::init_from_env();      // DEX_TRACE=off|on|verbose
   Cli cli;
   cli.option("algo", "dex-freq | dex-prv | bosco-weak | bosco-strong | crash | underlying", "name")
       .option("n", "number of processes (default: algorithm minimum)", "int")
@@ -117,6 +123,12 @@ int main(int argc, char** argv) {
               "verify causal invariants on the first run's trace")
       .option("metrics", "dump the aggregated metrics (Prometheus text) to stderr")
       .option("metrics-json", "write the aggregated metrics as JSON", "path")
+      .option("admin",
+              "serve the ops plane on this loopback port (0 = ephemeral; "
+              "also DEX_ADMIN)", "port")
+      .option("admin-linger",
+              "keep serving the ops plane this many seconds after the trials "
+              "finish (default 0)", "sec")
       .option("help", "show this help");
   try {
     cli.parse(argc, argv);
@@ -149,9 +161,45 @@ int main(int argc, char** argv) {
     std::size_t safety_failures = 0, undecided_runs = 0;
     double packets = 0;
 
-    const std::string metrics_json = cli.str("metrics-json", "");
-    const bool want_metrics = cli.flag("metrics") || !metrics_json.empty();
     metrics::MetricsSnapshot aggregate;  // merged across trials
+    std::mutex aggregate_mu;  // the admin thread scrapes it mid-run
+    std::atomic<bool> trials_done{false};
+
+    // Ops plane: --admin wins over DEX_ADMIN; with neither, nothing is
+    // spawned or bound. The server scrapes the cross-trial aggregate (under
+    // its mutex) merged with a small local registry carrying build info.
+    std::optional<std::uint16_t> admin_port;
+    const std::string admin_arg = cli.str("admin", "");
+    if (!admin_arg.empty()) {
+      admin_port = ops::parse_admin_port(admin_arg);
+      if (!admin_port) throw CliError("bad --admin port '" + admin_arg + "'");
+    } else {
+      admin_port = ops::admin_port_from_env();
+    }
+    metrics::MetricsRegistry ops_registry;
+    std::unique_ptr<ops::AdminServer> admin;
+    if (admin_port.has_value()) {
+      ops::AdminConfig acfg;
+      acfg.port = *admin_port;
+      acfg.bind = ops::admin_bind_from_env();
+      const std::string bind = acfg.bind;
+      acfg.registry = &ops_registry;
+      acfg.snapshot = [&aggregate, &aggregate_mu] {
+        const std::scoped_lock lock(aggregate_mu);
+        return aggregate;
+      };
+      acfg.ready = [&trials_done] { return trials_done.load(); };
+      admin = std::make_unique<ops::AdminServer>(std::move(acfg));
+      admin->start();
+      // check_ops.sh parses this line to find an ephemeral port.
+      std::fprintf(stderr, "admin: listening on %s:%u\n", bind.c_str(),
+                   static_cast<unsigned>(admin->port()));
+      std::fflush(stderr);
+    }
+
+    const std::string metrics_json = cli.str("metrics-json", "");
+    const bool want_metrics = cli.flag("metrics") || !metrics_json.empty() ||
+                              admin != nullptr;
 
     // Bare --trace keeps the legacy first-run text dump; with a path it
     // captures the unified trace and writes Chrome trace-event JSON instead.
@@ -184,9 +232,13 @@ int main(int argc, char** argv) {
       if (trial == 0 && want_unified) cfg.capture_trace = true;
       metrics::MetricsRegistry registry;  // fresh per trial, merged below
       if (want_metrics) cfg.metrics = &registry;
+      cfg.admin = admin.get();
 
       const auto r = harness::run_experiment(cfg);
-      if (want_metrics) aggregate.merge(registry.snapshot());
+      if (want_metrics) {
+        const std::scoped_lock lock(aggregate_mu);
+        aggregate.merge(registry.snapshot());
+      }
       if (trial == 0 && want_legacy) {
         if (cli.flag("trace-csv")) {
           std::printf("%s", trace.to_csv().c_str());
@@ -272,6 +324,20 @@ int main(int argc, char** argv) {
       }
       if (cli.flag("metrics")) {
         std::fprintf(stderr, "%s", metrics::to_prometheus(aggregate).c_str());
+      }
+    }
+
+    // All file outputs are flushed; flip readiness and keep the ops plane up
+    // for scrapers (check_ops.sh compares the live surfaces against the
+    // files written above).
+    trials_done.store(true);
+    const auto linger = cli.unsigned_num("admin-linger", 0);
+    if (admin != nullptr && linger > 0) {
+      std::fflush(stdout);
+      const auto until = std::chrono::steady_clock::now() +
+                         std::chrono::seconds(linger);
+      while (std::chrono::steady_clock::now() < until) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
       }
     }
     return safety_failures == 0 && !trace_check_failed ? 0 : 1;
