@@ -127,6 +127,34 @@ void UcSaboteurStrategy::on_packet(ProcessId src, const Message& msg, Env& env) 
   }
 }
 
+void DelayedEquivocatorStrategy::on_packet(ProcessId src, const Message& msg,
+                                           Env& env) {
+  if (!woke_) {
+    if (++seen_ < wake_after_) return;
+    woke_ = true;
+    relay_ = std::make_unique<IdbEngine>(env.n(), env.t(), env.self(),
+                                         env.instance(), env.outbox());
+    // The late split: by now the correct processes have (mostly) filled their
+    // views, so these claims land in the two-step/fallback window instead of
+    // racing the one-step predicate.
+    for (std::size_t d = 0; d < env.n(); ++d) {
+      const auto dst = static_cast<ProcessId>(d);
+      const Value v = (d % 2 == 0) ? a_ : b_;
+      env.send(dst, plain_msg(env.instance(), chan::kDexProposalPlain, v));
+      env.send(dst, plain_msg(env.instance(), chan::kBoscoVote, v));
+      env.send(dst, plain_msg(env.instance(), chan::kCrashProp, v));
+      env.send(dst, idb_init_msg(env.instance(), chan::kDexProposalIdb,
+                                 env.self(), v));
+    }
+    return;
+  }
+  if (relay_ == nullptr) return;
+  if (msg.kind == MsgKind::kIdbInit || msg.kind == MsgKind::kIdbEcho) {
+    relay_->on_message(src, msg);
+    (void)relay_->take_deliveries();
+  }
+}
+
 void RandomNoiseStrategy::on_start(Value, Env& env) { spray(env); }
 
 void RandomNoiseStrategy::on_packet(ProcessId, const Message&, Env& env) {

@@ -95,6 +95,31 @@ class UcSaboteurStrategy final : public Strategy {
   std::unique_ptr<IdbEngine> relay_;
 };
 
+/// Plays dead through the first `wake_after` deliveries it observes, then
+/// equivocates on every proposal channel — the late adversary. By the time it
+/// speaks, correct processes have committed their views from n−1 senders, so
+/// its split lands on the two-step/fallback window rather than the one-step
+/// race the start-time equivocator attacks. Relays identical-broadcast
+/// traffic honestly after waking so it cannot be told from a correct-but-slow
+/// process at the transport level.
+class DelayedEquivocatorStrategy final : public Strategy {
+ public:
+  DelayedEquivocatorStrategy(Value a, Value b, std::size_t wake_after)
+      : a_(a), b_(b), wake_after_(wake_after) {}
+
+  void on_start(Value, Env&) override {}
+  void on_packet(ProcessId src, const Message& msg, Env& env) override;
+  [[nodiscard]] std::string name() const override { return "delayed-equivocator"; }
+
+ private:
+  Value a_;
+  Value b_;
+  std::size_t wake_after_;
+  std::size_t seen_ = 0;
+  bool woke_ = false;
+  std::unique_ptr<IdbEngine> relay_;
+};
+
 /// Sprays random well-formed messages on random channels. `budget` bounds the
 /// total number of packets so a noise-vs-noise loop cannot run away.
 class RandomNoiseStrategy final : public Strategy {

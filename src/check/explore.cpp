@@ -1,0 +1,353 @@
+#include "check/explore.hpp"
+
+#include <functional>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "harness/experiment.hpp"
+#include "trace/check.hpp"
+#include "trace/trace.hpp"
+
+namespace dex::check {
+
+namespace {
+
+/// A fallback that never speaks and never decides — an arbitrarily slow
+/// underlying consensus, which full asynchrony permits. The explorer's tiny
+/// worlds sit below the randomized UC's n > 5t bound, and a real fallback
+/// would square the schedule space; with the inert one, explorer scenarios
+/// must terminate via the fast path (the leaf termination oracle enforces
+/// exactly that).
+class InertUc final : public UnderlyingConsensus {
+ public:
+  void propose(Value) override {}
+  void on_plain(ProcessId, const Message&) override {}
+  void on_idb(const IdbDelivery&) override {}
+  [[nodiscard]] std::optional<Value> decision() const override {
+    return std::nullopt;
+  }
+  [[nodiscard]] std::uint32_t rounds_used() const override { return 0; }
+  [[nodiscard]] std::uint32_t logical_steps() const override { return 0; }
+  [[nodiscard]] bool halted() const override { return true; }
+  [[nodiscard]] std::string name() const override { return "inert"; }
+};
+
+std::uint64_t fold(std::uint64_t h, std::uint64_t v) { return mix64(h ^ v); }
+
+std::uint64_t hash_message(ProcessId src, ProcessId dst, const Message& m) {
+  std::uint64_t h = 0xc0ffee;
+  h = fold(h, static_cast<std::uint64_t>(src) + 1);
+  h = fold(h, static_cast<std::uint64_t>(dst) + 1);
+  h = fold(h, static_cast<std::uint64_t>(m.kind));
+  h = fold(h, m.instance);
+  h = fold(h, m.tag);
+  h = fold(h, static_cast<std::uint64_t>(m.origin) + 7);
+  for (const std::byte b : m.payload) {
+    h = fold(h, static_cast<std::uint64_t>(b));
+  }
+  return h;
+}
+
+struct Packet {
+  ProcessId src;
+  ProcessId dst;
+  Message msg;
+};
+
+/// One concrete world, rebuilt per DFS node by replaying a choice prefix.
+/// Emits the same "sim"/"deliver" and "sim"/"decide" trace instants as the
+/// simulator so trace::check_causal_invariants applies unchanged.
+class World {
+ public:
+  explicit World(const ExploreOptions& opt) : opt_(opt) {
+    trace::Tracer::global().reset();
+    trace::Tracer::global().set_virtual_now(0);
+    procs_.resize(opt.n);
+    decide_emitted_.assign(opt.n, false);
+    dst_hash_.assign(opt.n, 0x5eedULL);
+    for (std::size_t i = 0; i < opt.n; ++i) {
+      if (silent(static_cast<ProcessId>(i))) continue;
+      StackConfig sc;
+      sc.n = opt.n;
+      sc.t = opt.t;
+      sc.self = static_cast<ProcessId>(i);
+      sc.instance = 0;
+      sc.debug_quorum_skew = opt.debug_quorum_skew;
+      procs_[i] = make_stack(opt.algorithm, sc, /*privileged=*/0,
+                             [](const StackConfig&, IdbEngine*, Outbox*) {
+                               return std::make_unique<InertUc>();
+                             });
+    }
+    for (std::size_t i = 0; i < opt.n; ++i) {
+      if (procs_[i] == nullptr) continue;
+      procs_[i]->propose(opt.input[i]);
+      pump(static_cast<ProcessId>(i));
+      note_decide(static_cast<ProcessId>(i));
+    }
+  }
+
+  [[nodiscard]] bool silent(ProcessId p) const {
+    return static_cast<std::size_t>(p) >= opt_.n - opt_.silent;
+  }
+
+  /// Deliverable pending indices after the reorder-window bound and the
+  /// identical-packet symmetry reduction.
+  [[nodiscard]] std::vector<std::size_t> choices() const {
+    std::vector<std::size_t> out;
+    std::set<std::uint64_t> seen;
+    std::vector<std::size_t> queued_ahead(opt_.n, 0);
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      const Packet& p = pending_[i];
+      const std::size_t pos = queued_ahead[static_cast<std::size_t>(p.dst)]++;
+      if (opt_.reorder_window > 0 && pos >= opt_.reorder_window) continue;
+      if (seen.insert(hash_message(p.src, p.dst, p.msg)).second) {
+        out.push_back(i);
+      }
+    }
+    return out;
+  }
+
+  void deliver_pending(std::size_t idx) {
+    DEX_ENSURE(idx < pending_.size());
+    Packet p = std::move(pending_[idx]);
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(idx));
+    deliver_now(p.src, p.dst, p.msg);
+    pump(p.dst);
+  }
+
+  /// Global state key: the per-destination delivered-sequence hashes. Each
+  /// stack is a deterministic function of its delivery sequence, and the
+  /// pending set is determined by the union of all histories, so equal keys
+  /// mean an identical world.
+  [[nodiscard]] std::uint64_t state_key() const {
+    std::uint64_t h = 0xd3c5ULL;
+    for (std::size_t i = 0; i < dst_hash_.size(); ++i) {
+      h = fold(h, fold(dst_hash_[i], i));
+    }
+    return h;
+  }
+
+  [[nodiscard]] bool complete() const { return pending_.empty(); }
+
+  [[nodiscard]] const std::vector<std::unique_ptr<ConsensusProcess>>& procs()
+      const {
+    return procs_;
+  }
+
+ private:
+  void pump(ProcessId i) {
+    auto& proc = procs_[static_cast<std::size_t>(i)];
+    if (proc == nullptr) return;
+    for (;;) {
+      auto out = proc->drain_outbox();
+      if (out.empty()) return;
+      for (auto& o : out) {
+        if (o.dst == kBroadcastDst) {
+          for (std::size_t d = 0; d < opt_.n; ++d) {
+            route(i, static_cast<ProcessId>(d), o.msg);
+          }
+        } else {
+          route(i, o.dst, std::move(o.msg));
+        }
+      }
+    }
+  }
+
+  void route(ProcessId src, ProcessId dst, Message msg) {
+    if (dst == src) {
+      // Self deliveries are instantaneous in the simulator's model too; they
+      // are not a scheduling choice.
+      deliver_now(src, dst, msg);
+      return;
+    }
+    if (silent(dst)) return;  // nobody home; drop
+    pending_.push_back(Packet{src, dst, std::move(msg)});
+  }
+
+  void deliver_now(ProcessId src, ProcessId dst, const Message& msg) {
+    ++vtime_;
+    trace::Tracer::global().set_virtual_now(vtime_);
+    if (trace::on()) {
+      trace::instant_at(vtime_, "sim", "deliver",
+                        {.proc = dst,
+                         .peer = src,
+                         .instance = msg.instance,
+                         .tag = msg.tag,
+                         .a = static_cast<std::int64_t>(msg.kind),
+                         .b = static_cast<std::int64_t>(msg.payload.size()),
+                         .c = msg.origin});
+    }
+    auto& h = dst_hash_[static_cast<std::size_t>(dst)];
+    h = fold(h, hash_message(src, dst, msg));
+    auto& proc = procs_[static_cast<std::size_t>(dst)];
+    proc->on_packet(src, msg);
+    proc->poll();
+    note_decide(dst);
+  }
+
+  void note_decide(ProcessId i) {
+    auto& proc = procs_[static_cast<std::size_t>(i)];
+    if (decide_emitted_[static_cast<std::size_t>(i)]) return;
+    const auto& d = proc->decision();
+    if (!d.has_value()) return;
+    decide_emitted_[static_cast<std::size_t>(i)] = true;
+    if (trace::on()) {
+      trace::instant_at(vtime_, "sim", "decide",
+                        {.proc = i,
+                         .instance = proc->instance(),
+                         .a = d->value,
+                         .b = static_cast<std::int64_t>(d->path),
+                         .c = static_cast<std::int64_t>(d->uc_rounds)});
+    }
+  }
+
+  const ExploreOptions& opt_;
+  std::vector<std::unique_ptr<ConsensusProcess>> procs_;
+  std::vector<Packet> pending_;
+  std::vector<std::uint64_t> dst_hash_;
+  std::vector<bool> decide_emitted_;
+  std::uint64_t vtime_ = 0;
+};
+
+std::string schedule_string(const std::vector<std::size_t>& prefix) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    if (i > 0) os << ",";
+    os << prefix[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+/// Leaf oracles: termination (only for unanimous inputs — there the fast
+/// path must decide despite the inert fallback), agreement, unanimity and
+/// the I1–I4 causal invariants over the schedule's trace.
+std::vector<std::string> judge_leaf(const World& w, const ExploreOptions& opt) {
+  std::vector<std::string> failures;
+  std::optional<Value> common;
+  std::optional<Value> unanimous;
+  bool mixed_input = false;
+  for (std::size_t i = 0; i < opt.n - opt.silent; ++i) {
+    if (unanimous.has_value() && *unanimous != opt.input[i]) mixed_input = true;
+    unanimous = opt.input[i];
+  }
+  for (std::size_t i = 0; i < opt.n; ++i) {
+    const auto& proc = w.procs()[i];
+    if (proc == nullptr) continue;
+    const auto& d = proc->decision();
+    if (!d.has_value()) {
+      // With a contested input the fast path may legitimately defer to the
+      // fallback — which is inert here — so termination is only owed when the
+      // correct processes propose unanimously (the fast path must then fire).
+      if (!mixed_input) {
+        failures.push_back("termination: p" + std::to_string(i) +
+                           " undecided at schedule end");
+      }
+      continue;
+    }
+    if (common.has_value() && *common != d->value) {
+      failures.push_back("agreement: p" + std::to_string(i) + " decided " +
+                         std::to_string(d->value) + " != " +
+                         std::to_string(*common));
+    }
+    common = d->value;
+    if (!mixed_input && unanimous.has_value() && d->value != *unanimous) {
+      failures.push_back("unanimity: p" + std::to_string(i) + " decided " +
+                         std::to_string(d->value) + " but all correct proposed " +
+                         std::to_string(*unanimous));
+    }
+  }
+  const auto inv = trace::check_causal_invariants(
+      trace::Tracer::global().snapshot(), {.n = opt.n, .t = opt.t});
+  for (const auto& violation : inv.violations) {
+    failures.push_back("invariant: " + violation);
+  }
+  return failures;
+}
+
+}  // namespace
+
+ExploreReport explore(const ExploreOptions& opt) {
+  ExploreReport report;
+  DEX_ENSURE_MSG(opt.input.size() == opt.n, "explore: input size != n");
+  DEX_ENSURE_MSG(opt.silent <= opt.t, "explore: silent faults exceed t");
+  DEX_ENSURE_MSG(opt.algorithm != Algorithm::kUnderlyingOnly,
+                 "explore: underlying-only has no fast path to explore");
+  // With the inert fallback the crash baseline needs only its own n > 3t plus
+  // the identical-broadcast n > 4t (the stack always embeds an IDB engine);
+  // every other algorithm's own bound already dominates. The smallest world
+  // is therefore n = 4t+1 = 5 at t = 1 — n = 4 is structurally excluded.
+  const std::size_t structural_min =
+      opt.algorithm == Algorithm::kCrashOneStep
+          ? 4 * opt.t + 1
+          : algorithm_min_n(opt.algorithm, opt.t);
+  DEX_ENSURE_MSG(opt.n >= structural_min,
+                 "explore: n below the world's structural minimum");
+
+  metrics::Counter* m_states = nullptr;
+  metrics::Counter* m_schedules = nullptr;
+  if (opt.metrics != nullptr) {
+    m_states = &opt.metrics->counter("check_states_explored");
+    m_schedules = &opt.metrics->counter("check_schedules_total");
+  }
+
+  // The checker needs deliver/decide instants; raise the tracer for the
+  // sweep, switch it to the virtual clock, restore everything afterwards.
+  auto& tracer = trace::Tracer::global();
+  const int prev_level = tracer.level();
+  const auto prev_clock = tracer.clock();
+  if (prev_level < trace::kOn) tracer.set_level(trace::kOn);
+  tracer.set_clock(trace::Tracer::Clock::kVirtual);
+
+  std::set<std::uint64_t> seen;
+  std::vector<std::size_t> prefix;
+
+  std::function<void()> dfs = [&] {
+    if (report.states >= opt.max_states) {
+      report.truncated = true;
+      return;
+    }
+    World w(opt);
+    for (const std::size_t idx : prefix) w.deliver_pending(idx);
+    ++report.states;
+    metrics::inc(m_states);
+    if (!seen.insert(w.state_key()).second) {
+      ++report.deduped;
+      return;
+    }
+    const auto cs = w.choices();
+    if (cs.empty()) {
+      ++report.schedules;
+      metrics::inc(m_schedules);
+      const auto failures = judge_leaf(w, opt);
+      if (!failures.empty()) {
+        report.ok = false;
+        ++report.violating_schedules;
+        if (report.violations.size() < opt.max_violations) {
+          for (const auto& f : failures) {
+            report.violations.push_back("schedule " + schedule_string(prefix) +
+                                        ": " + f);
+          }
+        }
+      }
+      return;
+    }
+    for (const std::size_t c : cs) {
+      prefix.push_back(c);
+      dfs();
+      prefix.pop_back();
+      if (report.truncated) return;
+    }
+  };
+  dfs();
+
+  tracer.reset();
+  tracer.set_clock(prev_clock);
+  tracer.set_level(prev_level);
+  return report;
+}
+
+}  // namespace dex::check

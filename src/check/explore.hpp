@@ -1,0 +1,74 @@
+// Bounded exhaustive explorer for tiny worlds.
+//
+// Where the fuzzer samples delivery schedules, the explorer enumerates them:
+// it drives the protocol stacks directly (no delay model — delivery order IS
+// the search dimension) and walks every asynchronous interleaving of message
+// deliveries with depth-first search, applying the same oracles as the
+// fuzzer at every complete schedule.
+//
+// Soundness of the reductions:
+//   - State hashing: a stack is a deterministic function of its delivery
+//     history, so the vector of per-destination delivered-sequence hashes
+//     identifies the global state (including the derived pending set). A
+//     revisited key proves the subtree was already walked from an identical
+//     state.
+//   - Symmetry: two pending packets with identical (src, dst, envelope) are
+//     interchangeable; delivering either yields the same successor, so only
+//     one is branched on per node.
+//   - reorder_window > 0 additionally restricts each destination to the
+//     oldest `window` packets queued for it — a bounded-reordering network.
+//     This is a true bound (schedules outside it are not explored); window 0
+//     means full asynchrony.
+//
+// Worlds are rebuilt by replaying the choice prefix for every node — engines
+// have no snapshot/rollback, and at n <= 7 replay is cheaper than adding one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "consensus/factory.hpp"
+#include "consensus/view.hpp"
+#include "metrics/metrics.hpp"
+
+namespace dex::check {
+
+struct ExploreOptions {
+  Algorithm algorithm = Algorithm::kCrashOneStep;
+  std::size_t n = 4;
+  std::size_t t = 1;
+  /// Input vector (size n); entries of silent processes are ignored.
+  InputVector input;
+  /// The highest `silent` ids never start and never send — the canonical
+  /// f = t crash fault for the exhaustive sweep.
+  std::size_t silent = 1;
+  /// Node budget; the sweep reports truncated=true when it is exhausted.
+  std::uint64_t max_states = 200'000;
+  /// Per-destination reordering bound (0 = full asynchrony).
+  std::size_t reorder_window = 0;
+  /// Planted-bug switch (catch-the-bug tests).
+  std::size_t debug_quorum_skew = 0;
+  /// Keep at most this many violation reports (each includes the schedule).
+  std::size_t max_violations = 5;
+  /// Optional sink for check_states_explored / check_schedules_total.
+  metrics::MetricsRegistry* metrics = nullptr;
+};
+
+struct ExploreReport {
+  std::uint64_t states = 0;     // DFS nodes visited (after dedup check)
+  std::uint64_t deduped = 0;    // nodes pruned by the state hash
+  std::uint64_t schedules = 0;  // complete delivery schedules (leaves)
+  bool truncated = false;       // max_states exhausted
+  bool ok = true;
+  std::uint64_t violating_schedules = 0;
+  /// First max_violations reports, each with the choice prefix that
+  /// reproduces the schedule.
+  std::vector<std::string> violations;
+};
+
+/// Enumerates all delivery schedules under the options' bounds. Uses the
+/// process-global tracer — do not call concurrently.
+ExploreReport explore(const ExploreOptions& opt);
+
+}  // namespace dex::check

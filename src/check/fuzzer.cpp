@@ -1,0 +1,261 @@
+#include "check/fuzzer.hpp"
+
+#include <set>
+
+namespace dex::check {
+
+namespace {
+
+/// One shrink candidate: returns the reduced genome, or nullopt when it does
+/// not apply (already minimal in that dimension). Ordered most-drastic first
+/// so the big reductions are tried before the fine-grained ones.
+using Reduction = std::optional<Genome> (*)(const Genome&);
+
+std::optional<Genome> drop_link_faults(const Genome& g) {
+  if (g.drop == 0 && g.duplicate == 0 && g.reorder == 0 && g.corrupt == 0) {
+    return std::nullopt;
+  }
+  Genome out = g;
+  out.drop = out.duplicate = out.reorder = out.corrupt = 0;
+  return out;
+}
+
+std::optional<Genome> drop_partition(const Genome& g) {
+  if (!g.has_partition) return std::nullopt;
+  Genome out = g;
+  out.has_partition = false;
+  return out;
+}
+
+std::optional<Genome> drop_crash(const Genome& g) {
+  if (!g.has_crash) return std::nullopt;
+  Genome out = g;
+  out.has_crash = false;
+  return out;
+}
+
+std::optional<Genome> drop_byz(const Genome& g) {
+  if (g.fault_count == 0) return std::nullopt;
+  Genome out = g;
+  out.fault_count = 0;
+  return out;
+}
+
+std::optional<Genome> halve_byz(const Genome& g) {
+  if (g.fault_count < 2) return std::nullopt;
+  Genome out = g;
+  out.fault_count /= 2;
+  return out;
+}
+
+std::optional<Genome> simplify_fault_kind(const Genome& g) {
+  if (g.fault_count == 0 || g.fault_kind == harness::FaultKind::kSilent) {
+    return std::nullopt;
+  }
+  Genome out = g;
+  out.fault_kind = harness::FaultKind::kSilent;
+  return out;
+}
+
+std::optional<Genome> simplify_input(const Genome& g) {
+  if (g.input_shape == "unanimous") return std::nullopt;
+  Genome out = g;
+  out.input_shape = "unanimous";
+  return out;
+}
+
+std::optional<Genome> simplify_delay(const Genome& g) {
+  if (g.delay == "constant") return std::nullopt;
+  Genome out = g;
+  out.delay = "constant";
+  return out;
+}
+
+std::optional<Genome> drop_jitter(const Genome& g) {
+  if (g.jitter_ms == 0) return std::nullopt;
+  Genome out = g;
+  out.jitter_ms = 0;
+  return out;
+}
+
+std::optional<Genome> drop_batch(const Genome& g) {
+  if (!g.batch) return std::nullopt;
+  Genome out = g;
+  out.batch = false;
+  return out;
+}
+
+std::optional<Genome> drop_oracle_uc(const Genome& g) {
+  if (!g.oracle_uc) return std::nullopt;
+  Genome out = g;
+  out.oracle_uc = false;
+  return out;
+}
+
+std::optional<Genome> lower_t(const Genome& g) {
+  if (g.t <= 1 || g.fault_count > g.t - 1) return std::nullopt;
+  Genome out = g;
+  out.t -= 1;
+  return out;
+}
+
+std::optional<Genome> min_n(const Genome& g) {
+  const std::size_t floor_n = algorithm_min_n(g.algorithm, g.t);
+  if (g.n <= floor_n) return std::nullopt;
+  Genome out = g;
+  out.n = floor_n;
+  return out;
+}
+
+std::optional<Genome> dec_n(const Genome& g) {
+  if (g.n <= algorithm_min_n(g.algorithm, g.t)) return std::nullopt;
+  Genome out = g;
+  out.n -= 1;
+  return out;
+}
+
+std::optional<Genome> drop_placement(const Genome& g) {
+  if (!g.random_placement) return std::nullopt;
+  Genome out = g;
+  out.random_placement = false;
+  return out;
+}
+
+constexpr Reduction kReductions[] = {
+    drop_link_faults, drop_partition,  drop_crash,     drop_byz,
+    halve_byz,        simplify_fault_kind, simplify_input, simplify_delay,
+    drop_jitter,      drop_batch,      drop_oracle_uc, drop_placement,
+    lower_t,          min_n,           dec_n,
+};
+
+std::string progress_var(std::size_t done, std::size_t total,
+                         std::size_t failures, std::size_t corpus,
+                         std::size_t signatures, const char* status) {
+  std::string out = "{\"campaigns\":" + std::to_string(done);
+  out.append(",\"total\":").append(std::to_string(total));
+  out.append(",\"failures\":").append(std::to_string(failures));
+  out.append(",\"corpus\":").append(std::to_string(corpus));
+  out.append(",\"signatures\":").append(std::to_string(signatures));
+  out.append(",\"status\":\"").append(status).append("\"}");
+  return out;
+}
+
+}  // namespace
+
+Genome shrink_genome(const Genome& failing, std::size_t budget,
+                     std::size_t* runs_used) {
+  Genome best = failing;
+  std::size_t runs = 0;
+  bool progressed = true;
+  // Greedy fixpoint: sweep the reduction list until a full pass changes
+  // nothing (or the budget runs out). Accept any candidate that still fails —
+  // the shrunk genome may fail differently, which is fine: smaller is the
+  // goal, the oracle re-derives the report.
+  while (progressed && runs < budget) {
+    progressed = false;
+    for (const Reduction reduce : kReductions) {
+      if (runs >= budget) break;
+      auto candidate = reduce(best);
+      if (!candidate.has_value()) continue;
+      candidate->normalize();
+      ++runs;
+      if (!run_genome(*candidate).ok) {
+        best = *candidate;
+        progressed = true;
+      }
+    }
+  }
+  if (runs_used != nullptr) *runs_used += runs;
+  return best;
+}
+
+FuzzReport run_fuzz(const FuzzOptions& opt) {
+  FuzzReport report;
+  Rng rng(mix64(opt.seed ^ 0xf022e12dULL));
+
+  metrics::Counter* m_campaigns = nullptr;
+  metrics::Counter* m_runs = nullptr;
+  metrics::Counter* m_failures = nullptr;
+  metrics::Gauge* m_corpus = nullptr;
+  metrics::Gauge* m_signatures = nullptr;
+  if (opt.metrics != nullptr) {
+    m_campaigns = &opt.metrics->counter("check_campaigns_total");
+    m_runs = &opt.metrics->counter("check_runs_total");
+    m_failures = &opt.metrics->counter("check_failures_total");
+    m_corpus = &opt.metrics->gauge("check_corpus_size");
+    m_signatures = &opt.metrics->gauge("check_signatures");
+  }
+
+  std::vector<Genome> corpus;
+  std::set<std::uint64_t> signatures;
+
+  for (std::size_t c = 0; c < opt.campaigns; ++c) {
+    Genome g;
+    if (!corpus.empty() && rng.next_bool(opt.mutate_bias)) {
+      g = corpus[rng.next_below(corpus.size())];
+      g.mutate(rng);
+    } else {
+      g = Genome::sample(rng);
+    }
+    // Every campaign gets a unique deterministic seed; the sampling stream
+    // and the run seed stay independent so shrinking never shifts sampling.
+    g.seed = mix64(opt.seed ^ (0x5eedULL + c));
+    g.debug_quorum_skew = opt.debug_quorum_skew;
+    g.normalize();
+
+    const RunVerdict verdict = run_genome(g);
+    ++report.campaigns;
+    ++report.runs;
+    metrics::inc(m_campaigns);
+    metrics::inc(m_runs);
+
+    if (signatures.insert(verdict.coverage).second) {
+      corpus.push_back(g);
+      if (corpus.size() > opt.corpus_cap) {
+        // Evict a random member; the signature set still remembers the
+        // behaviour, so re-finding it does not re-add a duplicate.
+        corpus[rng.next_below(corpus.size())] = corpus.back();
+        corpus.pop_back();
+      }
+    }
+
+    if (!verdict.ok) {
+      ++report.failures;
+      metrics::inc(m_failures);
+      if (opt.on_failure) opt.on_failure(g, verdict);
+      FuzzFailure f;
+      f.genome = g;
+      f.failures = verdict.failures;
+      f.campaign = c;
+      f.shrunk = opt.shrink_budget > 0
+                     ? shrink_genome(g, opt.shrink_budget, &f.shrink_runs)
+                     : g;
+      f.shrunk_failures = run_genome(f.shrunk).failures;
+      ++f.shrink_runs;
+      report.runs += f.shrink_runs;
+      metrics::inc(m_runs, f.shrink_runs);
+      report.failing.push_back(std::move(f));
+    }
+
+    if (m_corpus != nullptr) m_corpus->set(static_cast<double>(corpus.size()));
+    if (m_signatures != nullptr) {
+      m_signatures->set(static_cast<double>(signatures.size()));
+    }
+    if (opt.admin != nullptr && (c % 25 == 0 || c + 1 == opt.campaigns)) {
+      opt.admin->set_var("check", progress_var(c + 1, opt.campaigns,
+                                               report.failures, corpus.size(),
+                                               signatures.size(), "running"));
+    }
+  }
+
+  report.signatures = signatures.size();
+  report.corpus = corpus.size();
+  if (opt.admin != nullptr) {
+    opt.admin->set_var("check", progress_var(report.campaigns, opt.campaigns,
+                                             report.failures, report.corpus,
+                                             report.signatures, "done"));
+  }
+  return report;
+}
+
+}  // namespace dex::check

@@ -1,0 +1,74 @@
+// Coverage-guided scenario fuzzer.
+//
+// Campaign loop (AFL in miniature, over scenario genomes instead of byte
+// buffers): sample a fresh genome or mutate a corpus member, run it through
+// the oracle, and keep genomes whose coverage signature is new. A failing
+// genome is shrunk field-by-field (greedy passes, re-running after every
+// candidate reduction) to a minimal reproducer that still fails.
+//
+// Everything is deterministic in FuzzOptions::seed: the same options always
+// produce the same campaigns, the same failures and the same shrunk genomes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "check/genome.hpp"
+#include "check/oracle.hpp"
+#include "metrics/metrics.hpp"
+#include "ops/admin.hpp"
+
+namespace dex::check {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  std::size_t campaigns = 1000;
+  /// Probability of mutating a corpus member instead of sampling fresh
+  /// (applies once the corpus is non-empty).
+  double mutate_bias = 0.5;
+  std::size_t corpus_cap = 256;
+  /// Max oracle runs each shrink may spend (0 disables shrinking).
+  std::size_t shrink_budget = 150;
+  /// Planted-bug switch copied into every campaign genome (catch-the-bug
+  /// tests and dexcheck --inject-bug).
+  std::size_t debug_quorum_skew = 0;
+  /// Optional sinks (not owned; must outlive the call).
+  metrics::MetricsRegistry* metrics = nullptr;
+  ops::AdminServer* admin = nullptr;
+  /// Called for every failing campaign as it is found (before shrinking).
+  std::function<void(const Genome&, const RunVerdict&)> on_failure;
+};
+
+struct FuzzFailure {
+  Genome genome;   // as found by the campaign
+  Genome shrunk;   // minimized, still failing
+  std::vector<std::string> failures;  // oracle report of the original
+  std::vector<std::string> shrunk_failures;
+  std::size_t campaign = 0;
+  std::size_t shrink_runs = 0;
+};
+
+struct FuzzReport {
+  std::size_t campaigns = 0;
+  std::size_t runs = 0;        // campaigns + shrink re-runs
+  std::size_t failures = 0;
+  std::size_t signatures = 0;  // distinct coverage signatures observed
+  std::size_t corpus = 0;      // corpus size at exit
+  std::vector<FuzzFailure> failing;
+
+  [[nodiscard]] bool ok() const { return failures == 0; }
+};
+
+/// Runs the campaign loop. Uses the process-global tracer (via run_genome) —
+/// do not call concurrently.
+FuzzReport run_fuzz(const FuzzOptions& opt);
+
+/// Greedy genome minimization: tries field-reduction candidates (zero the
+/// fault knobs, drop windows, shrink n toward the algorithm minimum, simplify
+/// input/delay, ...) and keeps each one that still fails. `runs_used` counts
+/// oracle invocations. Exposed for tests.
+Genome shrink_genome(const Genome& failing, std::size_t budget,
+                     std::size_t* runs_used);
+
+}  // namespace dex::check

@@ -1,0 +1,375 @@
+#include "check/genome.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/json.hpp"
+#include "consensus/condition/input_gen.hpp"
+#include "sim/delay_model.hpp"
+
+namespace dex::check {
+
+namespace {
+
+constexpr std::array<Algorithm, 6> kAlgorithms = {
+    Algorithm::kDexFreq,      Algorithm::kDexPrv,       Algorithm::kBoscoWeak,
+    Algorithm::kBoscoStrong,  Algorithm::kCrashOneStep, Algorithm::kUnderlyingOnly};
+
+constexpr std::array<const char*, 6> kShapes = {
+    "unanimous", "margin", "privileged", "split", "random", "skewed"};
+
+constexpr std::array<const char*, 6> kDelays = {
+    "constant", "uniform", "exponential", "heavytail", "skewed", "gst"};
+
+constexpr std::array<harness::FaultKind, 7> kFaultKinds = {
+    harness::FaultKind::kSilent,     harness::FaultKind::kCrashMid,
+    harness::FaultKind::kEquivocate, harness::FaultKind::kFixedValue,
+    harness::FaultKind::kNoise,      harness::FaultKind::kUcSaboteur,
+    harness::FaultKind::kDelayedEquivocate};
+
+template <typename T, std::size_t N>
+bool contains(const std::array<T, N>& xs, const T& x) {
+  return std::find(xs.begin(), xs.end(), x) != xs.end();
+}
+
+bool contains_str(const std::array<const char*, 6>& xs, const std::string& x) {
+  for (const char* s : xs) {
+    if (x == s) return true;
+  }
+  return false;
+}
+
+double clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+void append_kv(std::string& out, const char* key, const std::string& val,
+               bool quoted, bool first = false) {
+  if (!first) out.push_back(',');
+  out.append("\"").append(key).append("\":");
+  if (quoted) {
+    out.append(json_quote(val));
+  } else {
+    out.append(val);
+  }
+}
+
+std::string fmt(double x) {
+  std::ostringstream os;
+  os << x;
+  return os.str();
+}
+
+}  // namespace
+
+std::optional<Algorithm> parse_algorithm(const std::string& name) {
+  if (name == "crash") return Algorithm::kCrashOneStep;  // CLI shorthand
+  for (const Algorithm a : kAlgorithms) {
+    if (name == algorithm_name(a)) return a;
+  }
+  return std::nullopt;
+}
+
+void Genome::normalize() {
+  if (!contains(kAlgorithms, algorithm)) algorithm = Algorithm::kDexFreq;
+  t = std::clamp<std::size_t>(t, 1, 3);
+  fault_count = std::min(fault_count, t);
+  const std::size_t min_n = algorithm_min_n(algorithm, t);
+  n = std::clamp<std::size_t>(std::max(n, min_n), min_n, min_n + 12);
+  if (!contains_str(kShapes, input_shape)) input_shape = "unanimous";
+  margin = std::clamp<std::size_t>(margin, 1, n);
+  // margin == n-1 is structurally infeasible (the leftover entry is always a
+  // runner-up of count 1) — margin_input() rejects it, so round up to n.
+  if (n > 1 && margin == n - 1) margin = n;
+  count = std::clamp<std::size_t>(count, 1, n);
+  p_common = clamp01(p_common);
+  if (!contains(kFaultKinds, fault_kind)) fault_kind = harness::FaultKind::kSilent;
+  wake_after = std::clamp<std::size_t>(wake_after, 1, 4 * n);
+  if (!contains_str(kDelays, delay)) delay = "uniform";
+  slow_factor = std::clamp(slow_factor, 1.0, 32.0);
+  gst_ms = std::clamp<std::uint64_t>(gst_ms, 1, 500);
+  jitter_ms = std::min<std::uint64_t>(jitter_ms, 50);
+  drop = clamp01(drop);
+  duplicate = clamp01(duplicate);
+  reorder = clamp01(reorder);
+  corrupt = clamp01(corrupt);
+  if (has_partition) {
+    part_cut = std::clamp<std::size_t>(part_cut, 1, n - 1);
+    if (part_until_ms <= part_from_ms) part_until_ms = part_from_ms + 1;
+    part_until_ms = std::min<std::uint64_t>(part_until_ms, part_from_ms + 1000);
+  }
+  if (has_crash) {
+    crash_who = std::min(crash_who, n - 1);
+    if (crash_until_ms <= crash_from_ms) crash_until_ms = crash_from_ms + 1;
+    crash_until_ms = std::min<std::uint64_t>(crash_until_ms, crash_from_ms + 1000);
+  }
+}
+
+Genome Genome::sample(Rng& rng) {
+  Genome g;
+  g.algorithm = kAlgorithms[rng.next_below(kAlgorithms.size())];
+  g.t = 1 + rng.next_below(2);
+  g.n = algorithm_min_n(g.algorithm, g.t) + rng.next_below(4);
+  g.input_shape = kShapes[rng.next_below(kShapes.size())];
+  g.margin = 1 + rng.next_below(g.n);
+  g.count = 1 + rng.next_below(g.n);
+  g.p_common = 0.5 + 0.5 * rng.next_double();
+  g.fault_kind = kFaultKinds[rng.next_below(kFaultKinds.size())];
+  g.fault_count = rng.next_below(g.t + 1);
+  g.wake_after = 1 + rng.next_below(2 * g.n);
+  g.random_placement = rng.next_bool(0.3);
+  g.delay = kDelays[rng.next_below(kDelays.size())];
+  g.slow_factor = 1.0 + rng.next_double() * 8.0;
+  g.gst_ms = 5 + rng.next_below(80);
+  g.jitter_ms = rng.next_below(6);
+  g.batch = rng.next_bool(0.2);
+  g.oracle_uc = rng.next_bool(0.15);
+  g.drop = rng.next_bool(0.35) ? 0.25 * rng.next_double() : 0.0;
+  g.duplicate = rng.next_bool(0.35) ? 0.25 * rng.next_double() : 0.0;
+  g.reorder = rng.next_bool(0.35) ? 0.5 * rng.next_double() : 0.0;
+  g.corrupt = rng.next_bool(0.15) ? 0.05 * rng.next_double() : 0.0;
+  g.has_partition = rng.next_bool(0.25);
+  g.part_from_ms = rng.next_below(10);
+  g.part_until_ms = g.part_from_ms + 1 + rng.next_below(40);
+  g.part_cut = 1 + rng.next_below(g.n > 1 ? g.n - 1 : 1);
+  g.has_crash = rng.next_bool(0.25);
+  g.crash_who = rng.next_below(g.n);
+  g.crash_from_ms = rng.next_below(10);
+  g.crash_until_ms = g.crash_from_ms + 1 + rng.next_below(30);
+  g.normalize();
+  return g;
+}
+
+void Genome::mutate(Rng& rng) {
+  const std::size_t edits = 1 + rng.next_below(3);
+  for (std::size_t e = 0; e < edits; ++e) {
+    switch (rng.next_below(18)) {
+      case 0: algorithm = kAlgorithms[rng.next_below(kAlgorithms.size())]; break;
+      case 1: n += rng.next_below(3); break;
+      case 2: t = 1 + rng.next_below(2); break;
+      case 3: input_shape = kShapes[rng.next_below(kShapes.size())]; break;
+      case 4: margin = 1 + rng.next_below(n); break;
+      case 5: count = 1 + rng.next_below(n); break;
+      case 6:
+        fault_kind = kFaultKinds[rng.next_below(kFaultKinds.size())];
+        break;
+      case 7: fault_count = rng.next_below(t + 1); break;
+      case 8: delay = kDelays[rng.next_below(kDelays.size())]; break;
+      case 9: jitter_ms = rng.next_below(6); break;
+      case 10: batch = !batch; break;
+      case 11: drop = rng.next_bool(0.5) ? 0.25 * rng.next_double() : 0.0; break;
+      case 12:
+        duplicate = rng.next_bool(0.5) ? 0.25 * rng.next_double() : 0.0;
+        break;
+      case 13: reorder = rng.next_bool(0.5) ? 0.5 * rng.next_double() : 0.0; break;
+      case 14:
+        corrupt = rng.next_bool(0.3) ? 0.05 * rng.next_double() : 0.0;
+        break;
+      case 15:
+        has_partition = !has_partition;
+        part_cut = 1 + rng.next_below(n > 1 ? n - 1 : 1);
+        break;
+      case 16:
+        has_crash = !has_crash;
+        crash_who = rng.next_below(n);
+        break;
+      default: wake_after = 1 + rng.next_below(2 * n); break;
+    }
+  }
+  normalize();
+}
+
+std::string Genome::to_json() const {
+  std::string out = "{";
+  // Seed is serialized as a STRING: JSON numbers round-trip through double,
+  // which silently rounds 64-bit seeds above 2^53 and breaks byte-identical
+  // replay (`dexsim --repro`).
+  append_kv(out, "seed", std::to_string(seed), true, /*first=*/true);
+  append_kv(out, "algo", algorithm_name(algorithm), true);
+  append_kv(out, "n", std::to_string(n), false);
+  append_kv(out, "t", std::to_string(t), false);
+  append_kv(out, "input", input_shape, true);
+  append_kv(out, "margin", std::to_string(margin), false);
+  append_kv(out, "count", std::to_string(count), false);
+  append_kv(out, "p_common", fmt(p_common), false);
+  append_kv(out, "fault_kind", harness::fault_kind_name(fault_kind), true);
+  append_kv(out, "faults", std::to_string(fault_count), false);
+  append_kv(out, "wake_after", std::to_string(wake_after), false);
+  append_kv(out, "random_placement", random_placement ? "true" : "false", false);
+  append_kv(out, "delay", delay, true);
+  append_kv(out, "slow_factor", fmt(slow_factor), false);
+  append_kv(out, "gst_ms", std::to_string(gst_ms), false);
+  append_kv(out, "jitter_ms", std::to_string(jitter_ms), false);
+  append_kv(out, "batch", batch ? "true" : "false", false);
+  append_kv(out, "oracle_uc", oracle_uc ? "true" : "false", false);
+  append_kv(out, "drop", fmt(drop), false);
+  append_kv(out, "duplicate", fmt(duplicate), false);
+  append_kv(out, "reorder", fmt(reorder), false);
+  append_kv(out, "corrupt", fmt(corrupt), false);
+  append_kv(out, "partition", has_partition ? "true" : "false", false);
+  append_kv(out, "part_from_ms", std::to_string(part_from_ms), false);
+  append_kv(out, "part_until_ms", std::to_string(part_until_ms), false);
+  append_kv(out, "part_cut", std::to_string(part_cut), false);
+  append_kv(out, "crash", has_crash ? "true" : "false", false);
+  append_kv(out, "crash_who", std::to_string(crash_who), false);
+  append_kv(out, "crash_from_ms", std::to_string(crash_from_ms), false);
+  append_kv(out, "crash_until_ms", std::to_string(crash_until_ms), false);
+  append_kv(out, "quorum_skew", std::to_string(debug_quorum_skew), false);
+  out.push_back('}');
+  return out;
+}
+
+Genome Genome::from_json(const json::Value& doc) {
+  if (!doc.is_object()) throw json::ParseError("genome: not a JSON object");
+  Genome g;
+  // Accept both the canonical string form (exact) and a bare number (legacy,
+  // lossy above 2^53).
+  const std::string seed_text = doc.str_or("seed", "");
+  g.seed = seed_text.empty()
+               ? static_cast<std::uint64_t>(doc.num_or("seed", 1))
+               : std::strtoull(seed_text.c_str(), nullptr, 10);
+  const std::string algo = doc.str_or("algo", "dex-freq");
+  const auto parsed = parse_algorithm(algo);
+  if (!parsed) throw json::ParseError("genome: unknown algo '" + algo + "'");
+  g.algorithm = *parsed;
+  g.n = static_cast<std::size_t>(doc.num_or("n", 13));
+  g.t = static_cast<std::size_t>(doc.num_or("t", 2));
+  g.input_shape = doc.str_or("input", "unanimous");
+  g.margin = static_cast<std::size_t>(doc.num_or("margin", 5));
+  g.count = static_cast<std::size_t>(doc.num_or("count", 7));
+  g.p_common = doc.num_or("p_common", 0.9);
+  const std::string fk = doc.str_or("fault_kind", "silent");
+  const auto kind = harness::parse_fault_kind(fk);
+  if (!kind) throw json::ParseError("genome: unknown fault_kind '" + fk + "'");
+  g.fault_kind = *kind;
+  g.fault_count = static_cast<std::size_t>(doc.num_or("faults", 0));
+  g.wake_after = static_cast<std::size_t>(doc.num_or("wake_after", 4));
+  g.random_placement = doc.bool_or("random_placement", false);
+  g.delay = doc.str_or("delay", "uniform");
+  g.slow_factor = doc.num_or("slow_factor", 4.0);
+  g.gst_ms = static_cast<std::uint64_t>(doc.num_or("gst_ms", 40));
+  g.jitter_ms = static_cast<std::uint64_t>(doc.num_or("jitter_ms", 2));
+  g.batch = doc.bool_or("batch", false);
+  g.oracle_uc = doc.bool_or("oracle_uc", false);
+  g.drop = doc.num_or("drop", 0.0);
+  g.duplicate = doc.num_or("duplicate", 0.0);
+  g.reorder = doc.num_or("reorder", 0.0);
+  g.corrupt = doc.num_or("corrupt", 0.0);
+  g.has_partition = doc.bool_or("partition", false);
+  g.part_from_ms = static_cast<std::uint64_t>(doc.num_or("part_from_ms", 0));
+  g.part_until_ms = static_cast<std::uint64_t>(doc.num_or("part_until_ms", 20));
+  g.part_cut = static_cast<std::size_t>(doc.num_or("part_cut", 1));
+  g.has_crash = doc.bool_or("crash", false);
+  g.crash_who = static_cast<std::size_t>(doc.num_or("crash_who", 0));
+  g.crash_from_ms = static_cast<std::uint64_t>(doc.num_or("crash_from_ms", 0));
+  g.crash_until_ms = static_cast<std::uint64_t>(doc.num_or("crash_until_ms", 15));
+  g.debug_quorum_skew = static_cast<std::size_t>(doc.num_or("quorum_skew", 0));
+  g.normalize();
+  return g;
+}
+
+Genome Genome::from_json_text(std::string_view text) {
+  return from_json(json::parse(text));
+}
+
+std::string Genome::describe() const {
+  std::ostringstream os;
+  os << algorithm_name(algorithm) << " n=" << n << " t=" << t << " input="
+     << input_shape << " faults=" << fault_count << "("
+     << harness::fault_kind_name(fault_kind) << ") delay=" << delay
+     << " seed=" << seed;
+  if (drop > 0) os << " drop=" << drop;
+  if (duplicate > 0) os << " dup=" << duplicate;
+  if (reorder > 0) os << " reorder=" << reorder;
+  if (corrupt > 0) os << " corrupt=" << corrupt;
+  if (has_partition) os << " partition";
+  if (has_crash) os << " crash=p" << crash_who;
+  if (debug_quorum_skew > 0) os << " SKEW=" << debug_quorum_skew;
+  return os.str();
+}
+
+harness::ExperimentConfig to_experiment(const Genome& g) {
+  harness::ExperimentConfig cfg;
+  cfg.algorithm = g.algorithm;
+  cfg.n = g.n;
+  cfg.t = g.t;
+  cfg.seed = g.seed;
+
+  // Input vector — same shapes as dexsim, drawn from a genome-derived stream
+  // so the vector is a pure function of the genome.
+  Rng in_rng(mix64(g.seed ^ 0x1f0c411aULL));
+  if (g.input_shape == "unanimous") {
+    cfg.input = unanimous_input(g.n, 0);
+  } else if (g.input_shape == "margin") {
+    cfg.input = margin_input(g.n, g.margin, 0, in_rng);
+  } else if (g.input_shape == "privileged") {
+    cfg.input = privileged_input(g.n, 0, g.count, in_rng);
+  } else if (g.input_shape == "split") {
+    cfg.input = split_input(g.n, 0, g.count, 1);
+  } else if (g.input_shape == "random") {
+    cfg.input = random_input(g.n, in_rng, {.domain = 4});
+  } else {  // skewed
+    std::vector<Value> v(g.n);
+    for (auto& e : v) {
+      e = in_rng.next_bool(g.p_common) ? 0
+                                       : static_cast<Value>(in_rng.next_below(4));
+    }
+    cfg.input = InputVector(std::move(v));
+  }
+
+  cfg.faults.kind = g.fault_kind;
+  cfg.faults.count = g.fault_count;
+  cfg.faults.wake_after = g.wake_after;
+  cfg.faults.random_placement = g.random_placement;
+
+  if (g.delay == "constant") {
+    cfg.delay = std::make_shared<sim::ConstantDelay>(1'000'000);
+  } else if (g.delay == "uniform") {
+    cfg.delay = std::make_shared<sim::UniformDelay>(1'000'000, 10'000'000);
+  } else if (g.delay == "exponential") {
+    cfg.delay = std::make_shared<sim::ExponentialDelay>(500'000, 4'000'000.0);
+  } else if (g.delay == "heavytail") {
+    cfg.delay = std::make_shared<sim::LogNormalDelay>(500'000, 14.5, 1.0);
+  } else if (g.delay == "skewed") {
+    cfg.delay = std::make_shared<sim::SkewedDelay>(
+        std::make_shared<sim::UniformDelay>(1'000'000, 10'000'000),
+        std::set<ProcessId>{0}, g.slow_factor);
+  } else {  // gst
+    cfg.delay = std::make_shared<sim::GstDelay>(
+        std::make_shared<sim::LogNormalDelay>(500'000, 14.5, 1.0),
+        std::make_shared<sim::ConstantDelay>(1'000'000),
+        static_cast<SimTime>(g.gst_ms) * 1'000'000);
+  }
+  cfg.start_jitter = static_cast<SimTime>(g.jitter_ms) * 1'000'000;
+  cfg.batch = g.batch;
+  cfg.use_oracle_uc = g.oracle_uc;
+
+  cfg.link_faults.drop = g.drop;
+  cfg.link_faults.duplicate = g.duplicate;
+  cfg.link_faults.reorder = g.reorder;
+  cfg.link_faults.corrupt = g.corrupt;
+  if (g.has_partition) {
+    sim::Partition p;
+    p.from = static_cast<SimTime>(g.part_from_ms) * 1'000'000;
+    p.until = static_cast<SimTime>(g.part_until_ms) * 1'000'000;
+    p.group.assign(g.n, 0);
+    for (std::size_t i = 0; i < g.part_cut && i < g.n; ++i) p.group[i] = 1;
+    cfg.partitions.push_back(std::move(p));
+  }
+  if (g.has_crash) {
+    sim::CrashWindow w;
+    w.who = static_cast<ProcessId>(g.crash_who);
+    w.from = static_cast<SimTime>(g.crash_from_ms) * 1'000'000;
+    w.until = static_cast<SimTime>(g.crash_until_ms) * 1'000'000;
+    cfg.crashes.push_back(w);
+  }
+  cfg.debug_quorum_skew = g.debug_quorum_skew;
+
+  // A bounded, fuzzing-friendly budget: big enough for every clean run in
+  // the sampled envelope, small enough that a pathological genome cannot
+  // stall a campaign.
+  cfg.max_events = 2'000'000;
+  return cfg;
+}
+
+}  // namespace dex::check

@@ -1,0 +1,107 @@
+// Scenario genome — the unit of search for the verification plane.
+//
+// A genome is a complete, self-describing recipe for one simulated consensus
+// execution: algorithm and sizing, input shape, Byzantine strategy mix,
+// network delay model, link faults, partitions, crash–recovery windows and
+// the RNG seed. Everything the run needs is in the genome, so a failing one
+// serialized to JSON is a total reproducer (`dexsim --repro g.json` or
+// `dexcheck --repro g.json` replays it bit-for-bit).
+//
+// The fuzzer samples genomes at random, mutates interesting ones
+// (coverage-guided) and shrinks failing ones field-by-field; all three
+// operations live here next to the representation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/json_value.hpp"
+#include "common/rng.hpp"
+#include "consensus/factory.hpp"
+#include "harness/experiment.hpp"
+#include "sim/faults.hpp"
+
+namespace dex::check {
+
+struct Genome {
+  std::uint64_t seed = 1;
+  Algorithm algorithm = Algorithm::kDexFreq;
+  std::size_t n = 13;
+  std::size_t t = 2;
+
+  // Input vector (mirrors dexsim's --input family; generated from `seed`).
+  std::string input_shape = "unanimous";  // unanimous|margin|privileged|split|random|skewed
+  std::size_t margin = 5;                 // for margin
+  std::size_t count = 7;                  // for privileged/split
+  double p_common = 0.9;                  // for skewed
+
+  // Fault plan (src/byz strategies via the harness).
+  harness::FaultKind fault_kind = harness::FaultKind::kSilent;
+  std::size_t fault_count = 0;
+  std::size_t wake_after = 4;  // delayed-equivocate trigger
+  bool random_placement = false;
+
+  // Network shape.
+  std::string delay = "uniform";  // constant|uniform|exponential|heavytail|skewed|gst
+  double slow_factor = 4.0;       // for skewed (process 0 is the slow one)
+  std::uint64_t gst_ms = 40;      // for gst
+  std::uint64_t jitter_ms = 2;
+  bool batch = false;
+  bool oracle_uc = false;
+
+  // Link faults (sim/faults.hpp). All-zero = the clean historical schedule.
+  double drop = 0.0;
+  double duplicate = 0.0;
+  double reorder = 0.0;
+  double corrupt = 0.0;
+
+  // At most one partition window and one crash window per genome — enough to
+  // hit the interesting interleavings while keeping shrinking simple.
+  bool has_partition = false;
+  std::uint64_t part_from_ms = 0;
+  std::uint64_t part_until_ms = 20;
+  std::size_t part_cut = 1;  // size of the minority group {0..part_cut-1}
+  bool has_crash = false;
+  std::size_t crash_who = 0;
+  std::uint64_t crash_from_ms = 0;
+  std::uint64_t crash_until_ms = 15;
+
+  /// Planted-bug switch (DexConfig::debug_quorum_skew) — set only by the
+  /// catch-the-bug tests; never sampled or mutated, and never shrunk away.
+  std::size_t debug_quorum_skew = 0;
+
+  /// Clamps every field into a valid, runnable configuration (n at least the
+  /// algorithm minimum, fault_count <= t, windows ordered, ...).
+  void normalize();
+
+  /// Liveness oracles only apply when nothing may legally withhold a message
+  /// forever: no drops, no corruption, no partition, no crash window.
+  [[nodiscard]] bool clean() const {
+    return drop == 0 && corrupt == 0 && !has_partition && !has_crash;
+  }
+  /// Corrupted payloads forge correct-sender traffic beyond the t-Byzantine
+  /// budget, so agreement/unanimity oracles do not apply (I1–I4 still do).
+  [[nodiscard]] bool corrupting() const { return corrupt > 0; }
+
+  /// Uniformly random valid genome (seed is left for the caller to assign).
+  static Genome sample(Rng& rng);
+  /// Tweaks 1–3 random fields in place, then normalizes.
+  void mutate(Rng& rng);
+
+  [[nodiscard]] std::string to_json() const;
+  static Genome from_json(const json::Value& doc);
+  static Genome from_json_text(std::string_view text);
+
+  /// One-line human summary for reports and log lines.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Algorithm spellings shared with dexsim's --algo flag.
+std::optional<Algorithm> parse_algorithm(const std::string& name);
+
+/// Builds the harness config a genome describes (input vector, delay model,
+/// fault plan, windows). The caller wires sinks (trace/metrics/admin) itself.
+harness::ExperimentConfig to_experiment(const Genome& g);
+
+}  // namespace dex::check

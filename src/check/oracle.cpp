@@ -1,0 +1,113 @@
+#include "check/oracle.hpp"
+
+#include <sstream>
+
+namespace dex::check {
+
+namespace {
+
+std::uint64_t bucket_log2(std::uint64_t x) {
+  std::uint64_t b = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+std::uint64_t fold(std::uint64_t h, std::uint64_t v) { return mix64(h ^ v); }
+
+}  // namespace
+
+RunVerdict run_genome(const Genome& g) {
+  harness::ExperimentConfig cfg = to_experiment(g);
+  cfg.capture_trace = true;
+
+  const auto r = harness::run_experiment(cfg);
+
+  RunVerdict v;
+  v.correct = r.correct;
+  v.decided = r.decided;
+  v.one_step = r.one_step;
+  v.two_step = r.two_step;
+  v.via_underlying = r.via_underlying;
+  v.packets = r.stats.packets_delivered;
+  v.injected_faults = r.stats.faults.total();
+
+  auto fail = [&v](const std::string& what) {
+    v.failures.push_back(what);
+    v.ok = false;
+  };
+
+  if (!g.corrupting()) {
+    if (!r.agreement()) {
+      std::ostringstream os;
+      os << "agreement: correct processes decided different values";
+      for (std::size_t i = 0; i < r.stats.decisions.size(); ++i) {
+        const auto& rec = r.stats.decisions[i];
+        if (rec.has_value() && r.faulty.count(static_cast<ProcessId>(i)) == 0) {
+          os << " p" << i << "=" << rec->decision.value;
+        }
+      }
+      fail(os.str());
+    }
+    if (const auto u = harness::unanimous_correct_value(cfg.input, r.faulty)) {
+      for (std::size_t i = 0; i < r.stats.decisions.size(); ++i) {
+        const auto& rec = r.stats.decisions[i];
+        if (!rec.has_value() || r.faulty.count(static_cast<ProcessId>(i)) > 0) {
+          continue;
+        }
+        if (rec->decision.value != *u) {
+          std::ostringstream os;
+          os << "unanimity: all correct proposed " << *u << " but p" << i
+             << " decided " << rec->decision.value;
+          fail(os.str());
+          break;
+        }
+      }
+    }
+  }
+
+  if (g.clean()) {
+    if (r.stats.hit_event_limit) {
+      fail("termination: event limit hit on a clean genome");
+    } else if (!r.all_decided()) {
+      std::ostringstream os;
+      os << "termination: only " << r.decided << "/" << r.correct
+         << " correct processes decided on a clean genome";
+      fail(os.str());
+    }
+  }
+
+  // The zero-degrading oracle UC delivers decisions out of band (no wire
+  // traffic), which legitimately breaks I1's decide-quorum premise — the
+  // causal invariants only apply to real message-passing executions.
+  if (!g.oracle_uc) {
+    v.invariants =
+        trace::check_causal_invariants(r.trace_events, {.n = g.n, .t = g.t});
+    for (const auto& violation : v.invariants.violations) {
+      fail("invariant: " + violation);
+    }
+  }
+
+  // Behavioural signature for the coverage map. Counts that grow with n are
+  // folded exactly (path mix is the interesting axis); volumes are bucketed
+  // so noise does not make every run look novel.
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  h = fold(h, static_cast<std::uint64_t>(g.algorithm));
+  h = fold(h, v.one_step);
+  h = fold(h, v.two_step);
+  h = fold(h, v.via_underlying);
+  h = fold(h, v.correct - v.decided);
+  h = fold(h, v.invariants.one_step_decides);
+  h = fold(h, bucket_log2(v.invariants.echoes_checked + 1));
+  h = fold(h, bucket_log2(v.invariants.accepts_checked + 1));
+  h = fold(h, bucket_log2(v.packets + 1));
+  h = fold(h, bucket_log2(v.injected_faults + 1));
+  h = fold(h, r.stats.hit_event_limit ? 1 : 0);
+  h = fold(h, r.stats.max_steps());
+  v.coverage = h;
+  return v;
+}
+
+}  // namespace dex::check

@@ -1,0 +1,53 @@
+// The campaign oracle: runs one genome through the deterministic simulator
+// with tracing on, then judges the execution.
+//
+// Which oracles apply depends on the genome's fault envelope (see
+// sim/faults.hpp for the soundness argument):
+//   - Agreement & Unanimity: always, unless payload corruption is on
+//     (corruption forges correct-sender traffic beyond the t budget).
+//   - I1–I4 causal invariants (trace/check.hpp): whenever the run is a real
+//     message-passing execution — the checker keys on envelope fields the
+//     corruptor never touches, so corruption is fine, but the idealized
+//     oracle UC (genome oracle_uc) delivers decisions out of band and is
+//     exempt.
+//   - Termination: only for "clean" genomes (no drop/corrupt/partition/
+//     crash window); everything else is asynchrony-legal message loss.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/genome.hpp"
+#include "trace/check.hpp"
+
+namespace dex::check {
+
+struct RunVerdict {
+  bool ok = true;
+  /// Human-readable oracle failures ("agreement: ...", "invariant: I2 ...").
+  std::vector<std::string> failures;
+  trace::CheckResult invariants;
+
+  /// Coverage signature: a hash of the run's behavioural shape (decision-path
+  /// mix, invariant-checker event counts, packet volume buckets). Two runs
+  /// with the same signature exercised the protocol the same way; a fresh
+  /// signature makes the genome corpus-worthy.
+  std::uint64_t coverage = 0;
+
+  // Per-run shape, for reports.
+  std::size_t correct = 0;
+  std::size_t decided = 0;
+  std::size_t one_step = 0;
+  std::size_t two_step = 0;
+  std::size_t via_underlying = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t injected_faults = 0;
+};
+
+/// Runs `g` and applies every oracle its fault envelope allows. Deterministic:
+/// the same genome always yields the same verdict. Uses the process-global
+/// tracer — do not call concurrently.
+RunVerdict run_genome(const Genome& g);
+
+}  // namespace dex::check

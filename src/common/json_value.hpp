@@ -1,0 +1,52 @@
+// A minimal JSON document model and recursive-descent parser, shared by every
+// in-tree consumer of our own JSON surfaces (metrics exporter round-trips,
+// scenario-genome reproducer files, ops /vars probes). Handles objects,
+// arrays, strings, numbers, bool and null; string escapes match what
+// common/json.hpp emits (\uXXXX only for ASCII control characters). Not a
+// general-purpose JSON library — it reads what this repo writes.
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dex::json {
+
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> arr;
+  std::map<std::string, Value> obj;
+
+  [[nodiscard]] bool is_object() const { return type == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type == Type::kArray; }
+
+  /// Member access with a descriptive error (objects only).
+  [[nodiscard]] const Value& at(const std::string& key) const;
+  /// True when `key` exists on this object.
+  [[nodiscard]] bool has(const std::string& key) const {
+    return type == Type::kObject && obj.count(key) > 0;
+  }
+
+  // Typed accessors with defaults for optional members.
+  [[nodiscard]] double num_or(const std::string& key, double fallback) const;
+  [[nodiscard]] bool bool_or(const std::string& key, bool fallback) const;
+  [[nodiscard]] std::string str_or(const std::string& key,
+                                   const std::string& fallback) const;
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+/// Throws ParseError with the byte offset on malformed input.
+[[nodiscard]] Value parse(std::string_view text);
+
+}  // namespace dex::json

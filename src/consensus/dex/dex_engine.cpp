@@ -74,7 +74,8 @@ void DexEngine::on_plain_proposal(ProcessId src, Value v) {
                       .b = static_cast<std::int64_t>(j1_.known_count())});
     }
   }
-  if (j1_.known_count() < cfg_.n - cfg_.t) return;
+  // debug_quorum_skew is the verification plane's planted bug (see DexConfig).
+  if (j1_.known_count() + cfg_.debug_quorum_skew < cfg_.n - cfg_.t) return;
   if (!j1_threshold_seen_) {
     j1_threshold_seen_ = true;
     if (trace::on()) {

@@ -44,6 +44,13 @@ struct DexConfig {
   /// one-step algorithm with a UC fallback. Quantifies double expedition.
   bool enable_two_step = true;
 
+  /// FAULT INJECTION FOR THE VERIFICATION PLANE — never set in production.
+  /// Lowers the one-step view threshold from n−t to n−t−skew, the classic
+  /// quorum off-by-one. Exists so src/check can prove its oracles catch a
+  /// planted safety bug (a one-step decide on too few plain proposals trips
+  /// the I2 causal invariant, and on contested inputs breaks Agreement).
+  std::size_t debug_quorum_skew = 0;
+
   /// Instrumentation sink (dex_* series: decision-path counts and
   /// steps-to-decision). A disabled scope records nothing.
   metrics::MetricsScope metrics;

@@ -19,6 +19,7 @@ DexStack::DexStack(const StackConfig& cfg, std::shared_ptr<const ConditionPair> 
   dc.instance = cfg_.instance;
   dc.continuous_reevaluation = cfg_.dex_continuous_reevaluation;
   dc.enable_two_step = cfg_.dex_enable_two_step;
+  dc.debug_quorum_skew = cfg_.debug_quorum_skew;
   dc.metrics = cfg_.metrics;
   engine_ = std::make_unique<DexEngine>(dc, pair_, &idb_, uc_.get(), &outbox_);
 }

@@ -26,6 +26,10 @@ struct StackConfig {
   /// DEX ablation switches (see DexConfig); ignored by other stacks.
   bool dex_continuous_reevaluation = true;
   bool dex_enable_two_step = true;
+  /// Planted quorum off-by-one for the verification plane (see
+  /// DexConfig::debug_quorum_skew); ignored by other stacks. Never set
+  /// outside src/check and its tests.
+  std::size_t debug_quorum_skew = 0;
   /// Instrumentation sink shared by every engine of this stack; a
   /// default-constructed (disabled) scope costs one branch per event.
   metrics::MetricsScope metrics;

@@ -42,11 +42,37 @@ std::unique_ptr<byz::Strategy> make_strategy(const FaultPlan& plan, Value dealt)
     case FaultKind::kUcSaboteur:
       return std::make_unique<byz::UcSaboteurStrategy>(plan.equivocate_a,
                                                        plan.equivocate_b);
+    case FaultKind::kDelayedEquivocate:
+      return std::make_unique<byz::DelayedEquivocatorStrategy>(
+          plan.equivocate_a, plan.equivocate_b, plan.wake_after);
   }
   DEX_ENSURE_MSG(false, "unknown fault kind");
   return nullptr;
 }
 }  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kSilent: return "silent";
+    case FaultKind::kCrashMid: return "crash-mid";
+    case FaultKind::kEquivocate: return "equivocate";
+    case FaultKind::kFixedValue: return "fixed";
+    case FaultKind::kNoise: return "noise";
+    case FaultKind::kUcSaboteur: return "uc-saboteur";
+    case FaultKind::kDelayedEquivocate: return "delayed-equivocate";
+  }
+  return "unknown";
+}
+
+std::optional<FaultKind> parse_fault_kind(const std::string& name) {
+  for (const FaultKind kind :
+       {FaultKind::kSilent, FaultKind::kCrashMid, FaultKind::kEquivocate,
+        FaultKind::kFixedValue, FaultKind::kNoise, FaultKind::kUcSaboteur,
+        FaultKind::kDelayedEquivocate}) {
+    if (name == fault_kind_name(kind)) return kind;
+  }
+  return std::nullopt;
+}
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   DEX_ENSURE(cfg.input.size() == cfg.n);
@@ -73,6 +99,9 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   opts.stop_when_all_decided = cfg.stop_when_all_decided;
   opts.max_events = cfg.max_events;
   opts.batch = cfg.batch;
+  opts.link_faults = cfg.link_faults;
+  opts.partitions = cfg.partitions;
+  opts.crashes = cfg.crashes;
   opts.trace = cfg.trace;
   opts.metrics = cfg.metrics;
   sim::Simulation simulation(cfg.n, opts);
@@ -124,6 +153,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
       sc.coin_seed = mix64(cfg.seed ^ 0xc0135eedULL);  // shared by all processes
       sc.dex_continuous_reevaluation = cfg.dex_continuous_reevaluation;
       sc.dex_enable_two_step = cfg.dex_enable_two_step;
+      sc.debug_quorum_skew = cfg.debug_quorum_skew;
       if (cfg.metrics != nullptr) {
         sc.metrics = metrics::MetricsScope(
             cfg.metrics, {{"process", "p" + std::to_string(i)}});

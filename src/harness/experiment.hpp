@@ -24,7 +24,13 @@ enum class FaultKind {
   kFixedValue,    // proposes its dealt input value consistently (benign-Byz)
   kNoise,         // sprays random well-formed messages
   kUcSaboteur,    // equivocates AND attacks the underlying consensus rounds
+  kDelayedEquivocate,  // silent until traffic is observed, then equivocates
 };
+
+/// Canonical spellings, shared by dexsim's --fault flag and the verification
+/// plane's genome JSON so a reproducer pastes straight into either.
+const char* fault_kind_name(FaultKind kind);
+std::optional<FaultKind> parse_fault_kind(const std::string& name);
 
 struct FaultPlan {
   FaultKind kind = FaultKind::kSilent;
@@ -38,6 +44,7 @@ struct FaultPlan {
   std::size_t crash_reach = 1;
   double noise_rate = 0.5;
   std::size_t noise_budget = 500;
+  std::size_t wake_after = 4;  // kDelayedEquivocate trigger threshold
 };
 
 struct ExperimentConfig {
@@ -58,6 +65,16 @@ struct ExperimentConfig {
   /// DEX ablation switches (forwarded into StackConfig; see DexConfig).
   bool dex_continuous_reevaluation = true;
   bool dex_enable_two_step = true;
+
+  // --- environment faults (forwarded into SimOptions; see sim/faults.hpp).
+  // All are asynchrony-legal: safety oracles stay valid under any setting,
+  // termination only when everything here is off.
+  sim::LinkFaults link_faults;
+  std::vector<sim::Partition> partitions;
+  std::vector<sim::CrashWindow> crashes;
+  /// Planted quorum off-by-one (see DexConfig::debug_quorum_skew). Exists for
+  /// the verification plane's catch-the-bug tests; never set elsewhere.
+  std::size_t debug_quorum_skew = 0;
 
   /// Replace the randomized fallback with an idealized ZERO-DEGRADING
   /// underlying consensus (the oracle double): it decides two plain steps

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/json.hpp"
+#include "common/json_value.hpp"
 
 namespace dex::metrics {
 
@@ -69,195 +70,11 @@ const char* quantile_name(double q) {
   return "0.99";
 }
 
-// ---------------------------------------------------------------------------
-// Minimal JSON reader — only what flatten_json() needs to re-read our own
-// exporter output (objects, arrays, strings, numbers, bool, null).
-// ---------------------------------------------------------------------------
+// The JSON reader lives in common/json_value.hpp now (it is shared with the
+// verification plane's genome codec); this file only maps documents back into
+// the flat metric view.
 
-struct JsonValue {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string str;
-  std::vector<JsonValue> arr;
-  std::map<std::string, JsonValue> obj;
-
-  [[nodiscard]] const JsonValue& at(const std::string& key) const {
-    const auto it = obj.find(key);
-    if (type != Type::kObject || it == obj.end()) {
-      throw std::runtime_error("metrics json: missing key '" + key + "'");
-    }
-    return it->second;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = parse_value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing data");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& why) const {
-    throw std::runtime_error("metrics json: " + why + " at offset " +
-                             std::to_string(pos_));
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
-            text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    skip_ws();
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consume_literal(std::string_view lit) {
-    if (text_.substr(pos_, lit.size()) != lit) return false;
-    pos_ += lit.size();
-    return true;
-  }
-
-  JsonValue parse_value() {
-    const char c = peek();
-    if (c == '{') return parse_object();
-    if (c == '[') return parse_array();
-    if (c == '"') {
-      JsonValue v;
-      v.type = JsonValue::Type::kString;
-      v.str = parse_string();
-      return v;
-    }
-    if (consume_literal("true")) {
-      JsonValue v;
-      v.type = JsonValue::Type::kBool;
-      v.boolean = true;
-      return v;
-    }
-    if (consume_literal("false")) {
-      JsonValue v;
-      v.type = JsonValue::Type::kBool;
-      return v;
-    }
-    if (consume_literal("null")) return JsonValue{};
-    return parse_number();
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\') {
-        if (pos_ >= text_.size()) fail("bad escape");
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case '"': c = '"'; break;
-          case '\\': c = '\\'; break;
-          case '/': c = '/'; break;
-          case 'n': c = '\n'; break;
-          case 't': c = '\t'; break;
-          case 'r': c = '\r'; break;
-          case 'u': {
-            // \uXXXX — our own exporter only emits these for ASCII control
-            // characters, so the low byte is the character.
-            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
-            unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              const char h = text_[pos_++];
-              code <<= 4;
-              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-              else fail("bad \\u escape");
-            }
-            if (code > 0x7F) fail("non-ASCII \\u escape unsupported");
-            c = static_cast<char>(code);
-            break;
-          }
-          default: fail("unsupported escape");
-        }
-      }
-      out.push_back(c);
-    }
-    if (pos_ >= text_.size()) fail("unterminated string");
-    ++pos_;  // closing quote
-    return out;
-  }
-
-  JsonValue parse_number() {
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected a value");
-    JsonValue v;
-    v.type = JsonValue::Type::kNumber;
-    v.number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
-                           nullptr);
-    return v;
-  }
-
-  JsonValue parse_array() {
-    expect('[');
-    JsonValue v;
-    v.type = JsonValue::Type::kArray;
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      v.arr.push_back(parse_value());
-      const char c = peek();
-      ++pos_;
-      if (c == ']') return v;
-      if (c != ',') fail("expected ',' or ']'");
-    }
-  }
-
-  JsonValue parse_object() {
-    expect('{');
-    JsonValue v;
-    v.type = JsonValue::Type::kObject;
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      std::string key = parse_string();
-      expect(':');
-      v.obj.emplace(std::move(key), parse_value());
-      const char c = peek();
-      ++pos_;
-      if (c == '}') return v;
-      if (c != ',') fail("expected ',' or '}'");
-    }
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
-
-Labels labels_from_json(const JsonValue& obj) {
+Labels labels_from_json(const json::Value& obj) {
   Labels out;
   for (const auto& [k, v] : obj.obj) out[k] = v.str;
   return out;
@@ -364,9 +181,9 @@ std::map<std::string, double> flatten(const MetricsSnapshot& snapshot) {
 }
 
 std::map<std::string, double> flatten_json(const std::string& json) {
-  const JsonValue doc = JsonParser(json).parse();
+  const json::Value doc = json::parse(json);
   std::map<std::string, double> out;
-  for (const JsonValue& m : doc.at("metrics").arr) {
+  for (const json::Value& m : doc.at("metrics").arr) {
     const std::string& name = m.at("name").str;
     const std::string& type = m.at("type").str;
     const Labels labels = labels_from_json(m.at("labels"));

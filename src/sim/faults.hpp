@@ -1,0 +1,92 @@
+// Network fault injection for the deterministic simulator.
+//
+// The paper's §2.1 model gives links reliability but no timing guarantees; a
+// dropped, partitioned or crash-windowed message is therefore *outside* the
+// liveness assumptions but squarely *inside* the safety ones — an omitted
+// message is indistinguishable from an arbitrarily slow one, so Agreement,
+// Unanimity and the I1–I4 causal invariants must survive every mix below.
+// Payload corruption is the exception: it forges traffic from correct
+// senders (beyond the t-Byzantine budget), so the verification plane checks
+// only decoder robustness and the causal invariants under it, never
+// agreement. All draws come from a dedicated fault RNG derived from the run
+// seed, so enabling faults never perturbs the delay-model schedule — a run
+// with all knobs at zero is bit-for-bit the historical one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dex::sim {
+
+/// Probabilistic per-packet link faults, applied at send time. Self-addressed
+/// packets (the engines' own loopback deliveries) are exempt: dropping those
+/// would model memory corruption, not a network.
+struct LinkFaults {
+  /// P(packet is silently dropped).
+  double drop = 0.0;
+  /// P(a second copy is enqueued with a fresh delay draw).
+  double duplicate = 0.0;
+  /// P(an extra uniform [0, reorder_delay] is added — forced reordering).
+  double reorder = 0.0;
+  SimTime reorder_delay = 20'000'000;  // 20 ms of extra skew
+  /// P(one random payload byte is flipped) — models a hostile network layer;
+  /// outside the §2.1 model, see the file comment.
+  double corrupt = 0.0;
+
+  [[nodiscard]] bool any() const {
+    return drop > 0 || duplicate > 0 || reorder > 0 || corrupt > 0;
+  }
+};
+
+/// Cuts the network into groups during [from, until): packets whose source
+/// and destination sit in different groups at send time are dropped.
+/// `group[i]` is process i's group id; processes beyond the vector are
+/// group 0. A healed partition (until < run end) preserves liveness
+/// expectations only for protocols that keep (re)transmitting.
+struct Partition {
+  SimTime from = 0;
+  SimTime until = 0;
+  std::vector<std::uint8_t> group;
+
+  [[nodiscard]] bool active(SimTime now) const { return now >= from && now < until; }
+  [[nodiscard]] std::uint8_t group_of(ProcessId p) const {
+    const auto i = static_cast<std::size_t>(p);
+    return p >= 0 && i < group.size() ? group[i] : 0;
+  }
+  [[nodiscard]] bool cuts(SimTime now, ProcessId src, ProcessId dst) const {
+    return active(now) && group_of(src) != group_of(dst);
+  }
+};
+
+/// Process `who` is disconnected during [from, until): every packet to or
+/// from it sent in the window is dropped. With intact state on both sides
+/// this is a crash–recovery where the crash loses only in-flight traffic —
+/// the strongest recovery the §2.1 model lets a *correct* process have.
+struct CrashWindow {
+  ProcessId who = 0;
+  SimTime from = 0;
+  SimTime until = 0;
+
+  [[nodiscard]] bool cuts(SimTime now, ProcessId src, ProcessId dst) const {
+    return now >= from && now < until && (src == who || dst == who);
+  }
+};
+
+/// Counters the simulator keeps per run (mirrored into sim_faults_total
+/// metrics when a registry is attached).
+struct FaultStats {
+  std::uint64_t dropped = 0;      // LinkFaults::drop draws
+  std::uint64_t duplicated = 0;   // extra copies enqueued
+  std::uint64_t reordered = 0;    // packets given extra delay
+  std::uint64_t corrupted = 0;    // payload bytes flipped
+  std::uint64_t partitioned = 0;  // cut by a Partition window
+  std::uint64_t crashed = 0;      // cut by a CrashWindow
+
+  [[nodiscard]] std::uint64_t total() const {
+    return dropped + duplicated + reordered + corrupted + partitioned + crashed;
+  }
+};
+
+}  // namespace dex::sim

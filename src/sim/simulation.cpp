@@ -65,9 +65,16 @@ SimTime RunStats::last_decision_time() const {
 }
 
 Simulation::Simulation(std::size_t n, SimOptions opts)
-    : n_(n), opts_(std::move(opts)), rng_(opts_.seed), actors_(n), started_(n, false) {
+    : n_(n),
+      opts_(std::move(opts)),
+      rng_(opts_.seed),
+      fault_rng_(mix64(opts_.seed ^ 0xfa417ec7ULL)),
+      actors_(n),
+      started_(n, false) {
   DEX_ENSURE(n > 0);
   if (!opts_.delay) opts_.delay = default_delay_model();
+  faults_enabled_ = opts_.link_faults.any() || !opts_.partitions.empty() ||
+                    !opts_.crashes.empty();
   if (opts_.metrics != nullptr) {
     metrics::MetricsRegistry& reg = *opts_.metrics;
     for (const MsgKind k : {MsgKind::kPlain, MsgKind::kIdbInit, MsgKind::kIdbEcho}) {
@@ -87,6 +94,13 @@ Simulation::Simulation(std::size_t n, SimOptions opts)
     m_events_ = &reg.counter("sim_events_total");
     m_wire_packets_ = &reg.counter("sim_wire_packets_total");
     m_wire_bytes_ = &reg.counter("sim_wire_bytes_total");
+    if (faults_enabled_) {
+      const char* kinds[6] = {"dropped",   "duplicated",  "reordered",
+                              "corrupted", "partitioned", "crashed"};
+      for (std::size_t k = 0; k < 6; ++k) {
+        m_faults_[k] = &reg.counter("sim_faults_total", {{"kind", kinds[k]}});
+      }
+    }
     m_latency_ = &reg.histogram("sim_decision_latency_ms");
     m_steps_ = &reg.histogram("sim_decision_steps");
     m_end_time_ = &reg.gauge("sim_end_time_ms");
@@ -159,6 +173,79 @@ void Simulation::record_decision(ProcessId i, RunStats& stats) {
   }
 }
 
+bool Simulation::topology_cut(ProcessId src, ProcessId dst, RunStats& stats) {
+  for (const Partition& p : opts_.partitions) {
+    if (p.cuts(now_, src, dst)) {
+      ++stats.faults.partitioned;
+      metrics::inc(m_faults_[4]);
+      return true;
+    }
+  }
+  for (const CrashWindow& c : opts_.crashes) {
+    if (c.cuts(now_, src, dst)) {
+      ++stats.faults.crashed;
+      metrics::inc(m_faults_[5]);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Simulation::corrupt_payload(Message& msg) {
+  if (msg.payload.empty()) return;
+  // Rebuild the envelope so no encode-once frame cache survives the flip.
+  Message dirty;
+  dirty.kind = msg.kind;
+  dirty.instance = msg.instance;
+  dirty.tag = msg.tag;
+  dirty.origin = msg.origin;
+  dirty.payload = msg.payload;  // shared; the flip below detaches (COW)
+  const auto at = static_cast<std::size_t>(
+      fault_rng_.next_below(dirty.payload.size()));
+  dirty.payload[at] = dirty.payload[at] ^
+                      static_cast<std::byte>(1u << fault_rng_.next_below(8));
+  msg = std::move(dirty);
+}
+
+void Simulation::enqueue_packet(ProcessId src, ProcessId dst, Message msg,
+                                RunStats& stats) {
+  if (dst == src) {
+    push(now_, DeliverEvent{src, dst, std::move(msg)});
+    return;
+  }
+  if (faults_enabled_) {
+    if (topology_cut(src, dst, stats)) return;
+    const LinkFaults& lf = opts_.link_faults;
+    if (lf.drop > 0 && fault_rng_.next_bool(lf.drop)) {
+      ++stats.faults.dropped;
+      metrics::inc(m_faults_[0]);
+      return;
+    }
+    if (lf.corrupt > 0 && fault_rng_.next_bool(lf.corrupt)) {
+      corrupt_payload(msg);
+      ++stats.faults.corrupted;
+      metrics::inc(m_faults_[3]);
+    }
+  }
+  SimTime delay = opts_.delay->delay(now_, src, dst, msg, rng_);
+  if (faults_enabled_) {
+    const LinkFaults& lf = opts_.link_faults;
+    if (lf.reorder > 0 && fault_rng_.next_bool(lf.reorder)) {
+      delay += fault_rng_.next_below(lf.reorder_delay + 1);
+      ++stats.faults.reordered;
+      metrics::inc(m_faults_[2]);
+    }
+    if (lf.duplicate > 0 && fault_rng_.next_bool(lf.duplicate)) {
+      // The copy arrives at or after the original (extra fault-RNG skew).
+      const SimTime extra = fault_rng_.next_below(lf.reorder_delay + 1);
+      push(now_ + delay + extra, DeliverEvent{src, dst, msg});
+      ++stats.faults.duplicated;
+      metrics::inc(m_faults_[1]);
+    }
+  }
+  push(now_ + delay, DeliverEvent{src, dst, std::move(msg)});
+}
+
 void Simulation::pump_actor(ProcessId i, RunStats& stats) {
   if (opts_.batch) {
     pump_actor_batched(i, stats);
@@ -168,15 +255,10 @@ void Simulation::pump_actor(ProcessId i, RunStats& stats) {
   for (Outgoing& out : a.drain()) {
     if (out.dst == kBroadcastDst) {
       for (std::size_t d = 0; d < n_; ++d) {
-        const auto dst = static_cast<ProcessId>(d);
-        const SimTime delay =
-            (dst == i) ? 0 : opts_.delay->delay(now_, i, dst, out.msg, rng_);
-        push(now_ + delay, DeliverEvent{i, dst, out.msg});
+        enqueue_packet(i, static_cast<ProcessId>(d), out.msg, stats);
       }
     } else if (out.dst >= 0 && static_cast<std::size_t>(out.dst) < n_) {
-      const SimTime delay =
-          (out.dst == i) ? 0 : opts_.delay->delay(now_, i, out.dst, out.msg, rng_);
-      push(now_ + delay, DeliverEvent{i, out.dst, std::move(out.msg)});
+      enqueue_packet(i, out.dst, std::move(out.msg), stats);
     }
     // Out-of-range unicast destinations are dropped (Byzantine nonsense).
   }
@@ -200,19 +282,54 @@ void Simulation::pump_actor_batched(ProcessId i, RunStats& stats) {
     if (per_dst[d].empty()) continue;
     const auto dst = static_cast<ProcessId>(d);
     if (per_dst[d].size() == 1) {
-      const SimTime delay =
-          (dst == i) ? 0
-                     : opts_.delay->delay(now_, i, dst, per_dst[d].front(), rng_);
-      push(now_ + delay, DeliverEvent{i, dst, std::move(per_dst[d].front())});
+      enqueue_packet(i, dst, std::move(per_dst[d].front()), stats);
       continue;
     }
-    // One delay draw per wire packet, keyed off the batch's first message.
-    const SimTime delay =
-        (dst == i) ? 0
-                   : opts_.delay->delay(now_, i, dst, per_dst[d].front(), rng_);
-    push(now_ + delay, BatchDeliverEvent{i, dst, std::move(per_dst[d])});
+    enqueue_batch(i, dst, std::move(per_dst[d]), stats);
   }
   record_decision(i, stats);
+}
+
+void Simulation::enqueue_batch(ProcessId src, ProcessId dst,
+                               std::vector<Message> msgs, RunStats& stats) {
+  if (dst == src) {
+    push(now_, BatchDeliverEvent{src, dst, std::move(msgs)});
+    return;
+  }
+  // Faults apply per wire packet: the whole batch drops, duplicates or skews
+  // together; corruption flips a byte of one message in it.
+  if (faults_enabled_) {
+    if (topology_cut(src, dst, stats)) return;
+    const LinkFaults& lf = opts_.link_faults;
+    if (lf.drop > 0 && fault_rng_.next_bool(lf.drop)) {
+      ++stats.faults.dropped;
+      metrics::inc(m_faults_[0]);
+      return;
+    }
+    if (lf.corrupt > 0 && fault_rng_.next_bool(lf.corrupt)) {
+      corrupt_payload(msgs[static_cast<std::size_t>(
+          fault_rng_.next_below(msgs.size()))]);
+      ++stats.faults.corrupted;
+      metrics::inc(m_faults_[3]);
+    }
+  }
+  // One delay draw per wire packet, keyed off the batch's first message.
+  SimTime delay = opts_.delay->delay(now_, src, dst, msgs.front(), rng_);
+  if (faults_enabled_) {
+    const LinkFaults& lf = opts_.link_faults;
+    if (lf.reorder > 0 && fault_rng_.next_bool(lf.reorder)) {
+      delay += fault_rng_.next_below(lf.reorder_delay + 1);
+      ++stats.faults.reordered;
+      metrics::inc(m_faults_[2]);
+    }
+    if (lf.duplicate > 0 && fault_rng_.next_bool(lf.duplicate)) {
+      const SimTime extra = fault_rng_.next_below(lf.reorder_delay + 1);
+      push(now_ + delay + extra, BatchDeliverEvent{src, dst, msgs});
+      ++stats.faults.duplicated;
+      metrics::inc(m_faults_[1]);
+    }
+  }
+  push(now_ + delay, BatchDeliverEvent{src, dst, std::move(msgs)});
 }
 
 void Simulation::deliver_one(ProcessId src, ProcessId dst, const Message& msg,

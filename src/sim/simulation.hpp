@@ -22,6 +22,7 @@
 #include "metrics/metrics.hpp"
 #include "sim/actor.hpp"
 #include "sim/delay_model.hpp"
+#include "sim/faults.hpp"
 #include "sim/trace.hpp"
 
 namespace dex::sim {
@@ -45,6 +46,14 @@ struct SimOptions {
   /// batching model. Off by default: the unbatched schedule is bit-for-bit
   /// the historical one.
   bool batch = false;
+  /// Network fault injection (sim/faults.hpp). All knobs at zero (the
+  /// default) keeps the run bit-for-bit the historical schedule: the fault
+  /// RNG is separate from the delay RNG and is consulted only when a knob is
+  /// nonzero. Faults apply at send time to non-self packets; inject()ed
+  /// packets bypass them.
+  LinkFaults link_faults;
+  std::vector<Partition> partitions;
+  std::vector<CrashWindow> crashes;
   /// Optional trace sink (not owned; must outlive the simulation).
   TraceRecorder* trace = nullptr;
   /// Optional metrics sink (not owned; must outlive the simulation). The
@@ -72,6 +81,8 @@ struct RunStats {
   /// the batch framing when batching is on).
   std::uint64_t wire_bytes = 0;
   bool hit_event_limit = false;
+  /// Injected-fault accounting (all zero when fault injection is off).
+  FaultStats faults;
   dex::Counter packets_by_kind;
   /// Indexed by ProcessId; nullopt for Byzantine actors and undecided ones.
   std::vector<std::optional<DecisionRecord>> decisions;
@@ -149,6 +160,18 @@ class Simulation {
   void push(SimTime at, EventBody body);
   void pump_actor(ProcessId i, RunStats& stats);
   void pump_actor_batched(ProcessId i, RunStats& stats);
+  /// Fault-aware send: applies topology cuts + link faults, draws the delay
+  /// and enqueues. Self-addressed packets bypass faults and arrive at once.
+  void enqueue_packet(ProcessId src, ProcessId dst, Message msg,
+                      RunStats& stats);
+  void enqueue_batch(ProcessId src, ProcessId dst, std::vector<Message> msgs,
+                     RunStats& stats);
+  /// True when a partition or crash window cuts (src → dst) right now.
+  [[nodiscard]] bool topology_cut(ProcessId src, ProcessId dst,
+                                  RunStats& stats);
+  /// Flip one random payload bit of `msg` (fresh envelope, no stale frame
+  /// cache); no-op for empty payloads.
+  void corrupt_payload(Message& msg);
   void deliver_one(ProcessId src, ProcessId dst, const Message& msg,
                    RunStats& stats);
   void record_decision(ProcessId i, RunStats& stats);
@@ -158,6 +181,10 @@ class Simulation {
   std::size_t n_;
   SimOptions opts_;
   Rng rng_;
+  /// Dedicated generator for fault draws so that fault injection never
+  /// perturbs the delay-model schedule (see SimOptions::link_faults).
+  Rng fault_rng_;
+  bool faults_enabled_ = false;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
@@ -172,6 +199,10 @@ class Simulation {
   metrics::Counter* m_events_ = nullptr;
   metrics::Counter* m_wire_packets_ = nullptr;
   metrics::Counter* m_wire_bytes_ = nullptr;
+  /// sim_faults_total{kind=...}: dropped, duplicated, reordered, corrupted,
+  /// partitioned, crashed — in that index order.
+  metrics::Counter* m_faults_[6] = {nullptr, nullptr, nullptr,
+                                    nullptr, nullptr, nullptr};
   metrics::HistogramMetric* m_latency_ = nullptr;
   metrics::HistogramMetric* m_steps_ = nullptr;
   /// Per-decision-path virtual-time latency, indexed by DecisionPath

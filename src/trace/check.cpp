@@ -73,7 +73,12 @@ CheckResult check_causal_invariants(std::vector<Event> events,
       delivered[pk].insert(e.peer);
       const auto kind = static_cast<MsgKind>(e.a);
       if (kind == MsgKind::kPlain &&
-          chan::channel(e.tag) == chan::kDexProposalPlain) {
+          (chan::channel(e.tag) == chan::kDexProposalPlain ||
+           chan::channel(e.tag) == chan::kBoscoVote ||
+           chan::channel(e.tag) == chan::kCrashProp)) {
+        // Every one-step protocol in the suite (DEX plain channel, BOSCO
+        // votes, the crash baseline's proposals) justifies its step-1 decide
+        // with these; I2 is about step-1 traffic, not one algorithm's tag.
         plain_proposals[pk].insert(e.peer);
       } else if (kind == MsgKind::kIdbInit) {
         // The true origin of an init is its network sender (the engines
@@ -119,9 +124,15 @@ CheckResult check_causal_invariants(std::vector<Event> events,
     if (is(e, "sim", "decide")) {
       // a = value, b = DecisionPath, c = underlying-consensus rounds.
       ++res.decides_checked;
+      // The decider's own proposal never crosses the wire: every one-step
+      // engine registers its own value at propose() time (its broadcast copy
+      // to self may still be in flight when the quorum fills). Credit the
+      // decider as one sender unless its self-delivery already arrived.
       const ProcInst pk{e.proc, e.instance};
       const auto it = delivered.find(pk);
-      const std::size_t ndel = it == delivered.end() ? 0 : it->second.size();
+      const std::size_t ndel =
+          (it == delivered.end() ? 0 : it->second.size()) +
+          ((it == delivered.end() || it->second.count(e.proc) == 0) ? 1 : 0);
       if (ndel < quorum) {
         std::ostringstream os;
         os << "I1 decide-quorum: decide after deliveries from only " << ndel
@@ -132,7 +143,11 @@ CheckResult check_causal_invariants(std::vector<Event> events,
         ++res.one_step_decides;
         const auto pit = plain_proposals.find(pk);
         const std::size_t nprop =
-            pit == plain_proposals.end() ? 0 : pit->second.size();
+            (pit == plain_proposals.end() ? 0 : pit->second.size()) +
+            ((pit == plain_proposals.end() ||
+              pit->second.count(e.proc) == 0)
+                 ? 1
+                 : 0);
         if (nprop < quorum) {
           std::ostringstream os;
           os << "I2 one-step-at-1: one-step decide with only " << nprop

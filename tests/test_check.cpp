@@ -1,0 +1,531 @@
+// Tests for the verification plane (src/check): genome serialization and
+// normalization, oracle determinism across every delay model and fault kind,
+// the coverage-guided fuzzer (clean runs, catch-the-planted-bug, shrinking),
+// the bounded exhaustive explorer, hand-forged negative traces for the I1–I4
+// checker, and the simulator's fault-injection knobs.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "check/explore.hpp"
+#include "check/fuzzer.hpp"
+#include "check/genome.hpp"
+#include "check/oracle.hpp"
+#include "consensus/condition/input_gen.hpp"
+#include "consensus/decision.hpp"
+#include "consensus/message.hpp"
+#include "harness/experiment.hpp"
+#include "trace/check.hpp"
+
+namespace dex {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Genome: serialization, normalization
+// ---------------------------------------------------------------------------
+
+TEST(Genome, JsonRoundTripIsExact) {
+  Rng rng(42);
+  for (int i = 0; i < 50; ++i) {
+    check::Genome g = check::Genome::sample(rng);
+    g.seed = rng.next_u64();  // full 64-bit range
+    const std::string json = g.to_json();
+    const check::Genome back = check::Genome::from_json_text(json);
+    EXPECT_EQ(back.to_json(), json) << "round-trip drift: " << json;
+    EXPECT_EQ(back.seed, g.seed);
+  }
+}
+
+TEST(Genome, SeedSurvivesJsonAbove53Bits) {
+  // JSON numbers go through double; the genome stores the seed as a string
+  // so 64-bit seeds replay bit-for-bit.
+  check::Genome g;
+  g.seed = 0xdeadbeefcafef00dULL;  // needs > 53 bits
+  const check::Genome back = check::Genome::from_json_text(g.to_json());
+  EXPECT_EQ(back.seed, g.seed);
+}
+
+TEST(Genome, NormalizeRoundsInfeasibleMarginUp) {
+  check::Genome g;
+  g.algorithm = Algorithm::kDexPrv;  // min n = 5t+1 = 6, so n = 8 stands
+  g.t = 1;
+  g.input_shape = "margin";
+  g.n = 8;
+  g.margin = 7;  // margin n-1 cannot exist; must round to n
+  g.normalize();
+  ASSERT_EQ(g.n, 8u);
+  EXPECT_EQ(g.margin, g.n);
+}
+
+TEST(Genome, NormalizeEnforcesAlgorithmMinimum) {
+  check::Genome g;
+  g.algorithm = Algorithm::kBoscoStrong;  // needs n >= 7t+1
+  g.n = 4;
+  g.t = 2;
+  g.normalize();
+  EXPECT_GE(g.n, algorithm_min_n(g.algorithm, g.t));
+  EXPECT_LE(g.fault_count, g.t);
+}
+
+TEST(Genome, FromJsonRejectsUnknownAlgorithm) {
+  EXPECT_THROW(check::Genome::from_json_text("{\"algo\":\"nonsense\"}"),
+               json::ParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Oracle: determinism across every delay model and fault kind
+// ---------------------------------------------------------------------------
+
+void expect_identical_verdicts(const check::Genome& g, const char* what) {
+  const auto a = check::run_genome(g);
+  const auto b = check::run_genome(g);
+  EXPECT_EQ(a.ok, b.ok) << what;
+  EXPECT_EQ(a.coverage, b.coverage) << what;
+  EXPECT_EQ(a.packets, b.packets) << what;
+  EXPECT_EQ(a.injected_faults, b.injected_faults) << what;
+  EXPECT_EQ(a.decided, b.decided) << what;
+  EXPECT_EQ(a.one_step, b.one_step) << what;
+  EXPECT_EQ(a.two_step, b.two_step) << what;
+  EXPECT_EQ(a.via_underlying, b.via_underlying) << what;
+  EXPECT_EQ(a.failures, b.failures) << what;
+}
+
+TEST(Oracle, DeterministicForEveryDelayModel) {
+  for (const char* delay :
+       {"constant", "uniform", "exponential", "heavytail", "skewed", "gst"}) {
+    check::Genome g;
+    g.algorithm = Algorithm::kDexFreq;
+    g.n = 13;
+    g.t = 2;
+    g.seed = 77;
+    g.delay = delay;
+    g.jitter_ms = 2;
+    g.normalize();
+    expect_identical_verdicts(g, delay);
+  }
+}
+
+TEST(Oracle, DeterministicForEveryFaultKind) {
+  using harness::FaultKind;
+  for (const FaultKind kind :
+       {FaultKind::kSilent, FaultKind::kCrashMid, FaultKind::kEquivocate,
+        FaultKind::kFixedValue, FaultKind::kNoise, FaultKind::kUcSaboteur,
+        FaultKind::kDelayedEquivocate}) {
+    check::Genome g;
+    g.algorithm = Algorithm::kDexFreq;
+    g.n = 13;
+    g.t = 2;
+    g.seed = 99;
+    g.fault_kind = kind;
+    g.fault_count = 2;
+    g.delay = "uniform";
+    g.normalize();
+    expect_identical_verdicts(g, harness::fault_kind_name(kind));
+  }
+}
+
+TEST(Oracle, DeterministicUnderLinkFaults) {
+  check::Genome g;
+  g.algorithm = Algorithm::kDexPrv;
+  g.n = 11;
+  g.t = 2;
+  g.seed = 5;
+  g.drop = 0.1;
+  g.duplicate = 0.1;
+  g.reorder = 0.2;
+  g.has_partition = true;
+  g.part_cut = 2;
+  g.normalize();
+  expect_identical_verdicts(g, "link faults");
+}
+
+TEST(Oracle, CleanRunPassesAllOracles) {
+  check::Genome g;
+  g.seed = 3;
+  g.normalize();
+  const auto v = check::run_genome(g);
+  EXPECT_TRUE(v.ok) << (v.failures.empty() ? "" : v.failures.front());
+  EXPECT_EQ(v.decided, v.correct);
+  EXPECT_GT(v.packets, 0u);
+}
+
+TEST(Oracle, PlantedQuorumBugTripsInvariants) {
+  check::Genome g;
+  g.algorithm = Algorithm::kDexPrv;
+  g.n = 6;
+  g.t = 1;
+  g.seed = 15344428890809681368ULL;  // jittered schedule that exposes the skew
+  g.jitter_ms = 3;
+  g.delay = "constant";
+  g.debug_quorum_skew = 1;
+  g.normalize();
+  const auto v = check::run_genome(g);
+  EXPECT_FALSE(v.ok);
+  EXPECT_FALSE(v.invariants.ok);
+}
+
+// ---------------------------------------------------------------------------
+// Fuzzer: clean batches, catching the planted bug, shrinking
+// ---------------------------------------------------------------------------
+
+TEST(Fuzzer, CleanBatchHasNoFailures) {
+  check::FuzzOptions opt;
+  opt.seed = 1;
+  opt.campaigns = 60;
+  const auto r = check::run_fuzz(opt);
+  EXPECT_TRUE(r.ok()) << (r.failing.empty()
+                              ? ""
+                              : r.failing.front().genome.describe());
+  EXPECT_EQ(r.campaigns, 60u);
+  EXPECT_GT(r.signatures, 10u) << "coverage feedback looks broken";
+}
+
+TEST(Fuzzer, DeterministicInSeed) {
+  check::FuzzOptions opt;
+  opt.seed = 11;
+  opt.campaigns = 30;
+  const auto a = check::run_fuzz(opt);
+  const auto b = check::run_fuzz(opt);
+  EXPECT_EQ(a.signatures, b.signatures);
+  EXPECT_EQ(a.corpus, b.corpus);
+  EXPECT_EQ(a.failures, b.failures);
+}
+
+TEST(Fuzzer, CatchesAndShrinksThePlantedBug) {
+  check::FuzzOptions opt;
+  opt.seed = 7;
+  opt.campaigns = 50;
+  opt.debug_quorum_skew = 1;
+  const auto r = check::run_fuzz(opt);
+  ASSERT_FALSE(r.ok()) << "oracles missed the planted quorum off-by-one";
+  ASSERT_FALSE(r.failing.empty());
+
+  const auto& f = r.failing.front();
+  EXPECT_FALSE(f.failures.empty());
+  // The shrunk genome still carries the bug switch and still fails.
+  EXPECT_EQ(f.shrunk.debug_quorum_skew, 1u);
+  const auto v = check::run_genome(f.shrunk);
+  EXPECT_FALSE(v.ok) << "shrunk reproducer no longer fails";
+  // Shrinking must not grow the scenario.
+  EXPECT_LE(f.shrunk.n, f.genome.n);
+  EXPECT_LE(f.shrunk.fault_count, f.genome.fault_count);
+}
+
+TEST(Fuzzer, ShrinkRemovesIrrelevantFaults) {
+  // A genome that fails purely because of the planted bug shrinks to a
+  // fault-free scenario: every reduction that keeps it failing is taken.
+  check::Genome g;
+  g.algorithm = Algorithm::kDexPrv;
+  g.n = 9;
+  g.t = 1;
+  g.seed = 15344428890809681368ULL;
+  g.jitter_ms = 3;
+  g.delay = "constant";
+  g.drop = 0.05;
+  g.duplicate = 0.1;
+  g.has_partition = true;
+  g.debug_quorum_skew = 1;
+  g.normalize();
+  ASSERT_FALSE(check::run_genome(g).ok) << "precondition: genome must fail";
+
+  std::size_t runs = 0;
+  const check::Genome s = check::shrink_genome(g, 200, &runs);
+  EXPECT_FALSE(check::run_genome(s).ok);
+  EXPECT_GT(runs, 0u);
+  EXPECT_EQ(s.drop, 0.0);
+  EXPECT_EQ(s.duplicate, 0.0);
+  EXPECT_FALSE(s.has_partition);
+  EXPECT_LE(s.n, g.n);
+}
+
+// ---------------------------------------------------------------------------
+// Explorer: exhaustive sweeps
+// ---------------------------------------------------------------------------
+
+TEST(Explorer, SmallCrashWorldIsViolationFree) {
+  check::ExploreOptions opt;
+  opt.algorithm = Algorithm::kCrashOneStep;
+  opt.n = 5;
+  opt.t = 1;
+  opt.silent = 1;
+  opt.reorder_window = 2;
+  opt.input = unanimous_input(opt.n, 0);
+  const auto r = check::explore(opt);
+  EXPECT_TRUE(r.ok) << (r.violations.empty() ? "" : r.violations.front());
+  EXPECT_FALSE(r.truncated);
+  EXPECT_GT(r.states, 100u);
+  EXPECT_GT(r.schedules, 0u);
+}
+
+TEST(Explorer, ContestedInputStaysSafe) {
+  check::ExploreOptions opt;
+  opt.algorithm = Algorithm::kCrashOneStep;
+  opt.n = 5;
+  opt.t = 1;
+  opt.silent = 1;
+  opt.reorder_window = 1;
+  opt.input = split_input(opt.n, 1, 2, 0);  // 2 propose 1, 3 propose 0
+  const auto r = check::explore(opt);
+  EXPECT_TRUE(r.ok) << (r.violations.empty() ? "" : r.violations.front());
+  EXPECT_FALSE(r.truncated);
+}
+
+TEST(Explorer, DeterministicAcrossRuns) {
+  check::ExploreOptions opt;
+  opt.algorithm = Algorithm::kCrashOneStep;
+  opt.n = 5;
+  opt.t = 1;
+  opt.silent = 1;
+  opt.reorder_window = 1;
+  opt.input = unanimous_input(opt.n, 0);
+  const auto a = check::explore(opt);
+  const auto b = check::explore(opt);
+  EXPECT_EQ(a.states, b.states);
+  EXPECT_EQ(a.deduped, b.deduped);
+  EXPECT_EQ(a.schedules, b.schedules);
+}
+
+TEST(Explorer, FindsThePlantedBug) {
+  check::ExploreOptions opt;
+  opt.algorithm = Algorithm::kDexPrv;
+  opt.n = 6;
+  opt.t = 1;
+  opt.silent = 0;
+  opt.reorder_window = 1;
+  opt.max_states = 50'000;
+  opt.debug_quorum_skew = 1;
+  opt.input = unanimous_input(opt.n, 0);
+  const auto r = check::explore(opt);
+  EXPECT_FALSE(r.ok) << "explorer missed the planted quorum off-by-one";
+  EXPECT_GT(r.violating_schedules, 0u);
+  ASSERT_FALSE(r.violations.empty());
+}
+
+TEST(Explorer, RejectsStructurallyImpossibleWorlds) {
+  check::ExploreOptions opt;
+  opt.algorithm = Algorithm::kCrashOneStep;
+  opt.n = 4;  // n = 4, t = 1 is below every stack's structural minimum
+  opt.t = 1;
+  opt.input = unanimous_input(opt.n, 0);
+  EXPECT_THROW((void)check::explore(opt), ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Checker negative paths: hand-forged traces tripping each invariant
+// ---------------------------------------------------------------------------
+
+// World for the forged traces: n=6, t=1 → quorum 5, amplification 4.
+constexpr std::size_t kN = 6, kT = 1;
+
+trace::Event deliver(std::uint64_t t, std::uint64_t seq, ProcessId dst,
+                     ProcessId src, MsgKind kind, std::uint64_t tag,
+                     ProcessId origin = kNoProcess) {
+  trace::Event e;
+  e.t = t;
+  e.seq = seq;
+  e.cat = "sim";
+  e.name = "deliver";
+  e.proc = dst;
+  e.peer = src;
+  e.tag = tag;
+  e.a = static_cast<std::int64_t>(kind);
+  e.b = 8;
+  e.c = origin;
+  return e;
+}
+
+trace::Event decide(std::uint64_t t, std::uint64_t seq, ProcessId proc,
+                    DecisionPath path) {
+  trace::Event e;
+  e.t = t;
+  e.seq = seq;
+  e.cat = "sim";
+  e.name = "decide";
+  e.proc = proc;
+  e.a = 0;  // value
+  e.b = static_cast<std::int64_t>(path);
+  return e;
+}
+
+trace::Event idb_event(const char* name, std::uint64_t t, std::uint64_t seq,
+                       ProcessId proc, ProcessId origin, std::uint64_t tag) {
+  trace::Event e;
+  e.t = t;
+  e.seq = seq;
+  e.cat = "idb";
+  e.name = name;
+  e.proc = proc;
+  e.peer = origin;
+  e.tag = tag;
+  return e;
+}
+
+TEST(CheckerNegative, I1DecideWithoutQuorumOfSenders) {
+  // Proc 0 hears from only 3 peers (3 wire + self credit = 4 < 5) and decides.
+  std::vector<trace::Event> ev;
+  for (ProcessId p = 1; p <= 3; ++p) {
+    ev.push_back(deliver(10, static_cast<std::uint64_t>(p), 0, p,
+                         MsgKind::kPlain, chan::kCrashProp));
+  }
+  ev.push_back(decide(20, 10, 0, DecisionPath::kOneStep));
+  const auto res =
+      trace::check_causal_invariants(std::move(ev), {.n = kN, .t = kT});
+  ASSERT_FALSE(res.ok);
+  EXPECT_NE(res.violations.front().find("I1"), std::string::npos)
+      << res.violations.front();
+}
+
+TEST(CheckerNegative, I2OneStepWithoutPlainProposals) {
+  // Proc 0 hears echoes from 5 peers — I1's any-kind quorum is satisfied,
+  // but a ONE-STEP decide needs plain step-1 proposals (only self credit: 1).
+  std::vector<trace::Event> ev;
+  for (ProcessId p = 1; p <= 5; ++p) {
+    ev.push_back(deliver(10, static_cast<std::uint64_t>(p), 0, p,
+                         MsgKind::kIdbEcho, chan::kDexProposalIdb,
+                         /*origin=*/p));
+  }
+  ev.push_back(decide(20, 10, 0, DecisionPath::kOneStep));
+  const auto res =
+      trace::check_causal_invariants(std::move(ev), {.n = kN, .t = kT});
+  ASSERT_FALSE(res.ok);
+  ASSERT_EQ(res.violations.size(), 1u);
+  EXPECT_NE(res.violations.front().find("I2"), std::string::npos)
+      << res.violations.front();
+}
+
+TEST(CheckerNegative, I3EchoWithoutInitOrAmplification) {
+  // Proc 0 echoes origin 2's broadcast having seen neither the init nor
+  // n−2t = 4 supporting echoes.
+  std::vector<trace::Event> ev;
+  ev.push_back(deliver(5, 1, 0, 1, MsgKind::kIdbEcho, chan::kDexProposalIdb,
+                       /*origin=*/2));
+  ev.push_back(idb_event("echo", 10, 2, 0, /*origin=*/2, chan::kDexProposalIdb));
+  const auto res =
+      trace::check_causal_invariants(std::move(ev), {.n = kN, .t = kT});
+  ASSERT_FALSE(res.ok);
+  EXPECT_NE(res.violations.front().find("I3"), std::string::npos)
+      << res.violations.front();
+}
+
+TEST(CheckerNegative, I4AcceptWithoutEchoQuorum) {
+  // Proc 0 accepts origin 2's broadcast on 3 < 5 echo deliveries.
+  std::vector<trace::Event> ev;
+  ev.push_back(deliver(1, 1, 0, 2, MsgKind::kIdbInit, chan::kDexProposalIdb));
+  for (ProcessId p = 1; p <= 3; ++p) {
+    ev.push_back(deliver(5, 1 + static_cast<std::uint64_t>(p), 0, p,
+                         MsgKind::kIdbEcho, chan::kDexProposalIdb,
+                         /*origin=*/2));
+  }
+  ev.push_back(idb_event("accept", 10, 9, 0, /*origin=*/2,
+                         chan::kDexProposalIdb));
+  const auto res =
+      trace::check_causal_invariants(std::move(ev), {.n = kN, .t = kT});
+  ASSERT_FALSE(res.ok);
+  EXPECT_NE(res.violations.front().find("I4"), std::string::npos)
+      << res.violations.front();
+}
+
+TEST(CheckerNegative, WellFormedTracePasses) {
+  // The lawful counterpart: full proposal quorum, init + echo quorum, then
+  // echo, accept and decide — nothing trips.
+  std::vector<trace::Event> ev;
+  std::uint64_t seq = 1;
+  for (ProcessId p = 1; p <= 5; ++p) {
+    ev.push_back(deliver(10, seq++, 0, p, MsgKind::kPlain, chan::kCrashProp));
+  }
+  ev.push_back(deliver(11, seq++, 0, 2, MsgKind::kIdbInit,
+                       chan::kDexProposalIdb));
+  ev.push_back(idb_event("echo", 12, seq++, 0, 2, chan::kDexProposalIdb));
+  for (ProcessId p = 1; p <= 5; ++p) {
+    ev.push_back(deliver(13, seq++, 0, p, MsgKind::kIdbEcho,
+                         chan::kDexProposalIdb, /*origin=*/2));
+  }
+  ev.push_back(idb_event("accept", 14, seq++, 0, 2, chan::kDexProposalIdb));
+  ev.push_back(decide(20, seq++, 0, DecisionPath::kOneStep));
+  const auto res =
+      trace::check_causal_invariants(std::move(ev), {.n = kN, .t = kT});
+  EXPECT_TRUE(res.ok) << (res.violations.empty() ? ""
+                                                 : res.violations.front());
+  EXPECT_EQ(res.decides_checked, 1u);
+  EXPECT_EQ(res.echoes_checked, 1u);
+  EXPECT_EQ(res.accepts_checked, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Simulator fault injection via the harness
+// ---------------------------------------------------------------------------
+
+harness::ExperimentConfig base_config(std::uint64_t seed) {
+  harness::ExperimentConfig cfg;
+  cfg.algorithm = Algorithm::kDexFreq;
+  cfg.n = 13;
+  cfg.t = 2;
+  cfg.input = unanimous_input(cfg.n, 1);
+  cfg.seed = seed;
+  cfg.stop_when_all_decided = true;
+  return cfg;
+}
+
+TEST(FaultInjection, DropAllSuppressesEveryCrossDelivery) {
+  auto cfg = base_config(21);
+  cfg.link_faults.drop = 1.0;
+  cfg.max_events = 100'000;
+  const auto r = harness::run_experiment(cfg);
+  EXPECT_GT(r.stats.faults.dropped, 0u);
+  // Self-addressed packets bypass the link; no cross traffic ever arrives, so
+  // no quorum can fill and nobody decides.
+  EXPECT_EQ(r.decided, 0u) << "decision without any cross traffic";
+}
+
+TEST(FaultInjection, DuplicatesIncreaseDeliveries) {
+  auto cfg = base_config(22);
+  const auto clean = harness::run_experiment(cfg);
+  cfg.link_faults.duplicate = 0.5;
+  const auto doubled = harness::run_experiment(cfg);
+  EXPECT_GT(doubled.stats.faults.duplicated, 0u);
+  EXPECT_GT(doubled.stats.packets_delivered, clean.stats.packets_delivered);
+  EXPECT_TRUE(doubled.agreement());
+}
+
+TEST(FaultInjection, ZeroKnobsPreserveTheHistoricalSchedule) {
+  // The fault RNG is consulted only when a knob is non-zero: a default
+  // LinkFaults must reproduce the historical schedule bit-for-bit.
+  auto cfg = base_config(23);
+  const auto a = harness::run_experiment(cfg);
+  cfg.link_faults = sim::LinkFaults{};
+  cfg.partitions.clear();
+  cfg.crashes.clear();
+  const auto b = harness::run_experiment(cfg);
+  EXPECT_EQ(a.stats.wire_packets, b.stats.wire_packets);
+  EXPECT_EQ(a.stats.packets_delivered, b.stats.packets_delivered);
+  EXPECT_EQ(a.stats.end_time, b.stats.end_time);
+  EXPECT_EQ(a.stats.faults.total(), 0u);
+}
+
+TEST(FaultInjection, PartitionCutsCrossGroupTraffic) {
+  auto cfg = base_config(24);
+  sim::Partition p;
+  p.from = 0;
+  p.until = 5'000'000;  // 5 ms
+  p.group.assign(cfg.n, 0);
+  p.group[0] = p.group[1] = 1;
+  cfg.partitions.push_back(p);
+  const auto r = harness::run_experiment(cfg);
+  EXPECT_GT(r.stats.faults.partitioned, 0u);
+  EXPECT_TRUE(r.agreement());
+}
+
+TEST(FaultInjection, CrashWindowDropsInboundTraffic) {
+  auto cfg = base_config(25);
+  sim::CrashWindow w;
+  w.who = 3;
+  w.from = 0;
+  w.until = 5'000'000;
+  cfg.crashes.push_back(w);
+  const auto r = harness::run_experiment(cfg);
+  EXPECT_GT(r.stats.faults.crashed, 0u);
+  EXPECT_TRUE(r.agreement());
+}
+
+}  // namespace
+}  // namespace dex

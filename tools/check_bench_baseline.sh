@@ -1,0 +1,134 @@
+#!/usr/bin/env bash
+# Performance-trajectory regression gate, registered with ctest as
+# `check_bench_baseline`. Re-runs bench_hotpath and bench_smr at the committed
+# baseline scale and compares against bench/baselines/BENCH_*.json:
+#
+#   * Deterministic protocol-cost metrics (SMR packets/bytes per commit,
+#     virtual commit rate, structural zero-copy byte counts) gate at 10%:
+#     they are bit-stable given the seed, so any drift is a real change in
+#     message complexity or the hot path.
+#   * Wall-clock speedup ratios (predicate cache, IDB dedup) swing up to 9x
+#     run to run under scheduler noise, so relative gating is hopeless; they
+#     gate against an absolute floor instead (speedup >= 1.5x) — losing the
+#     cache or the dedup path drops the ratio to ~1.0, which the floor
+#     catches without flaking CI.
+#
+# Regenerate baselines after an intentional trajectory change:
+#   tools/check_bench_baseline.sh <bench_hotpath> <bench_smr> <dir> --regen
+#
+# Exits 77 (ctest SKIP) when python3 or the bench binaries are unavailable.
+#
+# Usage: check_bench_baseline.sh /path/to/bench_hotpath /path/to/bench_smr \
+#            /path/to/bench/baselines [--regen]
+set -euo pipefail
+
+BENCH_HOTPATH="${1:?usage: check_bench_baseline.sh <bench_hotpath> <bench_smr> <baseline-dir> [--regen]}"
+BENCH_SMR="${2:?usage: check_bench_baseline.sh <bench_hotpath> <bench_smr> <baseline-dir> [--regen]}"
+BASEDIR="${3:?usage: check_bench_baseline.sh <bench_hotpath> <bench_smr> <baseline-dir> [--regen]}"
+MODE="${4:-check}"
+
+command -v python3 >/dev/null 2>&1 || { echo "check_bench_baseline: python3 unavailable; skipping"; exit 77; }
+for bin in "$BENCH_HOTPATH" "$BENCH_SMR"; do
+  [[ -x "$bin" ]] || { echo "check_bench_baseline: $bin not built; skipping"; exit 77; }
+done
+
+# The one source of truth for the gate's scale. Keep in sync with the
+# committed baselines (regenerate with --regen when changing these).
+HOTPATH_ARGS=(--n 13 --iters 200000 --slots 500 --rounds 500 --payload 1024)
+SMR_ARGS=(--window 8 --slots 64 --seed 1)
+
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+run_benches() {
+  local dir="$1"
+  "$BENCH_HOTPATH" "${HOTPATH_ARGS[@]}" --json "$dir/BENCH_hotpath.json" >/dev/null
+  "$BENCH_SMR" "${SMR_ARGS[@]}" --json "$dir/BENCH_smr.json" >/dev/null
+}
+
+if [[ "$MODE" == "--regen" ]]; then
+  mkdir -p "$BASEDIR"
+  run_benches "$BASEDIR"
+  echo "check_bench_baseline: baselines regenerated in $BASEDIR"
+  exit 0
+fi
+
+for f in BENCH_hotpath.json BENCH_smr.json; do
+  [[ -f "$BASEDIR/$f" ]] || { echo "check_bench_baseline: $BASEDIR/$f missing; skipping"; exit 77; }
+done
+
+# Best-of-2 for the wall-clock ratios; deterministic metrics are identical
+# across the two runs anyway.
+mkdir "$WORKDIR/run1" "$WORKDIR/run2"
+run_benches "$WORKDIR/run1"
+run_benches "$WORKDIR/run2"
+
+python3 - "$BASEDIR" "$WORKDIR/run1" "$WORKDIR/run2" <<'PY'
+import json, sys
+
+base_dir, run1, run2 = sys.argv[1:4]
+
+def load(d, name):
+    with open(f"{d}/{name}") as f:
+        return json.load(f)
+
+failures = []
+
+def gate(name, baseline, current, limit_frac, higher_is_better=True):
+    if baseline == 0:
+        ok = current == 0
+    elif higher_is_better:
+        ok = current >= baseline * (1.0 - limit_frac)
+    else:
+        ok = current <= baseline * (1.0 + limit_frac)
+    status = "ok" if ok else "REGRESSED"
+    print(f"  {name}: baseline {baseline:g}, now {current:g} [{status}]")
+    if not ok:
+        failures.append(name)
+
+# --- SMR: deterministic protocol-cost trajectory (10%) ---------------------
+sb = load(base_dir, "BENCH_smr.json")
+s1, s2 = load(run1, "BENCH_smr.json"), load(run2, "BENCH_smr.json")
+print("SMR (deterministic, 10% gate):")
+gate("smr.packets_per_commit", sb["packets_per_commit"],
+     min(s1["packets_per_commit"], s2["packets_per_commit"]), 0.10,
+     higher_is_better=False)
+gate("smr.bytes_per_commit", sb["bytes_per_commit"],
+     min(s1["bytes_per_commit"], s2["bytes_per_commit"]), 0.10,
+     higher_is_better=False)
+gate("smr.commits_per_sec_virtual", sb["commits_per_sec_virtual"],
+     max(s1["commits_per_sec_virtual"], s2["commits_per_sec_virtual"]), 0.10)
+if s1["commits"] < sb["commits"]:
+    print(f"  smr.commits: baseline {sb['commits']}, now {s1['commits']} [REGRESSED]")
+    failures.append("smr.commits")
+if not (s1["logs_ok"] and s2["logs_ok"]):
+    failures.append("smr.logs_ok")
+
+# --- Hotpath: structural invariants (exact) + timing ratios (50%) ----------
+hb = load(base_dir, "BENCH_hotpath.json")
+h1, h2 = load(run1, "BENCH_hotpath.json"), load(run2, "BENCH_hotpath.json")
+print("Hotpath structural (exact gate):")
+gate("hotpath.bytes_copied_per_dest", hb["broadcast"]["bytes_copied_per_dest"],
+     max(h1["broadcast"]["bytes_copied_per_dest"],
+         h2["broadcast"]["bytes_copied_per_dest"]), 0.0,
+     higher_is_better=False)
+print("Hotpath wall-clock ratios (best-of-2, absolute floor 1.5x):")
+def floor_gate(name, baseline, current, floor=1.5):
+    ok = current >= floor
+    status = "ok" if ok else "REGRESSED"
+    print(f"  {name}: baseline {baseline:g}, now {current:g}, floor {floor:g} [{status}]")
+    if not ok:
+        failures.append(name)
+
+floor_gate("hotpath.predicate.speedup", hb["predicate"]["speedup"],
+           max(h1["predicate"]["speedup"], h2["predicate"]["speedup"]))
+floor_gate("hotpath.idb.speedup", hb["idb"]["speedup"],
+           max(h1["idb"]["speedup"], h2["idb"]["speedup"]))
+
+if failures:
+    print(f"check_bench_baseline: REGRESSED: {', '.join(failures)}")
+    sys.exit(1)
+print("check_bench_baseline: all metrics within budget")
+PY
+
+echo "check_bench_baseline: OK"

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Verification-plane smoke test, registered with ctest as `check_fuzz`.
+#
+#   1. A seeded 200-campaign fuzz batch must come back clean (exit 0).
+#   2. The same batch with --inject-bug (quorum off-by-one in the DEX one-step
+#      predicate) must FAIL, write shrunk reproducers, and the shrunk genome
+#      must replay to the same failure through both `dexsim --repro` and
+#      `dexcheck --repro` — byte-identically across two runs.
+#   3. One bounded exhaustive sweep of the n=5 crash world must enumerate a
+#      non-trivial state space with zero violations, and the same sweep with
+#      the planted bug on a DEX world must report a violation.
+#
+# Usage: check_fuzz.sh /path/to/dexcheck /path/to/dexsim
+set -euo pipefail
+
+DEXCHECK="${1:?usage: check_fuzz.sh /path/to/dexcheck /path/to/dexsim}"
+DEXSIM="${2:?usage: check_fuzz.sh /path/to/dexcheck /path/to/dexsim}"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+# --- 1. Clean batch ---------------------------------------------------------
+"$DEXCHECK" --campaigns 200 --seed 1 --out "$WORKDIR" \
+  --json "$WORKDIR/clean.json" >"$WORKDIR/clean.txt" ||
+  { echo "FAIL: clean fuzz batch reported failures"; cat "$WORKDIR/clean.txt"; exit 1; }
+grep -q '"ok":true' "$WORKDIR/clean.json" ||
+  { echo "FAIL: clean summary JSON not ok"; exit 1; }
+
+# --- 2. Injected bug must be caught and shrunk ------------------------------
+mkdir "$WORKDIR/bug"
+if "$DEXCHECK" --campaigns 50 --seed 7 --inject-bug --out "$WORKDIR/bug" \
+     >"$WORKDIR/bug.txt" 2>&1; then
+  echo "FAIL: --inject-bug batch came back clean (oracles missed the bug)"
+  cat "$WORKDIR/bug.txt"
+  exit 1
+fi
+shrunk="$(ls "$WORKDIR"/bug/repro-*.min.json 2>/dev/null | head -1)"
+[[ -n "$shrunk" ]] ||
+  { echo "FAIL: no shrunk reproducer written"; cat "$WORKDIR/bug.txt"; exit 1; }
+
+# The shrunk genome must replay to a failure — via both front-ends.
+if "$DEXSIM" --repro "$shrunk" >"$WORKDIR/replay1.txt" 2>&1; then
+  echo "FAIL: dexsim --repro $shrunk did not reproduce the failure"
+  cat "$WORKDIR/replay1.txt"
+  exit 1
+fi
+if "$DEXCHECK" --repro "$shrunk" >/dev/null 2>&1; then
+  echo "FAIL: dexcheck --repro $shrunk did not reproduce the failure"
+  exit 1
+fi
+# Replay is deterministic: two runs must be byte-identical.
+"$DEXSIM" --repro "$shrunk" >"$WORKDIR/replay2.txt" 2>&1 || true
+cmp -s "$WORKDIR/replay1.txt" "$WORKDIR/replay2.txt" ||
+  { echo "FAIL: repro replay is not byte-identical across runs"; exit 1; }
+
+# --- 3. Bounded exhaustive sweeps -------------------------------------------
+"$DEXCHECK" --explore --explore-n 5 --explore-window 2 \
+  --json "$WORKDIR/explore.json" >"$WORKDIR/explore.txt" ||
+  { echo "FAIL: exhaustive n=5 sweep found violations"; cat "$WORKDIR/explore.txt"; exit 1; }
+grep -q '"truncated":false' "$WORKDIR/explore.json" ||
+  { echo "FAIL: n=5 sweep truncated — not exhaustive"; exit 1; }
+python3 - "$WORKDIR/explore.json" <<'PY' 2>/dev/null || true
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["states"] > 1000, f"suspiciously small sweep: {doc['states']} states"
+PY
+
+if "$DEXCHECK" --explore --explore-algo dex-prv --explore-n 6 \
+     --explore-silent 0 --explore-window 1 --inject-bug \
+     --explore-max-states 50000 >"$WORKDIR/explore_bug.txt" 2>&1; then
+  echo "FAIL: explorer missed the planted quorum bug"
+  cat "$WORKDIR/explore_bug.txt"
+  exit 1
+fi
+
+echo "check_fuzz: OK"

@@ -1,0 +1,251 @@
+// dexcheck — the verification plane's command line.
+//
+// Two engines over the deterministic simulator, sharing one oracle:
+//
+//   * Fuzzer (default): coverage-guided campaigns over scenario genomes.
+//       $ dexcheck --campaigns 1000 --seed 7 --out /tmp/repros
+//     Failing genomes are written as JSON reproducers (original and shrunk);
+//     replay one bit-for-bit with `dexsim --repro <file>` or
+//     `dexcheck --repro <file>`.
+//
+//   * Bounded exhaustive explorer (--explore): enumerate every delivery
+//     schedule of a tiny world.
+//       $ dexcheck --explore --explore-algo crash --explore-n 5 --explore-t 1
+//
+//   * --inject-bug plants a quorum off-by-one in the DEX one-step predicate
+//     (DexConfig::debug_quorum_skew) to prove the oracles catch it.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "check/explore.hpp"
+#include "check/fuzzer.hpp"
+#include "check/genome.hpp"
+#include "check/oracle.hpp"
+#include "common/cli.hpp"
+#include "common/logging.hpp"
+#include "consensus/condition/input_gen.hpp"
+#include "metrics/export.hpp"
+#include "metrics/metrics.hpp"
+#include "ops/admin.hpp"
+
+namespace {
+
+using namespace dex;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw CliError("cannot read '" + path + "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path);
+  if (!out) throw CliError("cannot write '" + path + "'");
+  out << body;
+}
+
+int run_repro(const std::string& path) {
+  const auto g = check::Genome::from_json_text(read_file(path));
+  std::printf("repro: %s\n", g.describe().c_str());
+  const auto v = check::run_genome(g);
+  std::printf("repro: %zu/%zu decided (one-step %zu, two-step %zu, uc %zu), "
+              "%llu packets, %llu injected faults\n",
+              v.decided, v.correct, v.one_step, v.two_step, v.via_underlying,
+              static_cast<unsigned long long>(v.packets),
+              static_cast<unsigned long long>(v.injected_faults));
+  if (v.ok) {
+    std::printf("repro: OK — all applicable oracles passed\n");
+    return 0;
+  }
+  for (const auto& f : v.failures) {
+    std::fprintf(stderr, "repro: FAIL %s\n", f.c_str());
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dex::init_log_level_from_env();
+  dex::init_log_format_from_env();
+  Cli cli;
+  cli.option("campaigns", "fuzz campaigns to run (default 200)", "int")
+      .option("seed", "campaign RNG seed (default 1)", "int")
+      .option("shrink-budget", "max oracle runs per failure shrink (default 150)",
+              "int")
+      .option("inject-bug",
+              "plant the quorum off-by-one (debug_quorum_skew=1) in every "
+              "campaign — the oracles must catch it")
+      .option("out", "directory for reproducer JSON files (default .)", "dir")
+      .option("repro", "replay one genome JSON file and judge it", "path")
+      .option("explore", "run the bounded exhaustive explorer instead")
+      .option("explore-algo",
+              "world algorithm: crash | dex-freq | dex-prv | bosco-weak | "
+              "bosco-strong (default crash)", "name")
+      .option("explore-n", "world size (default 5; minimum 4t+1)", "int")
+      .option("explore-t", "resilience bound (default 1)", "int")
+      .option("explore-silent", "silent faulty processes (default 1)", "int")
+      .option("explore-split",
+              "contested input: this many processes propose 1, the rest 0 "
+              "(default 0 = unanimous)", "int")
+      .option("explore-window",
+              "per-destination reorder window (default 0 = full asynchrony)",
+              "int")
+      .option("explore-max-states", "node budget (default 200000)", "int")
+      .option("json", "write a JSON summary of the run", "path")
+      .option("metrics", "dump check_* metrics (Prometheus text) to stderr")
+      .option("admin",
+              "serve the ops plane on this loopback port (0 = ephemeral)",
+              "port")
+      .option("help", "show this help");
+  try {
+    cli.parse(argc, argv);
+  } catch (const CliError& e) {
+    std::fprintf(stderr, "%s\n%s", e.what(), cli.usage("dexcheck").c_str());
+    return 2;
+  }
+  if (cli.flag("help")) {
+    std::printf("%s", cli.usage("dexcheck").c_str());
+    return 0;
+  }
+
+  try {
+    const std::string repro = cli.str("repro", "");
+    if (!repro.empty()) return run_repro(repro);
+
+    metrics::MetricsRegistry registry;
+    std::unique_ptr<ops::AdminServer> admin;
+    const std::string admin_arg = cli.str("admin", "");
+    if (!admin_arg.empty()) {
+      const auto port = ops::parse_admin_port(admin_arg);
+      if (!port) throw CliError("bad --admin port '" + admin_arg + "'");
+      ops::AdminConfig acfg;
+      acfg.port = *port;
+      acfg.bind = ops::admin_bind_from_env();
+      acfg.registry = &registry;
+      const std::string bind = acfg.bind;
+      admin = std::make_unique<ops::AdminServer>(std::move(acfg));
+      admin->start();
+      // Same parseable line as dexsim: scripts grep it for the ephemeral port.
+      std::fprintf(stderr, "admin: listening on %s:%u\n", bind.c_str(),
+                   static_cast<unsigned>(admin->port()));
+    }
+
+    std::string summary_json;
+    int exit_code = 0;
+
+    if (cli.flag("explore")) {
+      check::ExploreOptions opt;
+      const auto algo_name = cli.str("explore-algo", "crash");
+      const auto algo = check::parse_algorithm(algo_name);
+      if (!algo) throw CliError("unknown --explore-algo '" + algo_name + "'");
+      opt.algorithm = *algo;
+      opt.t = cli.unsigned_num("explore-t", 1);
+      opt.n = cli.unsigned_num("explore-n", 5);
+      opt.silent = cli.unsigned_num("explore-silent", 1);
+      opt.reorder_window = cli.unsigned_num("explore-window", 0);
+      opt.max_states = cli.unsigned_num("explore-max-states", 200'000);
+      opt.debug_quorum_skew = cli.flag("inject-bug") ? 1 : 0;
+      const auto split = cli.unsigned_num("explore-split", 0);
+      opt.input = split > 0
+                      ? split_input(opt.n, 1, split, 0)
+                      : unanimous_input(opt.n, 0);
+      opt.metrics = &registry;
+
+      const auto r = check::explore(opt);
+      std::printf("explore: %s n=%zu t=%zu silent=%zu window=%zu\n",
+                  algorithm_name(opt.algorithm), opt.n, opt.t, opt.silent,
+                  opt.reorder_window);
+      std::printf("explore: %llu states (%llu deduped), %llu complete "
+                  "schedules%s\n",
+                  static_cast<unsigned long long>(r.states),
+                  static_cast<unsigned long long>(r.deduped),
+                  static_cast<unsigned long long>(r.schedules),
+                  r.truncated ? " [TRUNCATED: max-states hit]" : "");
+      std::printf("explore: %s (%llu violating schedules)\n",
+                  r.ok ? "OK" : "VIOLATED",
+                  static_cast<unsigned long long>(r.violating_schedules));
+      for (const auto& v : r.violations) {
+        std::fprintf(stderr, "explore: %s\n", v.c_str());
+      }
+      std::ostringstream os;
+      os << "{\"mode\":\"explore\",\"algo\":\"" << algorithm_name(opt.algorithm)
+         << "\",\"n\":" << opt.n << ",\"t\":" << opt.t
+         << ",\"states\":" << r.states << ",\"deduped\":" << r.deduped
+         << ",\"schedules\":" << r.schedules
+         << ",\"truncated\":" << (r.truncated ? "true" : "false")
+         << ",\"violating\":" << r.violating_schedules
+         << ",\"ok\":" << (r.ok ? "true" : "false") << "}";
+      summary_json = os.str();
+      if (!r.ok) exit_code = 1;
+    } else {
+      check::FuzzOptions opt;
+      opt.seed = cli.unsigned_num("seed", 1);
+      opt.campaigns = cli.unsigned_num("campaigns", 200);
+      opt.shrink_budget = cli.unsigned_num("shrink-budget", 150);
+      opt.debug_quorum_skew = cli.flag("inject-bug") ? 1 : 0;
+      opt.metrics = &registry;
+      opt.admin = admin.get();
+      opt.on_failure = [](const check::Genome& g, const check::RunVerdict& v) {
+        std::fprintf(stderr, "dexcheck: FAIL %s\n", g.describe().c_str());
+        for (const auto& f : v.failures) {
+          std::fprintf(stderr, "dexcheck:   %s\n", f.c_str());
+        }
+      };
+
+      const auto report = check::run_fuzz(opt);
+      std::printf("dexcheck: %zu campaigns (%zu oracle runs), %zu distinct "
+                  "coverage signatures, corpus %zu\n",
+                  report.campaigns, report.runs, report.signatures,
+                  report.corpus);
+      std::printf("dexcheck: %s (%zu failing campaigns)\n",
+                  report.ok() ? "OK" : "FAILURES FOUND", report.failures);
+
+      const std::string out_dir = cli.str("out", ".");
+      std::ostringstream fails;
+      for (const auto& f : report.failing) {
+        const std::string base =
+            out_dir + "/repro-" + std::to_string(f.campaign);
+        write_file(base + ".json", f.genome.to_json() + "\n");
+        write_file(base + ".min.json", f.shrunk.to_json() + "\n");
+        std::printf("dexcheck: campaign %zu failed — %s\n", f.campaign,
+                    f.failures.empty() ? "?" : f.failures.front().c_str());
+        std::printf("dexcheck:   reproducer %s.json  shrunk %s.min.json "
+                    "(%zu shrink runs)\n",
+                    base.c_str(), base.c_str(), f.shrink_runs);
+        std::printf("dexcheck:   replay: dexsim --repro %s.min.json\n",
+                    base.c_str());
+        if (!fails.str().empty()) fails << ",";
+        fails << "{\"campaign\":" << f.campaign << ",\"genome\":"
+              << f.genome.to_json() << ",\"shrunk\":" << f.shrunk.to_json()
+              << "}";
+      }
+      std::ostringstream os;
+      os << "{\"mode\":\"fuzz\",\"campaigns\":" << report.campaigns
+         << ",\"runs\":" << report.runs << ",\"failures\":" << report.failures
+         << ",\"signatures\":" << report.signatures
+         << ",\"corpus\":" << report.corpus
+         << ",\"ok\":" << (report.ok() ? "true" : "false")
+         << ",\"failing\":[" << fails.str() << "]}";
+      summary_json = os.str();
+      if (!report.ok()) exit_code = 1;
+    }
+
+    const std::string json_path = cli.str("json", "");
+    if (!json_path.empty()) {
+      write_file(json_path, summary_json + "\n");
+      std::printf("summary: JSON written to %s\n", json_path.c_str());
+    }
+    if (cli.flag("metrics")) {
+      std::fprintf(stderr, "%s", metrics::to_prometheus(registry.snapshot()).c_str());
+    }
+    return exit_code;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dexcheck: %s\n", e.what());
+    return 2;
+  }
+}
